@@ -1,0 +1,68 @@
+// Figure 5: lifespan and core migration of the threads spawned for a
+// single-client Q6 execution with all 16 cores available (OS scheduling).
+// Prints, per worker thread, the sequence of cores it occupied over time.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace elastic::bench {
+namespace {
+
+void Main() {
+  exec::ExperimentOptions options = PolicyOptions("os");
+  options.scheduler.trace_placement = true;
+  options.scheduler.trace_migrations = true;
+  exec::Experiment experiment(&BenchDb(), options);
+
+  exec::ClientWorkload workload;
+  workload.traces = {&QueryTrace(6)};
+  workload.queries_per_client = 4;  // a short Q6 stream, as in Section II-B-2
+  experiment.RunWorkload(workload, /*num_clients=*/1, 1'000'000);
+
+  // Reconstruct per-thread core residency from the trace.
+  std::map<int64_t, std::vector<std::pair<int64_t, int64_t>>> residency;
+  for (const auto& event : experiment.machine().trace().EventsOfKind("run")) {
+    auto& segments = residency[event.a];
+    if (segments.empty() || segments.back().second != event.b) {
+      segments.push_back({event.tick, event.b});
+    }
+  }
+
+  metrics::Table table({"thread", "migrations", "core timeline (tick:core ...)"});
+  int64_t total_migrations = 0;
+  for (const auto& [thread, segments] : residency) {
+    std::string timeline;
+    for (size_t i = 0; i < segments.size(); ++i) {
+      if (i > 0) timeline += " ";
+      timeline += std::to_string(segments[i].first) + ":" +
+                  std::to_string(segments[i].second);
+      if (i > 24) {
+        timeline += " ...";
+        break;
+      }
+    }
+    const int64_t migrations = static_cast<int64_t>(segments.size()) - 1;
+    total_migrations += migrations;
+    table.AddRow({"T" + std::to_string(thread), metrics::Table::Int(migrations),
+                  timeline});
+  }
+  table.Print("Fig 5: thread migration map, Q6 single client, OS/MonetDB (16 cores)");
+  std::printf("\ntotal core changes: %lld; OS steals: %lld; balancer moves: %lld\n",
+              static_cast<long long>(total_migrations),
+              static_cast<long long>(experiment.machine().counters().stolen_tasks),
+              static_cast<long long>(
+                  experiment.machine().counters().thread_migrations));
+  std::printf(
+      "Expected shape (paper): threads migrate several times across cores and "
+      "nodes during a single\nquery; the OS keeps rebalancing without NUMA "
+      "awareness.\n");
+}
+
+}  // namespace
+}  // namespace elastic::bench
+
+int main() {
+  elastic::bench::Main();
+  return 0;
+}

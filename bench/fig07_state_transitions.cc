@@ -1,0 +1,52 @@
+// Figure 7: state transitions of a TPC-H Q6 stream and the elastic
+// allocation of cores over time: fired transition labels on the X axis, CPU
+// usage (%) and allocated cores on the Y axes.
+
+#include "bench/bench_common.h"
+
+namespace elastic::bench {
+namespace {
+
+void Main() {
+  exec::ExperimentOptions options = PolicyOptions("adaptive");
+  options.monitor_period_ticks = 10;
+  exec::Experiment experiment(&BenchDb(), options);
+
+  exec::ClientWorkload workload;
+  workload.traces = {&QueryTrace(6)};
+  workload.queries_per_client = 6;
+  workload.think_ticks = 120;  // gaps let the Idle sub-net fire, as in Fig 7
+  experiment.RunWorkload(workload, /*num_clients=*/8, 1'000'000);
+  experiment.machine().RunFor(100);  // drain: release back towards the floor
+
+  metrics::Table table({"tick", "transition", "cpu %", "cores"});
+  for (const auto& event : experiment.mechanism()->log()) {
+    table.AddRow({metrics::Table::Int(event.tick), event.label,
+                  metrics::Table::Num(event.u, 1),
+                  metrics::Table::Int(event.nalloc)});
+  }
+  table.Print("Fig 7: PrT state transitions and core allocation over a Q6 stream");
+
+  int idle = 0, stable = 0, overload = 0;
+  for (const auto& event : experiment.mechanism()->log()) {
+    switch (event.state) {
+      case core::PerfState::kIdle: idle++; break;
+      case core::PerfState::kStable: stable++; break;
+      case core::PerfState::kOverload: overload++; break;
+    }
+  }
+  std::printf("\nrounds: idle=%d stable=%d overload=%d; final cores=%d\n", idle,
+              stable, overload, experiment.mechanism()->nalloc());
+  std::printf(
+      "Expected shape (paper): cores are allocated while the load climbs "
+      "above thmax=70 (t1-Overload-t5),\nheld during t2-Stable-t3 rounds, and "
+      "released on t0-Idle-t4 when the load falls below thmin=10.\n");
+}
+
+}  // namespace
+}  // namespace elastic::bench
+
+int main() {
+  elastic::bench::Main();
+  return 0;
+}

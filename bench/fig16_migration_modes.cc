@@ -1,0 +1,68 @@
+// Figure 16: lifespan and core migration of the threads of a single-client
+// Q6 under the four configurations (OS, Dense, Sparse, Adaptive). The
+// elastic modes gradually offer fewer cores, so threads migrate less.
+
+#include <map>
+#include <set>
+
+#include "bench/bench_common.h"
+
+namespace elastic::bench {
+namespace {
+
+struct ModeStats {
+  int64_t core_changes = 0;
+  int64_t steals = 0;
+  int64_t balancer_moves = 0;
+  std::set<int> cores_used;
+};
+
+ModeStats RunMode(const std::string& policy) {
+  exec::ExperimentOptions options = PolicyOptions(policy);
+  options.scheduler.trace_placement = true;
+  options.scheduler.trace_migrations = true;
+  exec::Experiment experiment(&BenchDb(), options);
+
+  exec::ClientWorkload workload;
+  workload.traces = {&QueryTrace(6)};
+  workload.queries_per_client = 4;
+  experiment.RunWorkload(workload, 1, 1'000'000);
+
+  ModeStats stats;
+  std::map<int64_t, int64_t> last_core;
+  for (const auto& event : experiment.machine().trace().EventsOfKind("run")) {
+    stats.cores_used.insert(static_cast<int>(event.b));
+    auto it = last_core.find(event.a);
+    if (it != last_core.end() && it->second != event.b) stats.core_changes++;
+    last_core[event.a] = event.b;
+  }
+  stats.steals = experiment.machine().counters().stolen_tasks;
+  stats.balancer_moves = experiment.machine().counters().thread_migrations;
+  return stats;
+}
+
+void Main() {
+  metrics::Table table({"mode", "core changes", "steals", "balancer moves",
+                        "distinct cores used"});
+  for (const std::string& policy : Policies()) {
+    const ModeStats stats = RunMode(policy);
+    table.AddRow({PolicyLabel(policy), metrics::Table::Int(stats.core_changes),
+                  metrics::Table::Int(stats.steals),
+                  metrics::Table::Int(stats.balancer_moves),
+                  metrics::Table::Int(static_cast<int64_t>(stats.cores_used.size()))});
+  }
+  table.Print("Fig 16: thread migration, Q6 single client, per configuration");
+  std::printf(
+      "\nExpected shape (paper): OS scheduling migrates threads across many "
+      "cores and nodes; dense and\nadaptive keep the work inside one node "
+      "most of the time; sparse sits in between with fewer\nmigrations than "
+      "the OS because fewer cores are offered.\n");
+}
+
+}  // namespace
+}  // namespace elastic::bench
+
+int main() {
+  elastic::bench::Main();
+  return 0;
+}

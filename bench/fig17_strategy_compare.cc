@@ -1,0 +1,64 @@
+// Figure 17: the PrT driven by CPU load versus by the HT/IMC traffic ratio,
+// single-client Q6: (a) response time, (b) HT traffic, (c)/(d) L3 misses.
+
+#include "bench/bench_common.h"
+
+namespace elastic::bench {
+namespace {
+
+struct StrategyPoint {
+  double response_time_s = 0.0;
+  double ht_mb_s = 0.0;
+  double l3_misses_m = 0.0;
+};
+
+StrategyPoint RunOne(const std::string& policy,
+                     core::TransitionStrategy strategy) {
+  exec::ExperimentOptions options = PolicyOptions(policy);
+  options.strategy = strategy;
+  const RunResult run =
+      RunFixedWorkload(options, QueryTrace(6), /*clients=*/1, /*rounds=*/6);
+  StrategyPoint point;
+  point.response_time_s = run.mean_latency_s;
+  point.ht_mb_s = run.window.HtBytesPerSecond() / 1e6;
+  point.l3_misses_m = static_cast<double>(run.window.TotalL3Misses()) / 1e6;
+  return point;
+}
+
+void Main() {
+  metrics::Table table({"mode", "strategy", "response time (s)", "HT MB/s",
+                        "L3 misses (10^6)"});
+  for (const std::string& policy : Policies()) {
+    for (const auto& [name, strategy] :
+         std::vector<std::pair<std::string, core::TransitionStrategy>>{
+             {"CPU load", core::TransitionStrategy::kCpuLoad},
+             {"HT/IMC", core::TransitionStrategy::kHtImcRatio}}) {
+      if (policy == "os") continue;  // the baseline has no strategy
+      const StrategyPoint point = RunOne(policy, strategy);
+      table.AddRow({PolicyLabel(policy), name,
+                    metrics::Table::Num(point.response_time_s, 4),
+                    metrics::Table::Num(point.ht_mb_s, 2),
+                    metrics::Table::Num(point.l3_misses_m, 3)});
+    }
+  }
+  // Baseline row.
+  const RunResult os = RunFixedWorkload(PolicyOptions("os"), QueryTrace(6), 1, 6);
+  table.AddRow({"OS/MonetDB", "-", metrics::Table::Num(os.mean_latency_s, 4),
+                metrics::Table::Num(os.window.HtBytesPerSecond() / 1e6, 2),
+                metrics::Table::Num(
+                    static_cast<double>(os.window.TotalL3Misses()) / 1e6, 3)});
+  table.Print("Fig 17: CPU-load vs HT/IMC transition strategies, Q6 single client");
+  std::printf(
+      "\nExpected shape (paper): both strategies behave similarly overall; "
+      "the adaptive mode beats the OS\nbaseline on response time (~27%% in "
+      "the paper); the HT/IMC strategy reacts more slowly to load,\nso it "
+      "can lose more L3 contents when it finally moves a core.\n");
+}
+
+}  // namespace
+}  // namespace elastic::bench
+
+int main() {
+  elastic::bench::Main();
+  return 0;
+}

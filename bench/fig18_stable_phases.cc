@@ -1,0 +1,93 @@
+// Figure 18: stable-phases workload — each phase runs one of the 22 TPC-H
+// queries with all clients concurrently; the figure tracks per-socket memory
+// throughput over time for MonetDB and SQL Server style engines, with and
+// without the mechanism.
+
+#include "bench/bench_common.h"
+
+namespace elastic::bench {
+namespace {
+
+struct TimelineRow {
+  double time_s;
+  double socket_gb_s[4];
+};
+
+std::vector<TimelineRow> RunTimeline(const std::string& policy,
+                                     exec::ThreadModel model, double* total_s) {
+  exec::ExperimentOptions options = PolicyOptions(policy);
+  options.engine_model = model;
+  exec::Experiment experiment(&BenchDb(), options);
+
+  std::vector<TimelineRow> timeline;
+  auto sampler = std::make_shared<perf::Sampler>(
+      &experiment.machine().counters(), &experiment.machine().clock());
+  experiment.machine().AddTickHook([&timeline, sampler](simcore::Tick now) {
+    if (now == 0 || now % 100 != 0) return;
+    const perf::WindowStats window = sampler->Sample();
+    TimelineRow row;
+    row.time_s = simcore::Clock::ToSeconds(now);
+    for (int node = 0; node < 4; ++node) {
+      row.socket_gb_s[node] = window.ImcBytesPerSecond(node) / 1e9;
+    }
+    timeline.push_back(row);
+  });
+
+  exec::ClientWorkload workload;
+  workload.mode = exec::WorkloadMode::kPhases;
+  for (int q = 1; q <= 22; ++q) workload.traces.push_back(&QueryTrace(q));
+  exec::ClientDriver& driver =
+      experiment.RunWorkload(workload, /*num_clients=*/48, 5'000'000);
+  *total_s = simcore::Clock::ToSeconds(experiment.machine().clock().now());
+  (void)driver;
+  return timeline;
+}
+
+void PrintTimeline(const std::string& title,
+                   const std::vector<TimelineRow>& timeline, double total_s) {
+  metrics::Table table({"time (s)", "S0 GB/s", "S1 GB/s", "S2 GB/s", "S3 GB/s"});
+  // Downsample to ~24 rows so the series stays readable.
+  const size_t step = std::max<size_t>(1, timeline.size() / 24);
+  for (size_t i = 0; i < timeline.size(); i += step) {
+    const TimelineRow& row = timeline[i];
+    table.AddRow({metrics::Table::Num(row.time_s, 2),
+                  metrics::Table::Num(row.socket_gb_s[0], 2),
+                  metrics::Table::Num(row.socket_gb_s[1], 2),
+                  metrics::Table::Num(row.socket_gb_s[2], 2),
+                  metrics::Table::Num(row.socket_gb_s[3], 2)});
+  }
+  table.Print(title + "  [total " + metrics::Table::Num(total_s, 2) + " s]");
+}
+
+void Main() {
+  double total = 0.0;
+  const auto os_monet =
+      RunTimeline("os", exec::ThreadModel::kOsScheduled, &total);
+  PrintTimeline("Fig 18(a) OS/MonetDB per-socket memory throughput", os_monet,
+                total);
+  const auto ad_monet =
+      RunTimeline("adaptive", exec::ThreadModel::kOsScheduled, &total);
+  PrintTimeline("Fig 18(b) Adaptive/MonetDB per-socket memory throughput",
+                ad_monet, total);
+  const auto os_sql = RunTimeline("os", exec::ThreadModel::kNumaPinned, &total);
+  PrintTimeline("Fig 18(c) OS/SQL Server per-socket memory throughput", os_sql,
+                total);
+  const auto ad_sql =
+      RunTimeline("adaptive", exec::ThreadModel::kNumaPinned, &total);
+  PrintTimeline("Fig 18(d) Adaptive/SQL Server per-socket memory throughput",
+                ad_sql, total);
+  std::printf(
+      "\nExpected shape (paper): under plain OS scheduling MonetDB hammers "
+      "socket S0 for the whole run;\nthe adaptive mode finishes faster (41%% "
+      "in the paper) and shifts its activity between sockets as\nphases "
+      "change; the NUMA-aware engine spreads throughput across sockets on "
+      "its own, and the\nmechanism still shortens the run.\n");
+}
+
+}  // namespace
+}  // namespace elastic::bench
+
+int main() {
+  elastic::bench::Main();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 19: mixed-phases workload — 256 concurrent clients continuously
+// running random TPC-H queries. Per query class: the HT/IMC traffic ratio
+// for all four configurations and the adaptive-vs-OS speedup, for both the
+// MonetDB-style and SQL Server-style engines.
+
+#include <array>
+#include <cmath>
+
+#include "bench/bench_common.h"
+
+namespace elastic::bench {
+namespace {
+
+struct MixedRun {
+  std::array<double, 22> ratio{};         // HT/IMC per query class
+  std::array<double, 22> mean_latency{};  // seconds per query class
+};
+
+MixedRun RunMixed(const std::string& policy, exec::ThreadModel model) {
+  exec::ExperimentOptions options = PolicyOptions(policy);
+  options.engine_model = model;
+  exec::Experiment experiment(&BenchDb(), options);
+
+  exec::ClientWorkload workload;
+  workload.mode = exec::WorkloadMode::kRandomMix;
+  for (int q = 1; q <= 22; ++q) workload.traces.push_back(&QueryTrace(q));
+  workload.queries_per_client = 2;
+  workload.think_ticks = kBenchThinkTicks;
+  workload.ramp_ticks = kBenchRampTicks;
+  exec::ClientDriver& driver =
+      experiment.RunWorkload(workload, /*num_clients=*/96, 5'000'000);
+
+  MixedRun run;
+  const perf::CounterSet& counters = experiment.machine().counters();
+  for (int q = 0; q < 22; ++q) {
+    const int64_t imc = counters.stream_imc_bytes[static_cast<size_t>(q)];
+    run.ratio[static_cast<size_t>(q)] =
+        imc > 0 ? static_cast<double>(
+                      counters.stream_ht_bytes[static_cast<size_t>(q)]) /
+                      static_cast<double>(imc)
+                : 0.0;
+    run.mean_latency[static_cast<size_t>(q)] = driver.MeanLatencySeconds(q);
+  }
+  return run;
+}
+
+void PrintEngine(const std::string& engine_name, exec::ThreadModel model) {
+  const MixedRun os = RunMixed("os", model);
+  const MixedRun dense = RunMixed("dense", model);
+  const MixedRun sparse = RunMixed("sparse", model);
+  const MixedRun adaptive = RunMixed("adaptive", model);
+
+  metrics::Table table({"query", "speedup(adaptive)", "ratio OS", "ratio dense",
+                        "ratio sparse", "ratio adaptive"});
+  double geo = 0.0;
+  double max_speedup = 0.0;
+  int counted = 0;
+  for (int q = 0; q < 22; ++q) {
+    const size_t k = static_cast<size_t>(q);
+    const double speedup = adaptive.mean_latency[k] > 0
+                               ? os.mean_latency[k] / adaptive.mean_latency[k]
+                               : 0.0;
+    if (speedup > 0) {
+      geo += std::log(speedup);
+      counted++;
+      max_speedup = std::max(max_speedup, speedup);
+    }
+    table.AddRow({db::TpchQueryName(q + 1), metrics::Table::Num(speedup, 2),
+                  metrics::Table::Num(os.ratio[k], 3),
+                  metrics::Table::Num(dense.ratio[k], 3),
+                  metrics::Table::Num(sparse.ratio[k], 3),
+                  metrics::Table::Num(adaptive.ratio[k], 3)});
+  }
+  table.Print("Fig 19 (" + engine_name +
+              "): per-query adaptive speedup and HT/IMC ratios, mixed workload");
+  std::printf("geo-mean speedup %.2fx, max %.2fx\n",
+              counted > 0 ? std::exp(geo / counted) : 0.0, max_speedup);
+}
+
+void Main() {
+  PrintEngine("MonetDB", exec::ThreadModel::kOsScheduled);
+  PrintEngine("SQL Server", exec::ThreadModel::kNumaPinned);
+  std::printf(
+      "\nExpected shape (paper): the adaptive mode achieves per-query "
+      "speedups (avg 1.29x / up to 1.53x for\nMonetDB; avg 1.14x / up to "
+      "1.27x for SQL Server) with HT/IMC ratios up to ~4x smaller than the\n"
+      "OS scheduler; join-heavy queries (Q8, Q9) and IN-predicate queries "
+      "(Q19, Q22) gain the most.\n");
+}
+
+}  // namespace
+}  // namespace elastic::bench
+
+int main() {
+  elastic::bench::Main();
+  return 0;
+}

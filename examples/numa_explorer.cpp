@@ -1,0 +1,84 @@
+// Section II in miniature: explore how thread/data placement drives NUMA
+// behaviour using the raw machine model — first touch, local vs remote
+// access cost, interconnect congestion, and the dense/sparse pthread
+// affinity experiment of the paper's microbenchmark.
+//
+//   $ ./examples/numa_explorer
+
+#include <cstdio>
+
+#include "exec/base_catalog.h"
+#include "exec/raw_kernel.h"
+#include "metrics/table.h"
+#include "ossim/machine.h"
+#include "perf/sampler.h"
+#include "tpch/dbgen.h"
+
+int main() {
+  using namespace elastic;
+
+  // --- 1. Access-cost anatomy on a bare machine. ---
+  ossim::Machine machine{ossim::MachineOptions{}};
+  numasim::MemorySystem& memory = machine.memory();
+  numasim::PageTable& pages = machine.page_table();
+
+  const numasim::BufferId local = pages.CreateBuffer(8, "local");
+  pages.PlaceAllOn(local, 0);
+  const numasim::BufferId one_hop = pages.CreateBuffer(8, "one-hop");
+  pages.PlaceAllOn(one_hop, 1);
+  const numasim::BufferId two_hop = pages.CreateBuffer(8, "two-hop");
+  pages.PlaceAllOn(two_hop, 3);
+
+  memory.BeginTick();
+  metrics::Table costs({"access", "cycles", "HT bytes"});
+  const auto report = [&](const char* label, numasim::BufferId buffer) {
+    const int64_t before = machine.counters().ht_bytes_total;
+    const numasim::AccessResult r =
+        memory.Access(0, numasim::PageTable::PageOf(buffer, 0), false, 0);
+    costs.AddRow({label, metrics::Table::Int(r.cycles),
+                  metrics::Table::Int(machine.counters().ht_bytes_total - before)});
+    return r;
+  };
+  report("local DRAM (node 0)", local);
+  report("remote, 1 hop (node 1)", one_hop);
+  report("remote, 2 hops (node 3)", two_hop);
+  const numasim::AccessResult hit =
+      memory.Access(0, numasim::PageTable::PageOf(local, 0), false, 0);
+  costs.AddRow({"L3 hit", metrics::Table::Int(hit.cycles), "0"});
+  costs.Print("Anatomy of a page access on the simulated Opteron");
+
+  // --- 2. The paper's dense/sparse pthread experiment (Fig. 4 in spirit). ---
+  tpch::DbgenOptions dbgen;
+  dbgen.scale_factor = 0.02;
+  const db::Database database = tpch::Generate(dbgen);
+
+  metrics::Table affinity({"affinity", "elapsed (sim ms)", "HT MB", "faults"});
+  for (const auto& [label, mode] :
+       std::vector<std::pair<std::string, exec::RawAffinity>>{
+           {"dense (one node)", exec::RawAffinity::kDense},
+           {"sparse (all nodes)", exec::RawAffinity::kSparse},
+           {"OS default", exec::RawAffinity::kOsDefault}}) {
+    ossim::Machine m{ossim::MachineOptions{}};
+    exec::BaseCatalog catalog(&m.page_table(), database,
+                              exec::BasePlacement::kAllOnNode0, 4096);
+    exec::RawKernelEngine kernel(&m, &catalog, exec::RawKernelOptions{});
+    bool done = false;
+    kernel.Submit({"lineitem.l_shipdate", "lineitem.l_discount",
+                   "lineitem.l_quantity", "lineitem.l_extendedprice"},
+                  5, mode, [&done] { done = true; });
+    int64_t guard = 0;
+    while (!done && guard++ < 100000) m.Step();
+    affinity.AddRow(
+        {label, metrics::Table::Num(m.clock().now_seconds() * 1e3, 1),
+         metrics::Table::Num(
+             static_cast<double>(m.counters().ht_bytes_total) / 1e6, 2),
+         metrics::Table::Int(m.counters().minor_faults)});
+  }
+  affinity.Print("Hand-coded Q6 kernel under three pthread affinities "
+                 "(data loaded on node 0)");
+  std::printf(
+      "\nTakeaway: with the data on one node, dense affinity keeps every "
+      "access local while sparse pays\nthe interconnect on three of four "
+      "accesses — the asymmetry the elastic mechanism exploits.\n");
+  return 0;
+}

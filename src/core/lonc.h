@@ -1,0 +1,60 @@
+#ifndef ELASTICORE_CORE_LONC_H_
+#define ELASTICORE_CORE_LONC_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace elastic::core {
+
+/// Local Optimum Number of Cores bookkeeping (Section IV-A, Equation 1):
+///
+///   forall w exists nalloc | (thmin < u < thmax) and p(nalloc) >= p(ntotal)
+///
+/// The tracker records every monitoring round and reports how long the
+/// mechanism kept the load inside the stability band and how many cores that
+/// took — the observable proxies for the equation's two conjuncts.
+class LoncTracker {
+ public:
+  LoncTracker(double thmin, double thmax) : thmin_(thmin), thmax_(thmax) {}
+
+  /// Records one monitoring round's measurement and allocation.
+  void Record(double u, int nalloc) {
+    rounds_++;
+    if (u > thmin_ && u < thmax_) stable_rounds_++;
+    sum_alloc_ += nalloc;
+    max_alloc_ = std::max(max_alloc_, nalloc);
+    min_alloc_ = (min_alloc_ == 0) ? nalloc : std::min(min_alloc_, nalloc);
+  }
+
+  int64_t rounds() const { return rounds_; }
+
+  /// Fraction of rounds spent in the Stable band (the LONC residency).
+  double StableFraction() const {
+    return rounds_ == 0 ? 0.0
+                        : static_cast<double>(stable_rounds_) /
+                              static_cast<double>(rounds_);
+  }
+
+  /// Average cores allocated across rounds.
+  double MeanAllocated() const {
+    return rounds_ == 0 ? 0.0
+                        : static_cast<double>(sum_alloc_) /
+                              static_cast<double>(rounds_);
+  }
+
+  int MaxAllocated() const { return max_alloc_; }
+  int MinAllocated() const { return min_alloc_; }
+
+ private:
+  double thmin_;
+  double thmax_;
+  int64_t rounds_ = 0;
+  int64_t stable_rounds_ = 0;
+  int64_t sum_alloc_ = 0;
+  int max_alloc_ = 0;
+  int min_alloc_ = 0;
+};
+
+}  // namespace elastic::core
+
+#endif  // ELASTICORE_CORE_LONC_H_

@@ -1,0 +1,132 @@
+#ifndef ELASTICORE_CORE_MECHANISM_H_
+#define ELASTICORE_CORE_MECHANISM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocation_mode.h"
+#include "ossim/machine.h"
+#include "perf/sampler.h"
+#include "petri/net.h"
+#include "simcore/clock.h"
+
+namespace elastic::core {
+
+/// Database performance states of the abstract model (Section III).
+enum class PerfState { kIdle, kStable, kOverload };
+
+const char* PerfStateName(PerfState state);
+
+/// Which resource drives the state transitions (Section V-B compares both).
+enum class TransitionStrategy {
+  /// Average CPU load of the allocated cores, thresholds in percent
+  /// (thmin = 10, thmax = 70 in the paper).
+  kCpuLoad,
+  /// Ratio of HyperTransport to integrated-memory-controller traffic,
+  /// thresholds as raw ratios (thmin = 0.1, thmax = 0.4 in the paper).
+  kHtImcRatio,
+};
+
+struct MechanismConfig {
+  double thmin = 10.0;
+  double thmax = 70.0;
+  TransitionStrategy strategy = TransitionStrategy::kCpuLoad;
+  /// Monitoring period in simulated ticks.
+  int monitor_period_ticks = 20;
+  /// Cores handed to the OS before the first monitoring round.
+  int initial_cores = 1;
+  /// Keep a transition log (Fig. 7) and emit trace events.
+  bool log_transitions = true;
+};
+
+/// Returns the paper's default thresholds for a strategy (10/70 for CPU
+/// load, 0.1/0.4 for HT/IMC).
+MechanismConfig DefaultConfigFor(TransitionStrategy strategy);
+
+/// One fired rule-condition-action round, e.g. "t1-Overload-t5".
+struct StateTransitionEvent {
+  simcore::Tick tick = 0;
+  std::string label;
+  PerfState state = PerfState::kStable;
+  /// The measured resource value (CPU-load % or HT/IMC ratio).
+  double u = 0.0;
+  /// Cores allocated after the round.
+  int nalloc = 0;
+};
+
+/// The elastic multi-core allocation mechanism — the paper's contribution.
+///
+/// A PrT net with places {Checks, Provision, Stable, Idle, Overload} and
+/// transitions t0..t7 classifies every monitoring window into a performance
+/// state and derives the allocation action:
+///
+///   t0 (u <= thmin)        Checks -> Idle;     t4 (n > 1)  release one core
+///                                              t7 (n == 1) keep the floor
+///   t1 (u >= thmax)        Checks -> Overload; t5 (n < N)  allocate one core
+///                                              t6 (n == N) saturated
+///   t2 (thmin < u < thmax) Checks -> Stable;   t3          monitoring only
+///
+/// The *location* of each allocation/release is delegated to the configured
+/// AllocationMode (sparse / dense / adaptive priority). The resulting core
+/// set is installed into the OS through the scheduler's cpuset mask, which
+/// is exactly how the prototype drives cgroups.
+class ElasticMechanism {
+ public:
+  ElasticMechanism(ossim::Machine* machine, std::unique_ptr<AllocationMode> mode,
+                   const MechanismConfig& config);
+
+  ElasticMechanism(const ElasticMechanism&) = delete;
+  ElasticMechanism& operator=(const ElasticMechanism&) = delete;
+
+  /// Applies the initial core allocation and registers the monitoring hook
+  /// on the machine. Call once before running the workload.
+  void Install();
+
+  /// One rule-condition-action round: sample counters, update the net,
+  /// fire transitions, apply the allocation decision. Runs automatically
+  /// every monitor_period_ticks once installed; public for unit tests.
+  void Poll(simcore::Tick now);
+
+  /// Number of cores currently handed to the OS.
+  int nalloc() const { return allocated_.Count(); }
+  const ossim::CpuMask& allocated_mask() const { return allocated_; }
+
+  /// Resource value measured in the last round.
+  double last_u() const { return last_u_; }
+  PerfState last_state() const { return last_state_; }
+
+  const std::vector<StateTransitionEvent>& log() const { return log_; }
+  petri::Net& net() { return net_; }
+  AllocationMode& mode() { return *mode_; }
+  const MechanismConfig& config() const { return config_; }
+
+ private:
+  void BuildNet();
+  double Measure(const perf::WindowStats& window) const;
+
+  ossim::Machine* machine_;
+  std::unique_ptr<AllocationMode> mode_;
+  MechanismConfig config_;
+  perf::Sampler sampler_;
+  petri::Net net_;
+
+  petri::PlaceId p_checks_ = -1;
+  petri::PlaceId p_provision_ = -1;
+  petri::PlaceId p_stable_ = -1;
+  petri::PlaceId p_idle_u_ = -1;
+  petri::PlaceId p_idle_n_ = -1;
+  petri::PlaceId p_over_u_ = -1;
+  petri::PlaceId p_over_n_ = -1;
+  petri::TransitionId t_[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+
+  ossim::CpuMask allocated_;
+  double last_u_ = 0.0;
+  PerfState last_state_ = PerfState::kStable;
+  std::vector<StateTransitionEvent> log_;
+  bool installed_ = false;
+};
+
+}  // namespace elastic::core
+
+#endif  // ELASTICORE_CORE_MECHANISM_H_

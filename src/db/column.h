@@ -1,0 +1,80 @@
+#ifndef ELASTICORE_DB_COLUMN_H_
+#define ELASTICORE_DB_COLUMN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elastic::db {
+
+/// Physical column type. Dates are stored as kI64 (days since epoch).
+enum class ColType { kI64, kF64, kStr };
+
+/// One column of a table, MonetDB BAT style: a dense vector addressed by row
+/// id. Only the vector matching `type` is populated.
+///
+/// For the machine simulation every column is modelled 8 bytes wide (the
+/// BAT/dictionary-encoded representation MonetDB and SQL Server columnstore
+/// read at scan time); `sim_width_bytes` can widen that for raw string
+/// columns when a workload really scans them.
+struct Column {
+  ColType type = ColType::kI64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string> str;
+  int sim_width_bytes = 8;
+
+  int64_t size() const {
+    switch (type) {
+      case ColType::kI64: return static_cast<int64_t>(i64.size());
+      case ColType::kF64: return static_cast<int64_t>(f64.size());
+      case ColType::kStr: return static_cast<int64_t>(str.size());
+    }
+    return 0;
+  }
+
+  int64_t sim_bytes() const { return size() * sim_width_bytes; }
+};
+
+/// A named collection of equal-length columns.
+struct Table {
+  std::string name;
+  std::map<std::string, Column> columns;  // ordered => deterministic iteration
+
+  int64_t num_rows() const {
+    if (columns.empty()) return 0;
+    return columns.begin()->second.size();
+  }
+
+  bool has(const std::string& column) const {
+    return columns.find(column) != columns.end();
+  }
+
+  const Column& col(const std::string& column) const;
+  Column& col(const std::string& column);
+
+  const std::vector<int64_t>& i64(const std::string& column) const;
+  const std::vector<double>& f64(const std::string& column) const;
+  const std::vector<std::string>& str(const std::string& column) const;
+};
+
+/// The eight TPC-H tables.
+struct Database {
+  Table region;
+  Table nation;
+  Table supplier;
+  Table customer;
+  Table part;
+  Table partsupp;
+  Table orders;
+  Table lineitem;
+  double scale_factor = 0.0;
+
+  const Table& table(const std::string& name) const;
+  std::vector<const Table*> AllTables() const;
+};
+
+}  // namespace elastic::db
+
+#endif  // ELASTICORE_DB_COLUMN_H_

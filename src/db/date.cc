@@ -1,0 +1,85 @@
+#include "db/date.h"
+
+#include <cstdio>
+
+namespace elastic::db {
+
+namespace {
+
+// Days-from-civil / civil-from-days by Howard Hinnant's algorithms
+// (public domain, http://howardhinnant.github.io/date_algorithms.html).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : -9);
+  *y = year + (month <= 2);
+  *m = month;
+  *d = day;
+}
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+Date MakeDate(int year, int month, int day) {
+  return DaysFromCivil(year, static_cast<unsigned>(month),
+                       static_cast<unsigned>(day));
+}
+
+void CivilFromDate(Date date, int* year, int* month, int* day) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(date, &y, &m, &d);
+  *year = static_cast<int>(y);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Date AddMonths(Date date, int months) {
+  int year, month, day;
+  CivilFromDate(date, &year, &month, &day);
+  const int total = (year * 12 + (month - 1)) + months;
+  const int new_year = total / 12;
+  const int new_month = total % 12 + 1;
+  const int max_day = DaysInMonth(new_year, new_month);
+  return MakeDate(new_year, new_month, day < max_day ? day : max_day);
+}
+
+int YearOf(Date date) {
+  int year, month, day;
+  CivilFromDate(date, &year, &month, &day);
+  return year;
+}
+
+std::string DateToString(Date date) {
+  int year, month, day;
+  CivilFromDate(date, &year, &month, &day);
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", year, month, day);
+  return buffer;
+}
+
+}  // namespace elastic::db

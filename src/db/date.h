@@ -1,0 +1,37 @@
+#ifndef ELASTICORE_DB_DATE_H_
+#define ELASTICORE_DB_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace elastic::db {
+
+/// Dates are stored column-wise as int64 days since 1970-01-01 (civil).
+/// TPC-H only needs comparisons, +days, +months and year extraction.
+using Date = int64_t;
+
+/// days since epoch for a proleptic Gregorian civil date.
+Date MakeDate(int year, int month, int day);
+
+/// Inverse of MakeDate.
+void CivilFromDate(Date date, int* year, int* month, int* day);
+
+/// Adds whole days.
+inline Date AddDays(Date date, int64_t days) { return date + days; }
+
+/// Adds calendar months, clamping the day to the target month's length
+/// (SQL interval semantics used by the TPC-H templates).
+Date AddMonths(Date date, int months);
+
+/// Adds calendar years.
+inline Date AddYears(Date date, int years) { return AddMonths(date, years * 12); }
+
+/// Year component.
+int YearOf(Date date);
+
+/// "YYYY-MM-DD".
+std::string DateToString(Date date);
+
+}  // namespace elastic::db
+
+#endif  // ELASTICORE_DB_DATE_H_

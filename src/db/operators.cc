@@ -1,0 +1,173 @@
+#include "db/operators.h"
+
+#include <limits>
+
+namespace elastic::db {
+
+void HashJoin::Build(const std::vector<int64_t>& keys, const SelVec* rows) {
+  map_.clear();
+  if (rows != nullptr) {
+    for (int64_t row : *rows) {
+      map_[keys[static_cast<size_t>(row)]].push_back(row);
+    }
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(keys.size()); ++i) {
+      map_[keys[static_cast<size_t>(i)]].push_back(i);
+    }
+  }
+}
+
+HashJoin::Pairs HashJoin::Probe(const std::vector<int64_t>& keys,
+                                const SelVec* rows) const {
+  Pairs pairs;
+  auto probe_one = [&](int64_t row) {
+    auto it = map_.find(keys[static_cast<size_t>(row)]);
+    if (it == map_.end()) return;
+    for (int64_t build_row : it->second) {
+      pairs.build_rows.push_back(build_row);
+      pairs.probe_rows.push_back(row);
+    }
+  };
+  if (rows != nullptr) {
+    for (int64_t row : *rows) probe_one(row);
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(keys.size()); ++i) probe_one(i);
+  }
+  return pairs;
+}
+
+int64_t HashJoin::CountOf(int64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
+const std::vector<int64_t>& HashJoin::RowsOf(int64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? empty_ : it->second;
+}
+
+void Grouper::AddI64Key(std::vector<int64_t> values) {
+  ELASTIC_CHECK(!finished_, "Grouper already finished");
+  KeyCol key;
+  key.is_str = false;
+  key.i64 = std::move(values);
+  keys_.push_back(std::move(key));
+}
+
+void Grouper::AddStrKey(std::vector<std::string> values) {
+  ELASTIC_CHECK(!finished_, "Grouper already finished");
+  KeyCol key;
+  key.is_str = true;
+  key.str = std::move(values);
+  keys_.push_back(std::move(key));
+}
+
+void Grouper::Finish() {
+  ELASTIC_CHECK(!finished_, "Grouper already finished");
+  ELASTIC_CHECK(!keys_.empty(), "Grouper needs at least one key");
+  finished_ = true;
+  num_rows_ = keys_[0].is_str ? static_cast<int64_t>(keys_[0].str.size())
+                              : static_cast<int64_t>(keys_[0].i64.size());
+  for (const KeyCol& key : keys_) {
+    const int64_t n = key.is_str ? static_cast<int64_t>(key.str.size())
+                                 : static_cast<int64_t>(key.i64.size());
+    ELASTIC_CHECK(n == num_rows_, "group key columns have unequal lengths");
+  }
+
+  std::unordered_map<std::string, int64_t> seen;
+  group_of_.resize(static_cast<size_t>(num_rows_));
+  std::string encoded;
+  for (int64_t row = 0; row < num_rows_; ++row) {
+    encoded.clear();
+    for (const KeyCol& key : keys_) {
+      if (key.is_str) {
+        encoded += key.str[static_cast<size_t>(row)];
+        encoded += '\x01';
+      } else {
+        const int64_t v = key.i64[static_cast<size_t>(row)];
+        encoded.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        encoded += '\x02';
+      }
+    }
+    auto [it, inserted] = seen.emplace(encoded, num_groups_);
+    if (inserted) {
+      rep_rows_.push_back(row);
+      num_groups_++;
+    }
+    group_of_[static_cast<size_t>(row)] = it->second;
+  }
+}
+
+int64_t Grouper::I64KeyOfGroup(int key_index, int64_t group) const {
+  ELASTIC_CHECK(finished_, "Grouper not finished");
+  const KeyCol& key = keys_[static_cast<size_t>(key_index)];
+  ELASTIC_CHECK(!key.is_str, "key is a string");
+  return key.i64[static_cast<size_t>(rep_rows_[static_cast<size_t>(group)])];
+}
+
+const std::string& Grouper::StrKeyOfGroup(int key_index, int64_t group) const {
+  ELASTIC_CHECK(finished_, "Grouper not finished");
+  const KeyCol& key = keys_[static_cast<size_t>(key_index)];
+  ELASTIC_CHECK(key.is_str, "key is not a string");
+  return key.str[static_cast<size_t>(rep_rows_[static_cast<size_t>(group)])];
+}
+
+std::vector<double> SumPerGroup(const std::vector<double>& values,
+                                const std::vector<int64_t>& group_of,
+                                int64_t num_groups) {
+  std::vector<double> out(static_cast<size_t>(num_groups), 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[static_cast<size_t>(group_of[i])] += values[i];
+  }
+  return out;
+}
+
+std::vector<int64_t> CountPerGroup(const std::vector<int64_t>& group_of,
+                                   int64_t num_groups) {
+  std::vector<int64_t> out(static_cast<size_t>(num_groups), 0);
+  for (int64_t g : group_of) out[static_cast<size_t>(g)]++;
+  return out;
+}
+
+std::vector<double> AvgPerGroup(const std::vector<double>& values,
+                                const std::vector<int64_t>& group_of,
+                                int64_t num_groups) {
+  std::vector<double> sums = SumPerGroup(values, group_of, num_groups);
+  const std::vector<int64_t> counts = CountPerGroup(group_of, num_groups);
+  for (size_t g = 0; g < sums.size(); ++g) {
+    if (counts[g] > 0) sums[g] /= static_cast<double>(counts[g]);
+  }
+  return sums;
+}
+
+std::vector<double> MinPerGroup(const std::vector<double>& values,
+                                const std::vector<int64_t>& group_of,
+                                int64_t num_groups) {
+  std::vector<double> out(static_cast<size_t>(num_groups),
+                          std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t g = static_cast<size_t>(group_of[i]);
+    if (values[i] < out[g]) out[g] = values[i];
+  }
+  return out;
+}
+
+std::vector<double> MaxPerGroup(const std::vector<double>& values,
+                                const std::vector<int64_t>& group_of,
+                                int64_t num_groups) {
+  std::vector<double> out(static_cast<size_t>(num_groups),
+                          -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const size_t g = static_cast<size_t>(group_of[i]);
+    if (values[i] > out[g]) out[g] = values[i];
+  }
+  return out;
+}
+
+double Sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+}  // namespace elastic::db

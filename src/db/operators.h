@@ -1,0 +1,137 @@
+#ifndef ELASTICORE_DB_OPERATORS_H_
+#define ELASTICORE_DB_OPERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/check.h"
+
+namespace elastic::db {
+
+/// Selection vector: ascending row ids into a column (MonetDB candidate
+/// list). The functional executor is selection-vector based, operator-at-a-
+/// time, mirroring the MAL plans the paper analyses.
+using SelVec = std::vector<int64_t>;
+
+/// Full-column selection: rows of `col` satisfying `pred`.
+template <typename T, typename Pred>
+SelVec SelectWhere(const std::vector<T>& col, Pred pred) {
+  SelVec out;
+  for (int64_t i = 0; i < static_cast<int64_t>(col.size()); ++i) {
+    if (pred(col[static_cast<size_t>(i)])) out.push_back(i);
+  }
+  return out;
+}
+
+/// Candidate-list selection: rows of `in` whose `col` value satisfies `pred`.
+template <typename T, typename Pred>
+SelVec Refine(const std::vector<T>& col, const SelVec& in, Pred pred) {
+  SelVec out;
+  for (int64_t row : in) {
+    if (pred(col[static_cast<size_t>(row)])) out.push_back(row);
+  }
+  return out;
+}
+
+/// Positional gather (MAL projection): col[rows].
+template <typename T>
+std::vector<T> Gather(const std::vector<T>& col, const SelVec& rows) {
+  std::vector<T> out;
+  out.reserve(rows.size());
+  for (int64_t row : rows) out.push_back(col[static_cast<size_t>(row)]);
+  return out;
+}
+
+/// Equi-join on int64 keys, hash build + probe. Build rows and probe rows
+/// are returned as parallel row-id vectors.
+class HashJoin {
+ public:
+  /// Builds on `keys` (optionally restricted to `rows`). The stored build
+  /// row ids are positions in the underlying table.
+  void Build(const std::vector<int64_t>& keys, const SelVec* rows = nullptr);
+
+  struct Pairs {
+    SelVec build_rows;
+    SelVec probe_rows;
+    size_t size() const { return build_rows.size(); }
+  };
+
+  /// Probes with `keys` (optionally restricted to `rows`); every match
+  /// contributes one (build_row, probe_row) pair.
+  Pairs Probe(const std::vector<int64_t>& keys, const SelVec* rows = nullptr) const;
+
+  /// Semi-join test.
+  bool Contains(int64_t key) const { return map_.find(key) != map_.end(); }
+
+  /// Number of build rows holding this key.
+  int64_t CountOf(int64_t key) const;
+
+  /// Build rows holding this key (empty when absent).
+  const std::vector<int64_t>& RowsOf(int64_t key) const;
+
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  std::unordered_map<int64_t, std::vector<int64_t>> map_;
+  std::vector<int64_t> empty_;
+};
+
+/// Multi-column group-by: feed gathered key columns (all aligned to the same
+/// row set), Finish() assigns dense group ids.
+class Grouper {
+ public:
+  void AddI64Key(std::vector<int64_t> values);
+  void AddStrKey(std::vector<std::string> values);
+
+  /// Computes group ids; all key columns must have equal length.
+  void Finish();
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_groups() const { return num_groups_; }
+  /// Group id of each input row.
+  const std::vector<int64_t>& group_of() const { return group_of_; }
+  /// A representative input row of each group (for key materialisation).
+  const std::vector<int64_t>& representative_rows() const { return rep_rows_; }
+
+  int64_t I64KeyOfGroup(int key_index, int64_t group) const;
+  const std::string& StrKeyOfGroup(int key_index, int64_t group) const;
+
+ private:
+  struct KeyCol {
+    bool is_str = false;
+    std::vector<int64_t> i64;
+    std::vector<std::string> str;
+  };
+  std::vector<KeyCol> keys_;
+  std::vector<int64_t> group_of_;
+  std::vector<int64_t> rep_rows_;
+  int64_t num_rows_ = 0;
+  int64_t num_groups_ = 0;
+  bool finished_ = false;
+};
+
+// ---- Per-group aggregates over gathered value vectors. ----
+
+std::vector<double> SumPerGroup(const std::vector<double>& values,
+                                const std::vector<int64_t>& group_of,
+                                int64_t num_groups);
+std::vector<int64_t> CountPerGroup(const std::vector<int64_t>& group_of,
+                                   int64_t num_groups);
+std::vector<double> AvgPerGroup(const std::vector<double>& values,
+                                const std::vector<int64_t>& group_of,
+                                int64_t num_groups);
+std::vector<double> MinPerGroup(const std::vector<double>& values,
+                                const std::vector<int64_t>& group_of,
+                                int64_t num_groups);
+std::vector<double> MaxPerGroup(const std::vector<double>& values,
+                                const std::vector<int64_t>& group_of,
+                                int64_t num_groups);
+
+/// Scalar aggregate.
+double Sum(const std::vector<double>& values);
+
+}  // namespace elastic::db
+
+#endif  // ELASTICORE_DB_OPERATORS_H_

@@ -1,0 +1,56 @@
+#include "db/plan_trace.h"
+
+#include "simcore/check.h"
+
+namespace elastic::db {
+
+int64_t PlanTrace::TotalBytesRead() const {
+  int64_t total = 0;
+  for (const TraceStage& s : stages) {
+    for (const StageInput& in : s.inputs) total += in.rows * in.width;
+  }
+  return total;
+}
+
+int64_t PlanTrace::TotalBytesWritten() const {
+  int64_t total = 0;
+  for (const TraceStage& s : stages) total += s.out_bytes();
+  return total;
+}
+
+PlanRecorder::PlanRecorder(std::string query, int stream) {
+  trace_.query = std::move(query);
+  trace_.stream = stream;
+}
+
+int PlanRecorder::AddStage(TraceStage stage) {
+  for (const StageInput& in : stage.inputs) {
+    ELASTIC_CHECK(in.stage < static_cast<int>(trace_.stages.size()),
+                  "stage input references a future stage");
+    ELASTIC_CHECK(in.stage >= 0 || !in.base_column.empty(),
+                  "stage input needs a base column or a producing stage");
+  }
+  trace_.stages.push_back(std::move(stage));
+  return static_cast<int>(trace_.stages.size()) - 1;
+}
+
+StageInput PlanRecorder::Base(std::string table_column, int64_t rows, int width,
+                              bool dense) {
+  StageInput in;
+  in.base_column = std::move(table_column);
+  in.rows = rows;
+  in.width = width;
+  in.dense = dense;
+  return in;
+}
+
+StageInput PlanRecorder::Inter(int stage, int64_t rows, int width, bool dense) {
+  StageInput in;
+  in.stage = stage;
+  in.rows = rows;
+  in.width = width;
+  in.dense = dense;
+  return in;
+}
+
+}  // namespace elastic::db

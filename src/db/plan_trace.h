@@ -1,0 +1,78 @@
+#ifndef ELASTICORE_DB_PLAN_TRACE_H_
+#define ELASTICORE_DB_PLAN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perf/counters.h"
+
+namespace elastic::db {
+
+/// One data source consumed by a plan stage.
+struct StageInput {
+  /// "table.column" when reading base data; empty for intermediates.
+  std::string base_column;
+  /// Producing stage index when reading an intermediate (-1 otherwise).
+  int stage = -1;
+  /// Rows touched by this stage on this input.
+  int64_t rows = 0;
+  /// Bytes per row in the simulated representation.
+  int width = 8;
+  /// true: contiguous scan of the input; false: positional gather driven by
+  /// a selection vector (touches up to `rows` scattered pages).
+  bool dense = true;
+};
+
+/// One operator of the MAL-style physical plan: what it reads, what it
+/// materialises, and its relative compute weight. This is what the machine
+/// simulation executes — the functional executor produces the cardinalities.
+struct TraceStage {
+  std::string op;
+  std::vector<StageInput> inputs;
+  int64_t rows_out = 0;
+  int out_width = 8;
+  /// Per-page compute weight relative to a plain scan (hash probes and
+  /// group-bys cost more per page than selections).
+  double cpu_weight = 1.0;
+
+  int64_t out_bytes() const { return rows_out * out_width; }
+};
+
+/// A recorded physical plan with real cardinalities, ready to be instantiated
+/// as a task graph by the execution layer.
+struct PlanTrace {
+  std::string query;
+  /// perf attribution stream (query class).
+  int stream = perf::kNoStream;
+  std::vector<TraceStage> stages;
+
+  int64_t TotalBytesRead() const;
+  int64_t TotalBytesWritten() const;
+};
+
+/// Builder used by the query implementations while they execute.
+class PlanRecorder {
+ public:
+  explicit PlanRecorder(std::string query, int stream);
+
+  /// Appends a stage; returns its index for later StageInput references.
+  int AddStage(TraceStage stage);
+
+  /// Convenience input constructors.
+  static StageInput Base(std::string table_column, int64_t rows, int width = 8,
+                         bool dense = true);
+  static StageInput Inter(int stage, int64_t rows, int width = 8,
+                          bool dense = true);
+
+  PlanTrace Take() { return std::move(trace_); }
+  const PlanTrace& trace() const { return trace_; }
+
+ private:
+  PlanTrace trace_;
+};
+
+}  // namespace elastic::db
+
+#endif  // ELASTICORE_DB_PLAN_TRACE_H_

@@ -1,0 +1,49 @@
+#include "db/queries.h"
+
+#include "db/queries/common.h"
+#include "simcore/check.h"
+
+namespace elastic::db {
+
+namespace qi = queries_internal;
+
+QueryOutput RunTpchQuery(const Database& db, int query_number) {
+  switch (query_number) {
+    case 1: return qi::Q1(db);
+    case 2: return qi::Q2(db);
+    case 3: return qi::Q3(db);
+    case 4: return qi::Q4(db);
+    case 5: return qi::Q5(db);
+    case 6: return qi::Q6(db);
+    case 7: return qi::Q7(db);
+    case 8: return qi::Q8(db);
+    case 9: return qi::Q9(db);
+    case 10: return qi::Q10(db);
+    case 11: return qi::Q11(db);
+    case 12: return qi::Q12(db);
+    case 13: return qi::Q13(db);
+    case 14: return qi::Q14(db);
+    case 15: return qi::Q15(db);
+    case 16: return qi::Q16(db);
+    case 17: return qi::Q17(db);
+    case 18: return qi::Q18(db);
+    case 19: return qi::Q19(db);
+    case 20: return qi::Q20(db);
+    case 21: return qi::Q21(db);
+    case 22: return qi::Q22(db);
+    default:
+      ELASTIC_CHECK(false, "query number must be 1..22");
+  }
+  return {};
+}
+
+const char* TpchQueryName(int query_number) {
+  static const char* kNames[] = {"Q1",  "Q2",  "Q3",  "Q4",  "Q5",  "Q6",
+                                 "Q7",  "Q8",  "Q9",  "Q10", "Q11", "Q12",
+                                 "Q13", "Q14", "Q15", "Q16", "Q17", "Q18",
+                                 "Q19", "Q20", "Q21", "Q22"};
+  ELASTIC_CHECK(query_number >= 1 && query_number <= 22, "query number 1..22");
+  return kNames[query_number - 1];
+}
+
+}  // namespace elastic::db

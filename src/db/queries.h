@@ -1,0 +1,34 @@
+#ifndef ELASTICORE_DB_QUERIES_H_
+#define ELASTICORE_DB_QUERIES_H_
+
+#include "db/column.h"
+#include "db/plan_trace.h"
+#include "db/result.h"
+
+namespace elastic::db {
+
+/// Functional result + recorded physical plan of one query execution.
+struct QueryOutput {
+  QueryResult result;
+  PlanTrace trace;
+};
+
+/// Executes TPC-H query `query_number` (1..22) with the specification's
+/// validation parameters. The result carries real values; the trace carries
+/// real cardinalities and is what the machine simulation replays.
+QueryOutput RunTpchQuery(const Database& db, int query_number);
+
+/// "Q1".."Q22".
+const char* TpchQueryName(int query_number);
+
+/// The paper's Q6 variant (Figure 3): shipdate year 1997, discount
+/// 0.07 +- 0.01, quantity < 24.
+QueryOutput RunQ6Paper(const Database& db);
+
+/// The thetasubselect microbenchmark of Sections II/V-A: a selection on
+/// l_quantity tuned to the requested selectivity in (0, 1].
+QueryOutput RunThetaSubselect(const Database& db, double selectivity);
+
+}  // namespace elastic::db
+
+#endif  // ELASTICORE_DB_QUERIES_H_

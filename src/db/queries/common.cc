@@ -1,0 +1,60 @@
+#include "db/queries/common.h"
+
+namespace elastic::db::queries_internal {
+
+int RecordSelect(PlanRecorder* rec, const std::string& column, int64_t rows_in,
+                 int64_t rows_out) {
+  TraceStage stage;
+  stage.op = "select";
+  stage.inputs = {PlanRecorder::Base(column, rows_in)};
+  stage.rows_out = rows_out;
+  stage.cpu_weight = 1.0;
+  return rec->AddStage(std::move(stage));
+}
+
+int RecordProject(PlanRecorder* rec, const std::string& column,
+                  int64_t rows_touched, int sel_stage, int64_t rows_out) {
+  TraceStage stage;
+  stage.op = "project";
+  stage.inputs = {PlanRecorder::Base(column, rows_touched, 8, /*dense=*/false),
+                  PlanRecorder::Inter(sel_stage, rows_touched)};
+  stage.rows_out = rows_out;
+  stage.cpu_weight = 1.0;
+  return rec->AddStage(std::move(stage));
+}
+
+int RecordJoinBuild(PlanRecorder* rec, const std::vector<StageInput>& inputs,
+                    int64_t rows) {
+  TraceStage stage;
+  stage.op = "join-build";
+  stage.inputs = inputs;
+  stage.rows_out = rows;
+  stage.out_width = 16;  // key + row id in the hash table
+  stage.cpu_weight = 2.5;
+  return rec->AddStage(std::move(stage));
+}
+
+int RecordJoinProbe(PlanRecorder* rec, const std::vector<StageInput>& inputs,
+                    int64_t pairs) {
+  TraceStage stage;
+  stage.op = "join-probe";
+  stage.inputs = inputs;
+  stage.rows_out = pairs;
+  stage.out_width = 16;  // pair of row ids
+  stage.cpu_weight = 2.0;
+  return rec->AddStage(std::move(stage));
+}
+
+int RecordGroup(PlanRecorder* rec, const std::vector<StageInput>& inputs,
+                int64_t rows_in, int64_t groups) {
+  (void)rows_in;
+  TraceStage stage;
+  stage.op = "group";
+  stage.inputs = inputs;
+  stage.rows_out = groups;
+  stage.out_width = 32;  // keys + aggregate slots
+  stage.cpu_weight = 3.0;
+  return rec->AddStage(std::move(stage));
+}
+
+}  // namespace elastic::db::queries_internal

@@ -1,0 +1,67 @@
+#ifndef ELASTICORE_DB_QUERIES_COMMON_H_
+#define ELASTICORE_DB_QUERIES_COMMON_H_
+
+// Internal helpers shared by the TPC-H query implementations. Not part of
+// the public API.
+
+#include <string>
+#include <vector>
+
+#include "db/column.h"
+#include "db/date.h"
+#include "db/like.h"
+#include "db/operators.h"
+#include "db/plan_trace.h"
+#include "db/queries.h"
+#include "db/result.h"
+
+namespace elastic::db::queries_internal {
+
+/// Declarations of the per-query entry points (defined across the
+/// queries/qXX_*.cc files; dispatched from queries.cc).
+QueryOutput Q1(const Database& db);
+QueryOutput Q2(const Database& db);
+QueryOutput Q3(const Database& db);
+QueryOutput Q4(const Database& db);
+QueryOutput Q5(const Database& db);
+QueryOutput Q6(const Database& db);
+QueryOutput Q7(const Database& db);
+QueryOutput Q8(const Database& db);
+QueryOutput Q9(const Database& db);
+QueryOutput Q10(const Database& db);
+QueryOutput Q11(const Database& db);
+QueryOutput Q12(const Database& db);
+QueryOutput Q13(const Database& db);
+QueryOutput Q14(const Database& db);
+QueryOutput Q15(const Database& db);
+QueryOutput Q16(const Database& db);
+QueryOutput Q17(const Database& db);
+QueryOutput Q18(const Database& db);
+QueryOutput Q19(const Database& db);
+QueryOutput Q20(const Database& db);
+QueryOutput Q21(const Database& db);
+QueryOutput Q22(const Database& db);
+
+/// Records a base-column selection stage.
+int RecordSelect(PlanRecorder* rec, const std::string& column, int64_t rows_in,
+                 int64_t rows_out);
+
+/// Records a positional projection stage over a base column.
+int RecordProject(PlanRecorder* rec, const std::string& column,
+                  int64_t rows_touched, int sel_stage, int64_t rows_out);
+
+/// Records a hash-build stage fed by `rows` build-side rows.
+int RecordJoinBuild(PlanRecorder* rec, const std::vector<StageInput>& inputs,
+                    int64_t rows);
+
+/// Records a probe stage producing `pairs` matches.
+int RecordJoinProbe(PlanRecorder* rec, const std::vector<StageInput>& inputs,
+                    int64_t pairs);
+
+/// Records a group/aggregate stage.
+int RecordGroup(PlanRecorder* rec, const std::vector<StageInput>& inputs,
+                int64_t rows_in, int64_t groups);
+
+}  // namespace elastic::db::queries_internal
+
+#endif  // ELASTICORE_DB_QUERIES_COMMON_H_

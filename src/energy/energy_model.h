@@ -1,0 +1,60 @@
+#ifndef ELASTICORE_ENERGY_ENERGY_MODEL_H_
+#define ELASTICORE_ENERGY_ENERGY_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "numasim/topology.h"
+#include "perf/counters.h"
+
+namespace elastic::energy {
+
+/// Energy estimation following the paper's Section V-C-3: CPU energy from
+/// the processor's Average CPU Power (ACP) applied to busy time, and
+/// interconnect energy from a per-bit HyperTransport transfer cost (Wang &
+/// Lee, HotPower'15).
+struct EnergyModel {
+  /// ACP of one Opteron 8387 socket (AMD quotes 75 W ACP for the 2.8 GHz
+  /// quad-core Shanghai parts).
+  double acp_watts_per_socket = 75.0;
+  /// Average energy per bit moved across an HT link. Blade-server
+  /// measurements put coherent HyperTransport at tens of pJ/bit; 60 pJ/bit
+  /// keeps the CPU:HT energy split in the range of the paper's Fig. 20.
+  double ht_picojoules_per_bit = 60.0;
+
+  /// Energy of `busy_cycles` of core activity.
+  double CpuJoules(int64_t busy_cycles,
+                   const numasim::MachineConfig& config) const {
+    const double busy_seconds =
+        static_cast<double>(busy_cycles) / config.cycles_per_second;
+    const double watts_per_core =
+        acp_watts_per_socket / static_cast<double>(config.cores_per_node);
+    return busy_seconds * watts_per_core;
+  }
+
+  /// Energy of `bytes` moved across the interconnect.
+  double HtJoules(int64_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 * ht_picojoules_per_bit * 1e-12;
+  }
+
+  /// Per-stream (query-class) split used by the Fig. 20 bench.
+  struct Split {
+    double cpu_joules = 0.0;
+    double ht_joules = 0.0;
+    double total() const { return cpu_joules + ht_joules; }
+  };
+
+  Split ForStream(const perf::CounterSet& counters, int stream,
+                  const numasim::MachineConfig& config) const {
+    Split split;
+    split.cpu_joules =
+        CpuJoules(counters.stream_busy_cycles[static_cast<size_t>(stream)], config);
+    split.ht_joules =
+        HtJoules(counters.stream_ht_bytes[static_cast<size_t>(stream)]);
+    return split;
+  }
+};
+
+}  // namespace elastic::energy
+
+#endif  // ELASTICORE_ENERGY_ENERGY_MODEL_H_

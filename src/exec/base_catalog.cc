@@ -1,0 +1,81 @@
+#include "exec/base_catalog.h"
+
+#include <algorithm>
+
+#include "simcore/check.h"
+
+namespace elastic::exec {
+
+BaseCatalog::BaseCatalog(numasim::PageTable* page_table, const db::Database& db,
+                         BasePlacement placement, int64_t page_bytes)
+    : page_bytes_(page_bytes) {
+  int table_index = 0;
+  for (const db::Table* table : db.AllTables()) {
+    const numasim::NodeId primary_node =
+        static_cast<numasim::NodeId>(table_index % page_table->num_nodes());
+    table_index++;
+    for (const auto& [col_name, column] : table->columns) {
+      const int64_t bytes = column.sim_bytes();
+      const int64_t pages = (bytes + page_bytes - 1) / page_bytes;
+      Entry entry;
+      entry.rows = column.size();
+      entry.pages = pages < 1 ? 1 : pages;
+      entry.buffer = page_table->CreateBuffer(entry.pages,
+                                              table->name + "." + col_name);
+      switch (placement) {
+        case BasePlacement::kAllOnNode0:
+          page_table->PlaceAllOn(entry.buffer, 0);
+          break;
+        case BasePlacement::kChunkedRoundRobin: {
+          // Chunks of 32 pages (128 KB) model a parallel mmap-based load.
+          page_table->PlaceChunkedRoundRobin(entry.buffer, 32);
+          break;
+        }
+        case BasePlacement::kTableAffine: {
+          // 3 of 4 chunks on the table's primary node, the rest spread.
+          const int64_t pages_total = entry.pages;
+          const int num_nodes = page_table->num_nodes();
+          for (int64_t p = 0; p < pages_total; ++p) {
+            const int64_t chunk = p / 32;
+            const numasim::NodeId node =
+                (chunk % 4 != 3)
+                    ? primary_node
+                    : static_cast<numasim::NodeId>((primary_node + 1 + chunk / 4) %
+                                                   num_nodes);
+            page_table->Touch(numasim::PageTable::PageOf(entry.buffer, p), node);
+          }
+          break;
+        }
+      }
+      max_base_buffer_ = std::max(max_base_buffer_, entry.buffer);
+      entries_[table->name + "." + col_name] = entry;
+    }
+  }
+}
+
+const BaseCatalog::Entry& BaseCatalog::Lookup(
+    const std::string& table_column) const {
+  auto it = entries_.find(table_column);
+  ELASTIC_CHECK(it != entries_.end(), "unknown base column in catalog");
+  return it->second;
+}
+
+numasim::BufferId BaseCatalog::BufferOf(const std::string& table_column) const {
+  return Lookup(table_column).buffer;
+}
+
+int64_t BaseCatalog::PagesOf(const std::string& table_column) const {
+  return Lookup(table_column).pages;
+}
+
+int64_t BaseCatalog::RowsOf(const std::string& table_column) const {
+  return Lookup(table_column).rows;
+}
+
+bool BaseCatalog::IsBaseBuffer(numasim::BufferId buffer) const {
+  // Base buffers are created contiguously at catalog construction, before
+  // any task-graph intermediate.
+  return buffer <= max_base_buffer_;
+}
+
+}  // namespace elastic::exec

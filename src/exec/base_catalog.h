@@ -1,0 +1,66 @@
+#ifndef ELASTICORE_EXEC_BASE_CATALOG_H_
+#define ELASTICORE_EXEC_BASE_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "db/column.h"
+#include "numasim/page_table.h"
+
+namespace elastic::exec {
+
+/// How the loaded database is spread over the NUMA nodes before queries run.
+enum class BasePlacement {
+  /// Every base page first-touched on node 0 (a single loader thread, the
+  /// common cause of the paper's "OS keeps hammering socket S0" behaviour).
+  kAllOnNode0,
+  /// Column chunks spread round-robin over the nodes (parallel loader whose
+  /// threads the OS scattered for balance).
+  kChunkedRoundRobin,
+  /// Each table lands mostly on its own primary node (per-table loader
+  /// threads with first-touch), with a 25% spill spread over the others.
+  /// Different queries then have different hot nodes, which is what lets the
+  /// adaptive mode shift sockets between workload phases (Fig. 18).
+  kTableAffine,
+};
+
+/// Maps every base column of the functional database to a simulated memory
+/// buffer and pre-touches its pages according to the placement policy. This
+/// is the "data already loaded by the DBMS" state every experiment starts
+/// from.
+class BaseCatalog {
+ public:
+  BaseCatalog(numasim::PageTable* page_table, const db::Database& db,
+              BasePlacement placement, int64_t page_bytes);
+
+  /// Buffer holding "table.column"; aborts on unknown names.
+  numasim::BufferId BufferOf(const std::string& table_column) const;
+
+  /// Page count of the column's buffer.
+  int64_t PagesOf(const std::string& table_column) const;
+
+  /// Rows of the owning table (bytes = rows * width).
+  int64_t RowsOf(const std::string& table_column) const;
+
+  /// True when the buffer holds base data (as opposed to an operator
+  /// intermediate created by a task graph).
+  bool IsBaseBuffer(numasim::BufferId buffer) const;
+
+  int64_t page_bytes() const { return page_bytes_; }
+
+ private:
+  struct Entry {
+    numasim::BufferId buffer = 0;
+    int64_t pages = 0;
+    int64_t rows = 0;
+  };
+  const Entry& Lookup(const std::string& table_column) const;
+
+  std::map<std::string, Entry> entries_;
+  int64_t page_bytes_;
+  numasim::BufferId max_base_buffer_ = 0;
+};
+
+}  // namespace elastic::exec
+
+#endif  // ELASTICORE_EXEC_BASE_CATALOG_H_

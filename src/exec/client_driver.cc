@@ -1,0 +1,145 @@
+#include "exec/client_driver.h"
+
+#include "simcore/check.h"
+
+namespace elastic::exec {
+
+ClientDriver::ClientDriver(ossim::Machine* machine, DbmsEngine* engine,
+                           const ClientWorkload& workload, int num_clients,
+                           uint64_t seed)
+    : machine_(machine),
+      engine_(engine),
+      workload_(workload),
+      num_clients_(num_clients),
+      rng_(seed) {
+  ELASTIC_CHECK(num_clients >= 1, "need at least one client");
+  ELASTIC_CHECK(!workload_.traces.empty(), "workload needs at least one plan");
+  clients_.resize(static_cast<size_t>(num_clients));
+}
+
+void ClientDriver::Start() {
+  ELASTIC_CHECK(!started_, "driver started twice");
+  started_ = true;
+  started_at_ = machine_->clock().now();
+
+  if (workload_.mode == WorkloadMode::kPhases) {
+    phase_ = 0;
+    phase_outstanding_ = num_clients_;
+    for (Client& c : clients_) c.remaining = 1;
+  } else {
+    for (Client& c : clients_) c.remaining = workload_.queries_per_client;
+  }
+
+  // Think-time / ramp wakeups.
+  machine_->AddTickHook([this](simcore::Tick now) {
+    if (workload_.think_ticks <= 0 && workload_.ramp_ticks <= 0) return;
+    for (int i = 0; i < num_clients_; ++i) {
+      Client& c = clients_[static_cast<size_t>(i)];
+      if (c.waiting_think && now >= c.resume_at) {
+        c.waiting_think = false;
+        SubmitFor(i);
+      }
+    }
+  });
+
+  if (workload_.ramp_ticks > 0 && num_clients_ > 1) {
+    const simcore::Tick base = machine_->clock().now();
+    for (int i = 0; i < num_clients_; ++i) {
+      Client& c = clients_[static_cast<size_t>(i)];
+      c.waiting_think = true;
+      c.resume_at =
+          base + workload_.ramp_ticks * i / (num_clients_ - 1);
+    }
+    // Client 0 starts immediately.
+    clients_[0].waiting_think = false;
+    SubmitFor(0);
+  } else {
+    for (int i = 0; i < num_clients_; ++i) SubmitFor(i);
+  }
+}
+
+int ClientDriver::PickClass(int client) {
+  switch (workload_.mode) {
+    case WorkloadMode::kFixedQuery:
+      return 0;
+    case WorkloadMode::kRandomMix:
+      return static_cast<int>(rng_.NextBounded(workload_.traces.size()));
+    case WorkloadMode::kPhases:
+      return phase_;
+  }
+  (void)client;
+  return 0;
+}
+
+void ClientDriver::SubmitFor(int client) {
+  Client& c = clients_[static_cast<size_t>(client)];
+  if (c.done || c.remaining <= 0) return;
+  const int class_index = PickClass(client);
+  const simcore::Tick submitted = machine_->clock().now();
+  engine_->Submit(workload_.traces[static_cast<size_t>(class_index)],
+                  [this, client, class_index, submitted]() {
+                    OnQueryComplete(client, class_index, submitted);
+                  });
+}
+
+void ClientDriver::OnQueryComplete(int client, int class_index,
+                                   simcore::Tick submitted) {
+  records_.push_back(
+      QueryRecord{class_index, submitted, machine_->clock().now()});
+  Client& c = clients_[static_cast<size_t>(client)];
+  c.remaining--;
+
+  if (workload_.mode == WorkloadMode::kPhases) {
+    phase_outstanding_--;
+    if (phase_outstanding_ == 0) {
+      phase_++;
+      if (phase_ >= static_cast<int>(workload_.traces.size())) {
+        done_clients_ = num_clients_;
+        for (Client& cl : clients_) cl.done = true;
+        return;
+      }
+      // Kick off the next phase for every client.
+      phase_outstanding_ = num_clients_;
+      for (Client& cl : clients_) cl.remaining = 1;
+      for (int i = 0; i < num_clients_; ++i) SubmitFor(i);
+    }
+    return;
+  }
+
+  if (c.remaining <= 0) {
+    c.done = true;
+    done_clients_++;
+    return;
+  }
+  if (workload_.think_ticks > 0) {
+    // Deterministic per-client jitter decorrelates the sessions; real client
+    // populations do not re-submit in lockstep.
+    const int64_t jitter =
+        (static_cast<int64_t>(client) * 7 + 3) % (workload_.think_ticks + 1);
+    c.waiting_think = true;
+    c.resume_at = machine_->clock().now() + workload_.think_ticks + jitter;
+  } else {
+    SubmitFor(client);
+  }
+}
+
+double ClientDriver::ThroughputQps() const {
+  const simcore::Tick elapsed = machine_->clock().now() - started_at_;
+  const double seconds = simcore::Clock::ToSeconds(elapsed);
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(records_.size()) / seconds;
+}
+
+double ClientDriver::MeanLatencySeconds(int class_index) const {
+  int64_t count = 0;
+  int64_t total_ticks = 0;
+  for (const QueryRecord& r : records_) {
+    if (class_index >= 0 && r.class_index != class_index) continue;
+    count++;
+    total_ticks += r.completed - r.submitted;
+  }
+  if (count == 0) return 0.0;
+  return simcore::Clock::ToSeconds(total_ticks) / static_cast<double>(count);
+}
+
+}  // namespace elastic::exec

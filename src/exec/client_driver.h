@@ -1,0 +1,100 @@
+#ifndef ELASTICORE_EXEC_CLIENT_DRIVER_H_
+#define ELASTICORE_EXEC_CLIENT_DRIVER_H_
+
+#include <vector>
+
+#include "db/plan_trace.h"
+#include "exec/dbms_engine.h"
+#include "ossim/machine.h"
+#include "simcore/rng.h"
+
+namespace elastic::exec {
+
+/// Multi-client workload shapes used across the paper's experiments.
+enum class WorkloadMode {
+  /// Every client runs the same query repeatedly (Q6 concurrency sweeps).
+  kFixedQuery,
+  /// Every client runs a uniformly random query from the set — the "mixed
+  /// phases" workload of Section V-C-2.
+  kRandomMix,
+  /// Phase p = all clients concurrently run query class p once; the next
+  /// phase starts when the phase completes — the "stable phases" workload of
+  /// Section V-C-1.
+  kPhases,
+};
+
+struct ClientWorkload {
+  WorkloadMode mode = WorkloadMode::kFixedQuery;
+  /// Candidate plans (one per query class).
+  std::vector<const db::PlanTrace*> traces;
+  /// Rounds per client (kFixedQuery / kRandomMix).
+  int queries_per_client = 1;
+  /// Simulated think time between a completion and the next submission.
+  int64_t think_ticks = 0;
+  /// First submissions are spread uniformly over [0, ramp_ticks] instead of
+  /// arriving in one synchronized burst (real drivers ramp connections).
+  int64_t ramp_ticks = 0;
+};
+
+/// Drives N concurrent client sessions against a DbmsEngine, mirroring the
+/// paper's protocol (up to 256 concurrent users). Records per-query
+/// latencies for throughput/speedup reporting.
+class ClientDriver {
+ public:
+  ClientDriver(ossim::Machine* machine, DbmsEngine* engine,
+               const ClientWorkload& workload, int num_clients, uint64_t seed);
+
+  ClientDriver(const ClientDriver&) = delete;
+  ClientDriver& operator=(const ClientDriver&) = delete;
+
+  /// Submits the initial queries and registers the think-time wakeup hook.
+  void Start();
+
+  /// True when every client finished its rounds (or all phases completed).
+  bool AllDone() const { return done_clients_ == num_clients_; }
+
+  struct QueryRecord {
+    int class_index = 0;  // position in workload.traces
+    simcore::Tick submitted = 0;
+    simcore::Tick completed = 0;
+  };
+  const std::vector<QueryRecord>& records() const { return records_; }
+
+  /// Completed queries per second of simulated time elapsed since Start().
+  double ThroughputQps() const;
+
+  /// Mean latency in simulated seconds (optionally for one class).
+  double MeanLatencySeconds(int class_index = -1) const;
+
+  int64_t completed() const { return static_cast<int64_t>(records_.size()); }
+  int current_phase() const { return phase_; }
+
+ private:
+  struct Client {
+    int remaining = 0;
+    bool waiting_think = false;
+    simcore::Tick resume_at = 0;
+    bool done = false;
+  };
+
+  void SubmitFor(int client);
+  void OnQueryComplete(int client, int class_index, simcore::Tick submitted);
+  int PickClass(int client);
+
+  ossim::Machine* machine_;
+  DbmsEngine* engine_;
+  ClientWorkload workload_;
+  int num_clients_;
+  simcore::Rng rng_;
+  std::vector<Client> clients_;
+  std::vector<QueryRecord> records_;
+  simcore::Tick started_at_ = 0;
+  int done_clients_ = 0;
+  int phase_ = 0;
+  int phase_outstanding_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace elastic::exec
+
+#endif  // ELASTICORE_EXEC_CLIENT_DRIVER_H_

@@ -1,0 +1,65 @@
+#include "exec/experiment.h"
+
+#include "core/allocation_mode.h"
+#include "simcore/check.h"
+
+namespace elastic::exec {
+
+Experiment::Experiment(const db::Database* database,
+                       const ExperimentOptions& options)
+    : options_(options) {
+  ossim::MachineOptions machine_options;
+  machine_options.config = options.machine_config;
+  machine_options.scheduler = options.scheduler;
+  machine_options.seed = options.seed;
+  machine_ = std::make_unique<ossim::Machine>(machine_options);
+
+  catalog_ = std::make_unique<BaseCatalog>(&machine_->page_table(), *database,
+                                           options.placement,
+                                           options.machine_config.page_bytes);
+
+  EngineOptions engine_options;
+  engine_options.model = options.engine_model;
+  engine_options.pool_size = options.pool_size;
+  engine_options.task_graph = options.task_graph;
+  engine_ = std::make_unique<DbmsEngine>(machine_.get(), catalog_.get(),
+                                         engine_options);
+
+  if (options.policy != "os") {
+    core::MechanismConfig config = core::DefaultConfigFor(options.strategy);
+    config.monitor_period_ticks = options.monitor_period_ticks;
+    config.initial_cores = options.initial_cores;
+    if (options.thmin_override >= 0.0) config.thmin = options.thmin_override;
+    if (options.thmax_override >= 0.0) config.thmax = options.thmax_override;
+    mechanism_ = std::make_unique<core::ElasticMechanism>(
+        machine_.get(), core::MakeMode(options.policy, &machine_->topology()),
+        config);
+    mechanism_->Install();
+  }
+}
+
+ClientDriver& Experiment::RunWorkload(const ClientWorkload& workload,
+                                      int num_clients, int64_t max_ticks) {
+  driver_ = std::make_unique<ClientDriver>(machine_.get(), engine_.get(),
+                                           workload, num_clients,
+                                           options_.seed ^ 0x9E37);
+  driver_->Start();
+  int64_t ticks = 0;
+  while (!driver_->AllDone() && ticks < max_ticks) {
+    machine_->Step();
+    ticks++;
+  }
+  ELASTIC_CHECK(driver_->AllDone(), "workload did not finish within max_ticks");
+  return *driver_;
+}
+
+int64_t Experiment::RunUntilQuiet(int64_t max_ticks) {
+  int64_t ticks = 0;
+  while (engine_->active_queries() > 0 && ticks < max_ticks) {
+    machine_->Step();
+    ticks++;
+  }
+  return ticks;
+}
+
+}  // namespace elastic::exec

@@ -1,0 +1,78 @@
+#ifndef ELASTICORE_EXEC_EXPERIMENT_H_
+#define ELASTICORE_EXEC_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/mechanism.h"
+#include "db/column.h"
+#include "exec/base_catalog.h"
+#include "exec/client_driver.h"
+#include "exec/dbms_engine.h"
+#include "ossim/machine.h"
+
+namespace elastic::exec {
+
+/// One experiment configuration: machine + loaded data + engine + (optional)
+/// elastic mechanism. `policy` selects the paper's four configurations:
+///   "os"       — baseline: all 16 cores handed to the OS, no mechanism
+///   "dense"    — elastic mechanism with the dense allocation mode
+///   "sparse"   — elastic mechanism with the sparse allocation mode
+///   "adaptive" — elastic mechanism with the adaptive priority mode
+struct ExperimentOptions {
+  numasim::MachineConfig machine_config;
+  ossim::SchedulerConfig scheduler;
+  uint64_t seed = 42;
+
+  std::string policy = "os";
+  core::TransitionStrategy strategy = core::TransitionStrategy::kCpuLoad;
+  int monitor_period_ticks = 20;
+  int initial_cores = 1;
+  /// Threshold overrides; negative keeps the strategy's paper defaults
+  /// (10/70 for CPU load, 0.1/0.4 for HT/IMC).
+  double thmin_override = -1.0;
+  double thmax_override = -1.0;
+
+  ThreadModel engine_model = ThreadModel::kOsScheduled;
+  int pool_size = -1;
+  TaskGraphOptions task_graph;
+  BasePlacement placement = BasePlacement::kChunkedRoundRobin;
+};
+
+/// Owns the full simulated stack for one experiment run. Benches construct
+/// one Experiment per configuration, attach a ClientDriver, and run to
+/// completion.
+class Experiment {
+ public:
+  Experiment(const db::Database* database, const ExperimentOptions& options);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  ossim::Machine& machine() { return *machine_; }
+  BaseCatalog& catalog() { return *catalog_; }
+  DbmsEngine& engine() { return *engine_; }
+  /// Null under the "os" policy.
+  core::ElasticMechanism* mechanism() { return mechanism_.get(); }
+  const ExperimentOptions& options() const { return options_; }
+
+  /// Runs a client workload to completion (bounded by max_ticks); returns
+  /// the driver for stats. The driver lives as long as the experiment.
+  ClientDriver& RunWorkload(const ClientWorkload& workload, int num_clients,
+                            int64_t max_ticks);
+
+  /// Steps the machine until the engine has no active queries (bounded).
+  int64_t RunUntilQuiet(int64_t max_ticks);
+
+ private:
+  ExperimentOptions options_;
+  std::unique_ptr<ossim::Machine> machine_;
+  std::unique_ptr<BaseCatalog> catalog_;
+  std::unique_ptr<DbmsEngine> engine_;
+  std::unique_ptr<core::ElasticMechanism> mechanism_;
+  std::unique_ptr<ClientDriver> driver_;
+};
+
+}  // namespace elastic::exec
+
+#endif  // ELASTICORE_EXEC_EXPERIMENT_H_

@@ -1,0 +1,57 @@
+#ifndef ELASTICORE_EXEC_RAW_KERNEL_H_
+#define ELASTICORE_EXEC_RAW_KERNEL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/base_catalog.h"
+#include "ossim/machine.h"
+
+namespace elastic::exec {
+
+/// Affinity policies of the hand-coded pthread microbenchmark (Section II-B).
+enum class RawAffinity {
+  /// No affinity: the OS places the threads (OS/C in Fig. 4).
+  kOsDefault,
+  /// One thread per core, spread across the nodes (Sparse/C).
+  kSparse,
+  /// All threads confined to one node (Dense/C).
+  kDense,
+};
+
+struct RawKernelOptions {
+  /// pthreads spawned per query (the paper used one per core).
+  int threads = 16;
+  /// Compute cost of the fused loop: a few cycles per row, no interpretation
+  /// overhead — this is what makes the C version ~100x lighter on the
+  /// interconnect than the DBMS at low concurrency.
+  double cycles_per_row = 12.0;
+};
+
+/// The hand-coded C implementation of TPC-H Q6: one fused loop over the
+/// four needed columns, parallelised with raw pthreads, no materialisation
+/// of intermediates. Used to establish the near-to-limit baseline of Fig. 4.
+class RawKernelEngine {
+ public:
+  RawKernelEngine(ossim::Machine* machine, const BaseCatalog* catalog,
+                  const RawKernelOptions& options);
+
+  /// Runs one fused scan over `columns` with the given affinity policy;
+  /// `on_complete` fires when every thread has exited.
+  void Submit(const std::vector<std::string>& columns, int stream,
+              RawAffinity affinity, std::function<void()> on_complete);
+
+  int64_t completed_queries() const { return completed_; }
+
+ private:
+  ossim::Machine* machine_;
+  const BaseCatalog* catalog_;
+  RawKernelOptions options_;
+  int64_t completed_ = 0;
+  int64_t spawn_rr_ = 0;  // rotates sparse/dense pin assignments
+};
+
+}  // namespace elastic::exec
+
+#endif  // ELASTICORE_EXEC_RAW_KERNEL_H_

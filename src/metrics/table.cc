@@ -1,0 +1,63 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace elastic::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::Num(double v, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, v);
+  return buffer;
+}
+
+std::string Table::Int(int64_t v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(v));
+  return buffer;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) line += "  ";
+      line += cells[c];
+      if (c + 1 < cells.size()) {
+        line.append(widths[c] > cells[c].size() ? widths[c] - cells[c].size() : 0,
+                    ' ');
+      }
+    }
+    return line;
+  };
+  std::string out = render_row(headers_) + "\n";
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row) + "\n";
+  return out;
+}
+
+void Table::Print(const std::string& title) const {
+  if (!title.empty()) {
+    std::printf("\n== %s ==\n", title.c_str());
+  }
+  std::printf("%s", ToString().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace elastic::metrics

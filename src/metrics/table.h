@@ -1,0 +1,35 @@
+#ifndef ELASTICORE_METRICS_TABLE_H_
+#define ELASTICORE_METRICS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elastic::metrics {
+
+/// Fixed-width console table used by the figure harnesses so every bench
+/// prints the paper's rows/series in a uniform, diff-friendly format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  /// Formatting helpers.
+  static std::string Num(double v, int decimals = 2);
+  static std::string Int(int64_t v);
+
+  /// Renders with aligned columns.
+  std::string ToString() const;
+
+  /// Prints to stdout with an optional title banner.
+  void Print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elastic::metrics
+
+#endif  // ELASTICORE_METRICS_TABLE_H_

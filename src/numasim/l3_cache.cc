@@ -1,0 +1,43 @@
+#include "numasim/l3_cache.h"
+
+#include "simcore/check.h"
+
+namespace elastic::numasim {
+
+L3Cache::L3Cache(int capacity_pages) : capacity_(capacity_pages) {
+  ELASTIC_CHECK(capacity_pages >= 1, "cache needs at least one frame");
+  map_.reserve(static_cast<size_t>(capacity_pages) * 2);
+}
+
+bool L3Cache::Access(PageId page) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  if (static_cast<int>(map_.size()) >= capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+bool L3Cache::Contains(PageId page) const { return map_.find(page) != map_.end(); }
+
+bool L3Cache::Invalidate(PageId page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void L3Cache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace elastic::numasim

@@ -1,0 +1,50 @@
+#ifndef ELASTICORE_NUMASIM_L3_CACHE_H_
+#define ELASTICORE_NUMASIM_L3_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "numasim/page_table.h"
+
+namespace elastic::numasim {
+
+/// Page-granular LRU model of one socket's shared L3 cache.
+///
+/// The paper's effects (cache conflicts between co-located threads, cache
+/// invalidations between scattered threads, L3 load-miss counts per socket)
+/// are reproduced at page granularity: 6 MB / 4 KB = 1536 page frames per
+/// socket. All cores of a socket share the structure, so unrelated threads
+/// packed onto one node evict each other — exactly the "dense" failure mode
+/// the paper describes.
+class L3Cache {
+ public:
+  explicit L3Cache(int capacity_pages);
+
+  /// Looks up a page; on miss, inserts it (evicting the LRU page when full).
+  /// Returns true on hit.
+  bool Access(PageId page);
+
+  /// True when the page currently resides in this cache.
+  bool Contains(PageId page) const;
+
+  /// Removes the page if present (cross-socket write invalidation).
+  /// Returns true when something was invalidated.
+  bool Invalidate(PageId page);
+
+  /// Number of resident pages.
+  int64_t size() const { return static_cast<int64_t>(map_.size()); }
+  int capacity() const { return capacity_; }
+
+  /// Drops all contents (e.g., between experiments).
+  void Clear();
+
+ private:
+  int capacity_;
+  std::list<PageId> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+};
+
+}  // namespace elastic::numasim
+
+#endif  // ELASTICORE_NUMASIM_L3_CACHE_H_

@@ -1,0 +1,105 @@
+#ifndef ELASTICORE_NUMASIM_PAGE_TABLE_H_
+#define ELASTICORE_NUMASIM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numasim/topology.h"
+
+namespace elastic::numasim {
+
+/// Identifier of a simulated memory buffer (a contiguous virtual range, e.g.
+/// one column BAT or one operator intermediate).
+using BufferId = uint32_t;
+/// Global page identifier: (buffer << kPageIndexBits) | page_index.
+using PageId = uint64_t;
+
+inline constexpr int kPageIndexBits = 24;
+inline constexpr PageId kInvalidPage = ~PageId{0};
+
+/// Simulated OS page table with first-touch NUMA placement.
+///
+/// Buffers are virtual ranges of pages. A page has no home node until it is
+/// first touched; the touching core's node becomes its home (the Linux
+/// node-local default policy described in Section II-A of the paper).
+/// Explicit placement helpers emulate data already loaded by the DBMS.
+class PageTable {
+ public:
+  explicit PageTable(int num_nodes);
+
+  /// Creates a buffer of `num_pages` untouched pages. `label` is used only
+  /// for diagnostics.
+  BufferId CreateBuffer(int64_t num_pages, std::string label = "");
+
+  /// Releases a buffer; its resident pages stop counting towards node
+  /// residency. Freed ids are not reused.
+  void FreeBuffer(BufferId buffer);
+
+  /// True when the buffer id is live (created and not freed).
+  bool IsLive(BufferId buffer) const;
+
+  /// Global page id of the index-th page of a buffer.
+  static PageId PageOf(BufferId buffer, int64_t index) {
+    return (static_cast<PageId>(buffer) << kPageIndexBits) |
+           static_cast<PageId>(index);
+  }
+  static BufferId BufferOf(PageId page) {
+    return static_cast<BufferId>(page >> kPageIndexBits);
+  }
+  static int64_t IndexOf(PageId page) {
+    return static_cast<int64_t>(page & ((PageId{1} << kPageIndexBits) - 1));
+  }
+
+  int64_t NumPages(BufferId buffer) const;
+  const std::string& Label(BufferId buffer) const;
+
+  /// Home node of a page, or kInvalidNode when never touched.
+  NodeId HomeOf(PageId page) const;
+
+  struct TouchResult {
+    NodeId home = kInvalidNode;
+    bool first_touch = false;
+  };
+
+  /// Touches a page from `node`: allocates it there on first touch,
+  /// otherwise returns the existing home.
+  TouchResult Touch(PageId page, NodeId node);
+
+  /// Pre-touches every page of the buffer on a single node (a loader thread
+  /// that ran entirely on that node).
+  void PlaceAllOn(BufferId buffer, NodeId node);
+
+  /// Pre-touches pages round-robin across nodes in chunks of `chunk_pages`
+  /// (parallel loader threads spread over the machine by the OS balancer).
+  void PlaceChunkedRoundRobin(BufferId buffer, int64_t chunk_pages,
+                              NodeId first_node = 0);
+
+  /// Number of resident (touched, live) pages homed at `node`.
+  int64_t ResidentPages(NodeId node) const;
+
+  /// Resident pages of one buffer homed at `node`.
+  int64_t ResidentPagesOfBuffer(BufferId buffer, NodeId node) const;
+
+  int64_t total_buffers_created() const { return static_cast<int64_t>(buffers_.size()); }
+
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Buffer {
+    std::string label;
+    std::vector<int8_t> home;  // kInvalidNode (-1) when untouched
+    bool live = false;
+  };
+
+  const Buffer& GetBuffer(BufferId buffer) const;
+  Buffer& GetBuffer(BufferId buffer);
+
+  int num_nodes_;
+  std::vector<Buffer> buffers_;
+  std::vector<int64_t> resident_pages_;
+};
+
+}  // namespace elastic::numasim
+
+#endif  // ELASTICORE_NUMASIM_PAGE_TABLE_H_

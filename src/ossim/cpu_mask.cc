@@ -1,0 +1,58 @@
+#include "ossim/cpu_mask.h"
+
+#include "simcore/check.h"
+
+namespace elastic::ossim {
+
+CpuMask CpuMask::FirstN(int n) {
+  ELASTIC_CHECK(n >= 0 && n <= 64, "mask supports up to 64 cores");
+  if (n == 64) return CpuMask(~uint64_t{0});
+  return CpuMask((uint64_t{1} << n) - 1);
+}
+
+CpuMask CpuMask::Of(const std::vector<numasim::CoreId>& cores) {
+  CpuMask mask;
+  for (numasim::CoreId c : cores) {
+    ELASTIC_CHECK(c >= 0 && c < 64, "core id out of mask range");
+    mask.Set(c);
+  }
+  return mask;
+}
+
+CpuMask CpuMask::AllOf(const numasim::Topology& topology) {
+  return FirstN(topology.total_cores());
+}
+
+CpuMask CpuMask::NodeCores(const numasim::Topology& topology, numasim::NodeId node) {
+  return Of(topology.CoresOfNode(node));
+}
+
+std::vector<numasim::CoreId> CpuMask::ToCores() const {
+  std::vector<numasim::CoreId> cores;
+  uint64_t bits = bits_;
+  while (bits != 0) {
+    const int c = __builtin_ctzll(bits);
+    cores.push_back(c);
+    bits &= bits - 1;
+  }
+  return cores;
+}
+
+numasim::CoreId CpuMask::First() const {
+  if (bits_ == 0) return numasim::kInvalidCore;
+  return __builtin_ctzll(bits_);
+}
+
+std::string CpuMask::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (numasim::CoreId c : ToCores()) {
+    if (!first) out += ",";
+    out += std::to_string(c);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace elastic::ossim

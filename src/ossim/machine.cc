@@ -1,0 +1,47 @@
+#include "ossim/machine.h"
+
+#include <utility>
+
+namespace elastic::ossim {
+
+Machine::Machine(const MachineOptions& options)
+    : topology_(std::make_unique<numasim::Topology>(options.config)),
+      page_table_(std::make_unique<numasim::PageTable>(options.config.num_nodes)),
+      counters_(std::make_unique<perf::CounterSet>(options.config.num_nodes,
+                                                   topology_->num_links(),
+                                                   options.config.total_cores())),
+      clock_(std::make_unique<simcore::Clock>()),
+      trace_(std::make_unique<simcore::Trace>()),
+      memory_(std::make_unique<numasim::MemorySystem>(topology_.get(),
+                                                      page_table_.get(),
+                                                      counters_.get())),
+      scheduler_(std::make_unique<Scheduler>(topology_.get(), memory_.get(),
+                                             counters_.get(), clock_.get(),
+                                             trace_.get(), options.scheduler)),
+      rng_(options.seed) {}
+
+void Machine::AddTickHook(std::function<void(simcore::Tick)> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void Machine::Step() {
+  const simcore::Tick now = clock_->now();
+  for (auto& hook : hooks_) hook(now);
+  scheduler_->Tick();
+  clock_->Advance(1);
+}
+
+int64_t Machine::RunUntilIdle(int64_t max_ticks) {
+  int64_t executed = 0;
+  while (executed < max_ticks && scheduler_->AnyRunnable()) {
+    Step();
+    executed++;
+  }
+  return executed;
+}
+
+void Machine::RunFor(int64_t ticks) {
+  for (int64_t i = 0; i < ticks; ++i) Step();
+}
+
+}  // namespace elastic::ossim

@@ -1,0 +1,77 @@
+#ifndef ELASTICORE_OSSIM_MACHINE_H_
+#define ELASTICORE_OSSIM_MACHINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "numasim/memory_system.h"
+#include "numasim/page_table.h"
+#include "numasim/topology.h"
+#include "ossim/scheduler.h"
+#include "perf/counters.h"
+#include "simcore/clock.h"
+#include "simcore/rng.h"
+#include "simcore/trace.h"
+
+namespace elastic::ossim {
+
+/// Options for constructing a simulated machine.
+struct MachineOptions {
+  numasim::MachineConfig config;
+  SchedulerConfig scheduler;
+  uint64_t seed = 42;
+};
+
+/// The complete simulated platform: topology, page table, memory hierarchy,
+/// counters, OS scheduler, virtual clock, and trace sink, wired together.
+///
+/// Controllers (the elastic mechanism, workload drivers) register tick hooks
+/// that fire at the start of every quantum, mirroring how the paper's
+/// prototype runs as an application program alongside the DBMS.
+class Machine {
+ public:
+  explicit Machine(const MachineOptions& options);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const numasim::Topology& topology() const { return *topology_; }
+  numasim::PageTable& page_table() { return *page_table_; }
+  numasim::MemorySystem& memory() { return *memory_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  perf::CounterSet& counters() { return *counters_; }
+  const perf::CounterSet& counters() const { return *counters_; }
+  simcore::Clock& clock() { return *clock_; }
+  simcore::Trace& trace() { return *trace_; }
+  simcore::Rng& rng() { return rng_; }
+
+  /// Registers a hook invoked at the beginning of every tick (monitoring,
+  /// elastic control, client drivers).
+  void AddTickHook(std::function<void(simcore::Tick)> hook);
+
+  /// Advances the simulation by one quantum: hooks, then the scheduler.
+  void Step();
+
+  /// Steps until no thread is runnable or `max_ticks` elapse. Returns the
+  /// number of ticks executed.
+  int64_t RunUntilIdle(int64_t max_ticks);
+
+  /// Steps for exactly `ticks` quanta.
+  void RunFor(int64_t ticks);
+
+ private:
+  std::unique_ptr<numasim::Topology> topology_;
+  std::unique_ptr<numasim::PageTable> page_table_;
+  std::unique_ptr<perf::CounterSet> counters_;
+  std::unique_ptr<simcore::Clock> clock_;
+  std::unique_ptr<simcore::Trace> trace_;
+  std::unique_ptr<numasim::MemorySystem> memory_;
+  std::unique_ptr<Scheduler> scheduler_;
+  simcore::Rng rng_;
+  std::vector<std::function<void(simcore::Tick)>> hooks_;
+};
+
+}  // namespace elastic::ossim
+
+#endif  // ELASTICORE_OSSIM_MACHINE_H_

@@ -1,0 +1,91 @@
+#include "perf/sampler.h"
+
+#include "simcore/check.h"
+
+namespace elastic::perf {
+
+double WindowStats::CpuLoadPercent(const ossim::CpuMask& mask,
+                                   int64_t cycles_per_tick) const {
+  if (ticks <= 0 || mask.Empty()) return 0.0;
+  int64_t busy = 0;
+  for (int core : mask.ToCores()) {
+    busy += core_busy_cycles[static_cast<size_t>(core)];
+  }
+  const double capacity =
+      static_cast<double>(ticks) * static_cast<double>(cycles_per_tick) *
+      static_cast<double>(mask.Count());
+  if (capacity <= 0.0) return 0.0;
+  return 100.0 * static_cast<double>(busy) / capacity;
+}
+
+double WindowStats::HtImcRatio() const {
+  const int64_t imc = TotalImcBytes();
+  if (imc == 0) return 0.0;
+  return static_cast<double>(ht_bytes) / static_cast<double>(imc);
+}
+
+double WindowStats::HtBytesPerSecond() const {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(ht_bytes) / seconds;
+}
+
+double WindowStats::ImcBytesPerSecond(int node) const {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(imc_bytes[static_cast<size_t>(node)]) / seconds;
+}
+
+int64_t WindowStats::TotalL3Misses() const {
+  int64_t sum = 0;
+  for (int64_t v : l3_misses) sum += v;
+  return sum;
+}
+
+int64_t WindowStats::TotalImcBytes() const {
+  int64_t sum = 0;
+  for (int64_t v : imc_bytes) sum += v;
+  return sum;
+}
+
+namespace {
+
+std::vector<int64_t> Delta(const std::vector<int64_t>& now,
+                           const std::vector<int64_t>& before) {
+  ELASTIC_CHECK(now.size() == before.size(), "counter vector size changed");
+  std::vector<int64_t> out(now.size());
+  for (size_t i = 0; i < now.size(); ++i) out[i] = now[i] - before[i];
+  return out;
+}
+
+}  // namespace
+
+Sampler::Sampler(const CounterSet* counters, const simcore::Clock* clock)
+    : counters_(counters), clock_(clock), baseline_(*counters),
+      baseline_tick_(clock->now()) {}
+
+WindowStats Sampler::Sample() {
+  WindowStats stats;
+  stats.ticks = clock_->now() - baseline_tick_;
+  stats.seconds = simcore::Clock::ToSeconds(stats.ticks);
+  stats.l3_hits = Delta(counters_->l3_hits, baseline_.l3_hits);
+  stats.l3_misses = Delta(counters_->l3_misses, baseline_.l3_misses);
+  stats.imc_bytes = Delta(counters_->imc_bytes, baseline_.imc_bytes);
+  stats.node_access_pages =
+      Delta(counters_->node_access_pages, baseline_.node_access_pages);
+  stats.core_busy_cycles =
+      Delta(counters_->core_busy_cycles, baseline_.core_busy_cycles);
+  stats.ht_bytes = counters_->ht_bytes_total - baseline_.ht_bytes_total;
+  stats.minor_faults = counters_->minor_faults - baseline_.minor_faults;
+  stats.stolen_tasks = counters_->stolen_tasks - baseline_.stolen_tasks;
+  stats.thread_migrations =
+      counters_->thread_migrations - baseline_.thread_migrations;
+  stats.tasks_spawned = counters_->tasks_spawned - baseline_.tasks_spawned;
+  Reset();
+  return stats;
+}
+
+void Sampler::Reset() {
+  baseline_ = *counters_;
+  baseline_tick_ = clock_->now();
+}
+
+}  // namespace elastic::perf

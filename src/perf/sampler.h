@@ -1,0 +1,71 @@
+#ifndef ELASTICORE_PERF_SAMPLER_H_
+#define ELASTICORE_PERF_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ossim/cpu_mask.h"
+#include "perf/counters.h"
+#include "simcore/clock.h"
+
+namespace elastic::perf {
+
+/// Counter deltas over one monitoring window.
+///
+/// This is what the paper's mechanism reads from mpstat / likwid on every
+/// monitoring round: windowed CPU load, L3 misses, HT and IMC traffic.
+struct WindowStats {
+  simcore::Tick ticks = 0;
+  double seconds = 0.0;
+
+  std::vector<int64_t> l3_hits;
+  std::vector<int64_t> l3_misses;
+  std::vector<int64_t> imc_bytes;
+  std::vector<int64_t> node_access_pages;
+  std::vector<int64_t> core_busy_cycles;
+  int64_t ht_bytes = 0;
+  int64_t minor_faults = 0;
+  int64_t stolen_tasks = 0;
+  int64_t thread_migrations = 0;
+  int64_t tasks_spawned = 0;
+
+  /// Average CPU load (0..100) over the cores of `mask` during the window.
+  /// `cycles_per_tick` is the per-core cycle budget of one tick.
+  double CpuLoadPercent(const ossim::CpuMask& mask, int64_t cycles_per_tick) const;
+
+  /// Ratio of interconnect traffic to memory-controller traffic; the
+  /// NUMA-friendliness metric of Section V-B (smaller is better).
+  double HtImcRatio() const;
+
+  /// Interconnect bandwidth in bytes per second of simulated time.
+  double HtBytesPerSecond() const;
+
+  /// Memory throughput of one node in bytes per second.
+  double ImcBytesPerSecond(int node) const;
+
+  int64_t TotalL3Misses() const;
+  int64_t TotalImcBytes() const;
+};
+
+/// Takes periodic snapshots of a CounterSet and yields deltas.
+class Sampler {
+ public:
+  Sampler(const CounterSet* counters, const simcore::Clock* clock);
+
+  /// Returns the deltas accumulated since the previous Sample() (or since
+  /// construction) and re-baselines.
+  WindowStats Sample();
+
+  /// Re-baselines without producing stats.
+  void Reset();
+
+ private:
+  const CounterSet* counters_;
+  const simcore::Clock* clock_;
+  CounterSet baseline_;
+  simcore::Tick baseline_tick_;
+};
+
+}  // namespace elastic::perf
+
+#endif  // ELASTICORE_PERF_SAMPLER_H_

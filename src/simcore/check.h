@@ -1,0 +1,20 @@
+#ifndef ELASTICORE_SIMCORE_CHECK_H_
+#define ELASTICORE_SIMCORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// ELASTIC_CHECK aborts with a diagnostic when an internal invariant is
+/// violated. The simulator is a closed system: invariant violations are
+/// programming errors, never recoverable runtime conditions, so we fail fast
+/// instead of throwing.
+#define ELASTIC_CHECK(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "ELASTIC_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#endif  // ELASTICORE_SIMCORE_CHECK_H_

@@ -1,0 +1,46 @@
+#ifndef ELASTICORE_SIMCORE_CLOCK_H_
+#define ELASTICORE_SIMCORE_CLOCK_H_
+
+#include <cstdint>
+
+namespace elastic::simcore {
+
+/// Simulated time is counted in integer ticks. One tick is one scheduler
+/// quantum of the simulated operating system.
+using Tick = int64_t;
+
+/// Virtual clock for the machine simulation.
+///
+/// Time advances only through Advance(); there is no wall-clock coupling,
+/// which keeps every experiment deterministic. The conversion constant
+/// kSecondsPerTick defines the simulated quantum length used when reporting
+/// throughput, bandwidth, and energy in physical units.
+class Clock {
+ public:
+  /// Simulated length of one tick in seconds (1 ms scheduler quantum).
+  static constexpr double kSecondsPerTick = 1e-3;
+
+  Clock() = default;
+
+  /// Current tick.
+  Tick now() const { return now_; }
+
+  /// Current simulated time in seconds.
+  double now_seconds() const { return static_cast<double>(now_) * kSecondsPerTick; }
+
+  /// Advances the clock by `ticks` (must be non-negative).
+  void Advance(Tick ticks) { now_ += ticks; }
+
+  /// Resets to tick zero.
+  void Reset() { now_ = 0; }
+
+  /// Converts a tick count into seconds.
+  static double ToSeconds(Tick ticks) { return static_cast<double>(ticks) * kSecondsPerTick; }
+
+ private:
+  Tick now_ = 0;
+};
+
+}  // namespace elastic::simcore
+
+#endif  // ELASTICORE_SIMCORE_CLOCK_H_

@@ -1,0 +1,49 @@
+#ifndef ELASTICORE_SIMCORE_RNG_H_
+#define ELASTICORE_SIMCORE_RNG_H_
+
+#include <cstdint>
+
+namespace elastic::simcore {
+
+/// Deterministic xorshift128+ pseudo-random generator.
+///
+/// All randomness in the simulator and the TPC-H data generator flows through
+/// this generator so that every experiment is reproducible bit-for-bit from a
+/// seed. The generator is intentionally not std::mt19937: we want a fixed,
+/// documented algorithm whose streams are stable across standard-library
+/// versions.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed. Seed 0 is remapped to a
+  /// fixed non-zero constant (xorshift must not start from the all-zero
+  /// state).
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniformly distributed integer in [0, bound). bound must be
+  /// greater than zero.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniformly distributed integer in [lo, hi] (inclusive).
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Splits off an independent generator; the child stream is a pure
+  /// function of this generator's current state.
+  Rng Split();
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace elastic::simcore
+
+#endif  // ELASTICORE_SIMCORE_RNG_H_

@@ -1,0 +1,330 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "db/date.h"
+#include "simcore/check.h"
+#include "tpch/text.h"
+
+namespace elastic::tpch {
+
+namespace {
+
+using db::ColType;
+using db::Column;
+using db::Database;
+using db::Date;
+using db::Table;
+
+Column I64Col() {
+  Column c;
+  c.type = ColType::kI64;
+  return c;
+}
+Column F64Col() {
+  Column c;
+  c.type = ColType::kF64;
+  return c;
+}
+Column StrCol() {
+  Column c;
+  c.type = ColType::kStr;
+  return c;
+}
+
+std::string Format(const char* fmt, int64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), fmt, static_cast<long long>(value));
+  return buffer;
+}
+
+/// Money values are generated in cents and stored as doubles with two
+/// decimals, matching dbgen's fixed-point semantics.
+double Cents(int64_t cents) { return static_cast<double>(cents) / 100.0; }
+
+void GenRegion(Database* db, simcore::Rng* rng) {
+  Table& t = db->region;
+  t.name = "region";
+  t.columns["r_regionkey"] = I64Col();
+  t.columns["r_name"] = StrCol();
+  t.columns["r_comment"] = StrCol();
+  const auto& regions = TextPools::Regions();
+  for (size_t i = 0; i < regions.size(); ++i) {
+    t.columns["r_regionkey"].i64.push_back(static_cast<int64_t>(i));
+    t.columns["r_name"].str.push_back(regions[i]);
+    t.columns["r_comment"].str.push_back(RandomComment(rng, 8));
+  }
+}
+
+void GenNation(Database* db, simcore::Rng* rng) {
+  Table& t = db->nation;
+  t.name = "nation";
+  t.columns["n_nationkey"] = I64Col();
+  t.columns["n_name"] = StrCol();
+  t.columns["n_regionkey"] = I64Col();
+  t.columns["n_comment"] = StrCol();
+  const auto& nations = TextPools::Nations();
+  for (size_t i = 0; i < nations.size(); ++i) {
+    t.columns["n_nationkey"].i64.push_back(static_cast<int64_t>(i));
+    t.columns["n_name"].str.push_back(nations[i].name);
+    t.columns["n_regionkey"].i64.push_back(nations[i].region);
+    t.columns["n_comment"].str.push_back(RandomComment(rng, 8));
+  }
+}
+
+void GenSupplier(Database* db, simcore::Rng* rng, int64_t count) {
+  Table& t = db->supplier;
+  t.name = "supplier";
+  t.columns["s_suppkey"] = I64Col();
+  t.columns["s_name"] = StrCol();
+  t.columns["s_address"] = StrCol();
+  t.columns["s_nationkey"] = I64Col();
+  t.columns["s_phone"] = StrCol();
+  t.columns["s_acctbal"] = F64Col();
+  t.columns["s_comment"] = StrCol();
+  for (int64_t k = 1; k <= count; ++k) {
+    const int nation = static_cast<int>(rng->NextBounded(25));
+    t.columns["s_suppkey"].i64.push_back(k);
+    t.columns["s_name"].str.push_back(Format("Supplier#%09lld", k));
+    t.columns["s_address"].str.push_back(Address(rng));
+    t.columns["s_nationkey"].i64.push_back(nation);
+    t.columns["s_phone"].str.push_back(Phone(rng, nation));
+    t.columns["s_acctbal"].f64.push_back(Cents(rng->NextInRange(-99999, 999999)));
+    // The spec plants 5 "Customer Complaints" suppliers per 10000.
+    t.columns["s_comment"].str.push_back(SupplierComment(rng, 0.0005 * 10));
+  }
+}
+
+void GenCustomer(Database* db, simcore::Rng* rng, int64_t count) {
+  Table& t = db->customer;
+  t.name = "customer";
+  t.columns["c_custkey"] = I64Col();
+  t.columns["c_name"] = StrCol();
+  t.columns["c_address"] = StrCol();
+  t.columns["c_nationkey"] = I64Col();
+  t.columns["c_phone"] = StrCol();
+  t.columns["c_acctbal"] = F64Col();
+  t.columns["c_mktsegment"] = StrCol();
+  t.columns["c_comment"] = StrCol();
+  const auto& segments = TextPools::Segments();
+  for (int64_t k = 1; k <= count; ++k) {
+    const int nation = static_cast<int>(rng->NextBounded(25));
+    t.columns["c_custkey"].i64.push_back(k);
+    t.columns["c_name"].str.push_back(Format("Customer#%09lld", k));
+    t.columns["c_address"].str.push_back(Address(rng));
+    t.columns["c_nationkey"].i64.push_back(nation);
+    t.columns["c_phone"].str.push_back(Phone(rng, nation));
+    t.columns["c_acctbal"].f64.push_back(Cents(rng->NextInRange(-99999, 999999)));
+    t.columns["c_mktsegment"].str.push_back(
+        segments[rng->NextBounded(segments.size())]);
+    t.columns["c_comment"].str.push_back(RandomComment(rng, 8));
+  }
+}
+
+void GenPart(Database* db, simcore::Rng* rng, int64_t count) {
+  Table& t = db->part;
+  t.name = "part";
+  t.columns["p_partkey"] = I64Col();
+  t.columns["p_name"] = StrCol();
+  t.columns["p_mfgr"] = StrCol();
+  t.columns["p_brand"] = StrCol();
+  t.columns["p_type"] = StrCol();
+  t.columns["p_size"] = I64Col();
+  t.columns["p_container"] = StrCol();
+  t.columns["p_retailprice"] = F64Col();
+  t.columns["p_comment"] = StrCol();
+  const auto& s1 = TextPools::TypeS1();
+  const auto& s2 = TextPools::TypeS2();
+  const auto& s3 = TextPools::TypeS3();
+  const auto& c1 = TextPools::ContainerS1();
+  const auto& c2 = TextPools::ContainerS2();
+  for (int64_t k = 1; k <= count; ++k) {
+    const int64_t mfgr = rng->NextInRange(1, 5);
+    const int64_t brand = mfgr * 10 + rng->NextInRange(1, 5);
+    t.columns["p_partkey"].i64.push_back(k);
+    t.columns["p_name"].str.push_back(PartName(rng));
+    t.columns["p_mfgr"].str.push_back(Format("Manufacturer#%lld", mfgr));
+    t.columns["p_brand"].str.push_back(Format("Brand#%lld", brand));
+    t.columns["p_type"].str.push_back(s1[rng->NextBounded(s1.size())] + " " +
+                                      s2[rng->NextBounded(s2.size())] + " " +
+                                      s3[rng->NextBounded(s3.size())]);
+    t.columns["p_size"].i64.push_back(rng->NextInRange(1, 50));
+    t.columns["p_container"].str.push_back(c1[rng->NextBounded(c1.size())] + " " +
+                                           c2[rng->NextBounded(c2.size())]);
+    // Spec pricing formula: 90000 + ((k/10) % 20001) + 100*(k % 1000), cents.
+    t.columns["p_retailprice"].f64.push_back(
+        Cents(90000 + (k / 10) % 20001 + 100 * (k % 1000)));
+    t.columns["p_comment"].str.push_back(RandomComment(rng, 5));
+  }
+}
+
+void GenPartsupp(Database* db, simcore::Rng* rng, int64_t parts,
+                 int64_t suppliers) {
+  Table& t = db->partsupp;
+  t.name = "partsupp";
+  t.columns["ps_partkey"] = I64Col();
+  t.columns["ps_suppkey"] = I64Col();
+  t.columns["ps_availqty"] = I64Col();
+  t.columns["ps_supplycost"] = F64Col();
+  t.columns["ps_comment"] = StrCol();
+  for (int64_t p = 1; p <= parts; ++p) {
+    for (int64_t i = 0; i < 4; ++i) {
+      // Spec association: supplier = (p + i*(S/4 + (p-1)/S)) % S + 1.
+      const int64_t s =
+          (p + i * (suppliers / 4 + (p - 1) / suppliers)) % suppliers + 1;
+      t.columns["ps_partkey"].i64.push_back(p);
+      t.columns["ps_suppkey"].i64.push_back(s);
+      t.columns["ps_availqty"].i64.push_back(rng->NextInRange(1, 9999));
+      t.columns["ps_supplycost"].f64.push_back(Cents(rng->NextInRange(100, 100000)));
+      t.columns["ps_comment"].str.push_back(RandomComment(rng, 8));
+    }
+  }
+}
+
+struct OrderDates {
+  Date start;
+  Date end;
+  Date cutoff;  // 1995-06-17, the CURRENTDATE used by returnflag/linestatus
+};
+
+void GenOrdersAndLineitem(Database* db, simcore::Rng* rng, int64_t orders,
+                          int64_t customers, int64_t parts, int64_t suppliers) {
+  Table& o = db->orders;
+  o.name = "orders";
+  o.columns["o_orderkey"] = I64Col();
+  o.columns["o_custkey"] = I64Col();
+  o.columns["o_orderstatus"] = StrCol();
+  o.columns["o_totalprice"] = F64Col();
+  o.columns["o_orderdate"] = I64Col();
+  o.columns["o_orderpriority"] = StrCol();
+  o.columns["o_clerk"] = StrCol();
+  o.columns["o_shippriority"] = I64Col();
+  o.columns["o_comment"] = StrCol();
+
+  Table& l = db->lineitem;
+  l.name = "lineitem";
+  l.columns["l_orderkey"] = I64Col();
+  l.columns["l_partkey"] = I64Col();
+  l.columns["l_suppkey"] = I64Col();
+  l.columns["l_linenumber"] = I64Col();
+  l.columns["l_quantity"] = F64Col();
+  l.columns["l_extendedprice"] = F64Col();
+  l.columns["l_discount"] = F64Col();
+  l.columns["l_tax"] = F64Col();
+  l.columns["l_returnflag"] = StrCol();
+  l.columns["l_linestatus"] = StrCol();
+  l.columns["l_shipdate"] = I64Col();
+  l.columns["l_commitdate"] = I64Col();
+  l.columns["l_receiptdate"] = I64Col();
+  l.columns["l_shipinstruct"] = StrCol();
+  l.columns["l_shipmode"] = StrCol();
+  l.columns["l_comment"] = StrCol();
+
+  OrderDates dates;
+  dates.start = db::MakeDate(1992, 1, 1);
+  dates.end = db::AddDays(db::MakeDate(1998, 8, 2), -151);
+  dates.cutoff = db::MakeDate(1995, 6, 17);
+
+  const auto& priorities = TextPools::Priorities();
+  const auto& instructs = TextPools::ShipInstructs();
+  const auto& modes = TextPools::ShipModes();
+  const auto& retail = db->part.f64("p_retailprice");
+
+  for (int64_t k = 1; k <= orders; ++k) {
+    // One third of customers never place orders (custkey % 3 == 0), which
+    // Q13 and Q22 depend on.
+    int64_t cust = rng->NextInRange(1, customers);
+    while (cust % 3 == 0) cust = rng->NextInRange(1, customers);
+
+    const Date odate = dates.start + rng->NextInRange(0, dates.end - dates.start);
+    const int lines = static_cast<int>(rng->NextInRange(1, 7));
+    double total = 0.0;
+    int f_count = 0;
+    int o_count = 0;
+    for (int line = 1; line <= lines; ++line) {
+      const int64_t partkey = rng->NextInRange(1, parts);
+      const int64_t supp_i = rng->NextInRange(0, 3);
+      const int64_t suppkey =
+          (partkey + supp_i * (suppliers / 4 + (partkey - 1) / suppliers)) %
+              suppliers + 1;
+      const double quantity = static_cast<double>(rng->NextInRange(1, 50));
+      const double price = quantity * retail[static_cast<size_t>(partkey - 1)];
+      const double discount = static_cast<double>(rng->NextInRange(0, 10)) / 100.0;
+      const double tax = static_cast<double>(rng->NextInRange(0, 8)) / 100.0;
+      const Date ship = db::AddDays(odate, rng->NextInRange(1, 121));
+      const Date commit = db::AddDays(odate, rng->NextInRange(30, 90));
+      const Date receipt = db::AddDays(ship, rng->NextInRange(1, 30));
+      const bool shipped = receipt <= dates.cutoff;
+      const char* returnflag = shipped ? (rng->NextBernoulli(0.5) ? "R" : "A") : "N";
+      const char* linestatus = ship > dates.cutoff ? "O" : "F";
+      if (*linestatus == 'F') f_count++; else o_count++;
+
+      l.columns["l_orderkey"].i64.push_back(k);
+      l.columns["l_partkey"].i64.push_back(partkey);
+      l.columns["l_suppkey"].i64.push_back(suppkey);
+      l.columns["l_linenumber"].i64.push_back(line);
+      l.columns["l_quantity"].f64.push_back(quantity);
+      l.columns["l_extendedprice"].f64.push_back(price);
+      l.columns["l_discount"].f64.push_back(discount);
+      l.columns["l_tax"].f64.push_back(tax);
+      l.columns["l_returnflag"].str.push_back(returnflag);
+      l.columns["l_linestatus"].str.push_back(linestatus);
+      l.columns["l_shipdate"].i64.push_back(ship);
+      l.columns["l_commitdate"].i64.push_back(commit);
+      l.columns["l_receiptdate"].i64.push_back(receipt);
+      l.columns["l_shipinstruct"].str.push_back(
+          instructs[rng->NextBounded(instructs.size())]);
+      l.columns["l_shipmode"].str.push_back(modes[rng->NextBounded(modes.size())]);
+      l.columns["l_comment"].str.push_back(RandomComment(rng, 4));
+      total += price * (1.0 + tax) * (1.0 - discount);
+    }
+
+    const char* status = (o_count == 0) ? "F" : (f_count == 0 ? "O" : "P");
+    o.columns["o_orderkey"].i64.push_back(k);
+    o.columns["o_custkey"].i64.push_back(cust);
+    o.columns["o_orderstatus"].str.push_back(status);
+    o.columns["o_totalprice"].f64.push_back(total);
+    o.columns["o_orderdate"].i64.push_back(odate);
+    o.columns["o_orderpriority"].str.push_back(
+        priorities[rng->NextBounded(priorities.size())]);
+    o.columns["o_clerk"].str.push_back(
+        Format("Clerk#%09lld", rng->NextInRange(1, std::max<int64_t>(1, orders / 1000))));
+    o.columns["o_shippriority"].i64.push_back(0);
+    o.columns["o_comment"].str.push_back(OrderComment(rng, 0.05));
+  }
+}
+
+}  // namespace
+
+RowCounts CountsFor(double scale_factor) {
+  ELASTIC_CHECK(scale_factor > 0.0, "scale factor must be positive");
+  RowCounts counts;
+  counts.supplier = std::max<int64_t>(40, static_cast<int64_t>(10000 * scale_factor));
+  counts.part = std::max<int64_t>(200, static_cast<int64_t>(200000 * scale_factor));
+  counts.customer = std::max<int64_t>(150, static_cast<int64_t>(150000 * scale_factor));
+  counts.orders = std::max<int64_t>(300, static_cast<int64_t>(1500000 * scale_factor));
+  counts.partsupp = counts.part * 4;
+  return counts;
+}
+
+db::Database Generate(const DbgenOptions& options) {
+  simcore::Rng rng(options.seed);
+  const RowCounts counts = CountsFor(options.scale_factor);
+
+  db::Database database;
+  database.scale_factor = options.scale_factor;
+  GenRegion(&database, &rng);
+  GenNation(&database, &rng);
+  GenSupplier(&database, &rng, counts.supplier);
+  GenCustomer(&database, &rng, counts.customer);
+  GenPart(&database, &rng, counts.part);
+  GenPartsupp(&database, &rng, counts.part, counts.supplier);
+  GenOrdersAndLineitem(&database, &rng, counts.orders, counts.customer,
+                       counts.part, counts.supplier);
+  return database;
+}
+
+}  // namespace elastic::tpch

@@ -1,0 +1,39 @@
+#ifndef ELASTICORE_TPCH_DBGEN_H_
+#define ELASTICORE_TPCH_DBGEN_H_
+
+#include <cstdint>
+
+#include "db/column.h"
+#include "simcore/rng.h"
+
+namespace elastic::tpch {
+
+/// Generator parameters.
+struct DbgenOptions {
+  /// TPC-H scale factor; SF 1 is the paper's 1 GB database. The benches use
+  /// smaller factors and report scaled shapes, as documented in DESIGN.md.
+  double scale_factor = 0.01;
+  uint64_t seed = 19920101;
+};
+
+/// Row counts at a scale factor (minimums keep tiny factors usable).
+struct RowCounts {
+  int64_t supplier = 0;
+  int64_t part = 0;
+  int64_t customer = 0;
+  int64_t orders = 0;
+  int64_t partsupp = 0;  // 4 per part
+};
+
+RowCounts CountsFor(double scale_factor);
+
+/// Generates the eight TPC-H tables in columnar form, from scratch,
+/// following the TPC-H v2 specification's distributions: pricing formulas,
+/// date windows ('1992-01-01'..'1998-08-02'), the one-third of customers
+/// without orders, part/supplier association, and the comment patterns the
+/// queries' LIKE predicates depend on.
+db::Database Generate(const DbgenOptions& options);
+
+}  // namespace elastic::tpch
+
+#endif  // ELASTICORE_TPCH_DBGEN_H_

@@ -1,0 +1,184 @@
+#include "tpch/text.h"
+
+#include <cstdio>
+
+namespace elastic::tpch {
+
+const std::vector<std::string>& TextPools::NameWords() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "almond",    "antique",   "aquamarine", "azure",     "beige",
+      "bisque",    "black",     "blanched",   "blue",      "blush",
+      "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+      "chocolate", "coral",     "cornflower", "cornsilk",  "cream",
+      "cyan",      "dark",      "deep",       "dim",       "dodger",
+      "drab",      "firebrick", "floral",     "forest",    "frosted",
+      "gainsboro", "ghost",     "goldenrod",  "green",     "grey",
+      "honeydew",  "hot",       "hotpink",    "indian",    "ivory",
+      "khaki",     "lace",      "lavender",   "lawn",      "lemon",
+      "light",     "lime",      "linen",      "magenta",   "maroon",
+      "medium",    "metallic",  "midnight",   "mint",      "misty",
+      "moccasin",  "navajo",    "navy",       "olive",     "orange",
+      "orchid",    "pale",      "papaya",     "peach",     "peru",
+      "pink",      "plum",      "powder",     "puff",      "purple",
+      "red",       "rose",      "rosy",       "royal",     "saddle",
+      "salmon",    "sandy",     "seashell",   "sienna",    "sky",
+      "slate",     "smoke",     "snow",       "spring",    "steel",
+      "tan",       "thistle",   "tomato",     "turquoise", "violet",
+      "wheat",     "white",     "yellow"};
+  return *kWords;
+}
+
+const std::vector<std::string>& TextPools::TypeS1() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+  return *kPool;
+}
+
+const std::vector<std::string>& TextPools::TypeS2() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+  return *kPool;
+}
+
+const std::vector<std::string>& TextPools::TypeS3() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+  return *kPool;
+}
+
+const std::vector<std::string>& TextPools::ContainerS1() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "SM", "MED", "LG", "JUMBO", "WRAP"};
+  return *kPool;
+}
+
+const std::vector<std::string>& TextPools::ContainerS2() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+  return *kPool;
+}
+
+const std::vector<std::string>& TextPools::Segments() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+  return *kPool;
+}
+
+const std::vector<std::string>& TextPools::Priorities() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+  return *kPool;
+}
+
+const std::vector<std::string>& TextPools::ShipModes() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+  return *kPool;
+}
+
+const std::vector<std::string>& TextPools::ShipInstructs() {
+  static const std::vector<std::string>* kPool = new std::vector<std::string>{
+      "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+  return *kPool;
+}
+
+const std::vector<TextPools::NationSpec>& TextPools::Nations() {
+  static const std::vector<NationSpec>* kNations = new std::vector<NationSpec>{
+      {"ALGERIA", 0},       {"ARGENTINA", 1}, {"BRAZIL", 1},
+      {"CANADA", 1},        {"EGYPT", 4},     {"ETHIOPIA", 0},
+      {"FRANCE", 3},        {"GERMANY", 3},   {"INDIA", 2},
+      {"INDONESIA", 2},     {"IRAN", 4},      {"IRAQ", 4},
+      {"JAPAN", 2},         {"JORDAN", 4},    {"KENYA", 0},
+      {"MOROCCO", 0},       {"MOZAMBIQUE", 0}, {"PERU", 1},
+      {"CHINA", 2},         {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+      {"VIETNAM", 2},       {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+      {"UNITED STATES", 1}};
+  return *kNations;
+}
+
+const std::vector<std::string>& TextPools::Regions() {
+  static const std::vector<std::string>* kRegions = new std::vector<std::string>{
+      "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+  return *kRegions;
+}
+
+const std::vector<std::string>& TextPools::CommentWords() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "furiously", "quickly",  "carefully", "blithely",  "slyly",
+      "regular",   "express",  "final",     "ironic",    "pending",
+      "bold",      "even",     "silent",    "daring",    "unusual",
+      "accounts",  "deposits", "packages",  "instructions", "foxes",
+      "theodolites", "pinto",  "beans",     "dependencies", "platelets",
+      "requests",  "ideas",    "asymptotes", "courts",   "dolphins",
+      "sleep",     "wake",     "nag",       "haggle",    "boost",
+      "integrate", "detect",   "cajole",    "engage",    "about",
+      "above",     "across",   "after",     "against",   "along"};
+  return *kWords;
+}
+
+namespace {
+
+std::string JoinWords(simcore::Rng* rng, int words) {
+  const std::vector<std::string>& pool = TextPools::CommentWords();
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += pool[rng->NextBounded(pool.size())];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RandomComment(simcore::Rng* rng, int words) {
+  return JoinWords(rng, words);
+}
+
+std::string OrderComment(simcore::Rng* rng, double p) {
+  if (rng->NextBernoulli(p)) {
+    return JoinWords(rng, 2) + " special " + JoinWords(rng, 2) + " requests " +
+           JoinWords(rng, 1);
+  }
+  return JoinWords(rng, 6);
+}
+
+std::string SupplierComment(simcore::Rng* rng, double p) {
+  if (rng->NextBernoulli(p)) {
+    return JoinWords(rng, 2) + " Customer " + JoinWords(rng, 1) +
+           " Complaints " + JoinWords(rng, 1);
+  }
+  return JoinWords(rng, 5);
+}
+
+std::string PartName(simcore::Rng* rng) {
+  const std::vector<std::string>& pool = TextPools::NameWords();
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) out += ' ';
+    out += pool[rng->NextBounded(pool.size())];
+  }
+  return out;
+}
+
+std::string Phone(simcore::Rng* rng, int nationkey) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%02d-%03d-%03d-%04d", 10 + nationkey,
+                static_cast<int>(rng->NextInRange(100, 999)),
+                static_cast<int>(rng->NextInRange(100, 999)),
+                static_cast<int>(rng->NextInRange(1000, 9999)));
+  return buffer;
+}
+
+std::string Address(simcore::Rng* rng) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
+  const int len = static_cast<int>(rng->NextInRange(10, 30));
+  std::string out;
+  out.reserve(static_cast<size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    out += kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+}  // namespace elastic::tpch

@@ -1,0 +1,43 @@
+#include "core/lonc.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::core {
+namespace {
+
+TEST(LoncTrackerTest, EmptyTracker) {
+  LoncTracker tracker(10, 70);
+  EXPECT_EQ(tracker.rounds(), 0);
+  EXPECT_DOUBLE_EQ(tracker.StableFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.MeanAllocated(), 0.0);
+}
+
+TEST(LoncTrackerTest, CountsStableRounds) {
+  LoncTracker tracker(10, 70);
+  tracker.Record(50, 4);   // stable
+  tracker.Record(90, 5);   // overload
+  tracker.Record(40, 5);   // stable
+  tracker.Record(5, 4);    // idle
+  EXPECT_EQ(tracker.rounds(), 4);
+  EXPECT_DOUBLE_EQ(tracker.StableFraction(), 0.5);
+}
+
+TEST(LoncTrackerTest, BoundaryValuesAreNotStable) {
+  LoncTracker tracker(10, 70);
+  tracker.Record(10, 1);  // == thmin -> idle side
+  tracker.Record(70, 1);  // == thmax -> overload side
+  EXPECT_DOUBLE_EQ(tracker.StableFraction(), 0.0);
+}
+
+TEST(LoncTrackerTest, AllocationStats) {
+  LoncTracker tracker(10, 70);
+  tracker.Record(50, 2);
+  tracker.Record(50, 6);
+  tracker.Record(50, 4);
+  EXPECT_DOUBLE_EQ(tracker.MeanAllocated(), 4.0);
+  EXPECT_EQ(tracker.MaxAllocated(), 6);
+  EXPECT_EQ(tracker.MinAllocated(), 2);
+}
+
+}  // namespace
+}  // namespace elastic::core

@@ -1,0 +1,65 @@
+#include "db/date.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::db {
+namespace {
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(MakeDate(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownOffsets) {
+  EXPECT_EQ(MakeDate(1970, 1, 2), 1);
+  EXPECT_EQ(MakeDate(1971, 1, 1), 365);
+  // 1992-01-01 (TPC-H window start) is 8035 days after epoch.
+  EXPECT_EQ(MakeDate(1992, 1, 1), 8035);
+}
+
+TEST(DateTest, RoundTripsThroughCivil) {
+  for (const auto [y, m, d] : {std::tuple{1992, 1, 1}, {1995, 6, 17},
+                               {1998, 12, 31}, {2000, 2, 29}, {1996, 2, 29}}) {
+    const Date date = MakeDate(y, m, d);
+    int yy, mm, dd;
+    CivilFromDate(date, &yy, &mm, &dd);
+    EXPECT_EQ(yy, y);
+    EXPECT_EQ(mm, m);
+    EXPECT_EQ(dd, d);
+  }
+}
+
+TEST(DateTest, ComparisonFollowsCalendar) {
+  EXPECT_LT(MakeDate(1994, 12, 31), MakeDate(1995, 1, 1));
+  EXPECT_GT(MakeDate(1995, 3, 16), MakeDate(1995, 3, 15));
+}
+
+TEST(DateTest, AddDays) {
+  EXPECT_EQ(AddDays(MakeDate(1998, 12, 1), -90), MakeDate(1998, 9, 2));
+  EXPECT_EQ(AddDays(MakeDate(1995, 12, 31), 1), MakeDate(1996, 1, 1));
+}
+
+TEST(DateTest, AddMonthsBasic) {
+  EXPECT_EQ(AddMonths(MakeDate(1993, 7, 1), 3), MakeDate(1993, 10, 1));
+  EXPECT_EQ(AddMonths(MakeDate(1995, 11, 15), 2), MakeDate(1996, 1, 15));
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  EXPECT_EQ(AddMonths(MakeDate(1995, 1, 31), 1), MakeDate(1995, 2, 28));
+  EXPECT_EQ(AddMonths(MakeDate(1996, 1, 31), 1), MakeDate(1996, 2, 29));  // leap
+}
+
+TEST(DateTest, AddYears) {
+  EXPECT_EQ(AddYears(MakeDate(1994, 1, 1), 1), MakeDate(1995, 1, 1));
+  EXPECT_EQ(AddYears(MakeDate(1996, 2, 29), 1), MakeDate(1997, 2, 28));
+}
+
+TEST(DateTest, YearOf) {
+  EXPECT_EQ(YearOf(MakeDate(1997, 6, 30)), 1997);
+  EXPECT_EQ(YearOf(MakeDate(1992, 1, 1)), 1992);
+}
+
+TEST(DateTest, ToStringFormat) {
+  EXPECT_EQ(DateToString(MakeDate(1998, 8, 2)), "1998-08-02");
+  EXPECT_EQ(DateToString(MakeDate(1992, 11, 30)), "1992-11-30");
+}
+
+}  // namespace
+}  // namespace elastic::db

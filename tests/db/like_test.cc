@@ -1,0 +1,51 @@
+#include "db/like.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::db {
+namespace {
+
+TEST(LikeTest, Contains) {
+  EXPECT_TRUE(LikeContains("dark green metallic", "green"));
+  EXPECT_FALSE(LikeContains("dark red metallic", "green"));
+  EXPECT_TRUE(LikeContains("green", "green"));
+  EXPECT_FALSE(LikeContains("", "green"));
+}
+
+TEST(LikeTest, StartsWith) {
+  EXPECT_TRUE(LikeStartsWith("PROMO BURNISHED TIN", "PROMO"));
+  EXPECT_FALSE(LikeStartsWith("STANDARD PROMO", "PROMO"));
+  EXPECT_TRUE(LikeStartsWith("forest chocolate", "forest"));
+  EXPECT_FALSE(LikeStartsWith("fo", "forest"));
+}
+
+TEST(LikeTest, EndsWith) {
+  EXPECT_TRUE(LikeEndsWith("LARGE BRUSHED BRASS", "BRASS"));
+  EXPECT_FALSE(LikeEndsWith("BRASS PLATED TIN", "BRASS"));
+  EXPECT_FALSE(LikeEndsWith("SS", "BRASS"));
+}
+
+TEST(LikeTest, ContainsSeqInOrder) {
+  EXPECT_TRUE(LikeContainsSeq("xx special yy requests zz",
+                              {"special", "requests"}));
+  // Reversed order must not match.
+  EXPECT_FALSE(LikeContainsSeq("xx requests yy special zz",
+                               {"special", "requests"}));
+  // Overlap is not allowed: needles must appear sequentially.
+  EXPECT_FALSE(LikeContainsSeq("specialrequest", {"special", "requests"}));
+  EXPECT_TRUE(LikeContainsSeq("specialrequests", {"special", "requests"}));
+}
+
+TEST(LikeTest, ContainsSeqEmptyNeedles) {
+  EXPECT_TRUE(LikeContainsSeq("anything", {}));
+}
+
+TEST(LikeTest, SqlSubstring) {
+  EXPECT_EQ(SqlSubstring("13-345-678-9012", 1, 2), "13");
+  EXPECT_EQ(SqlSubstring("abc", 2, 2), "bc");
+  EXPECT_EQ(SqlSubstring("abc", 5, 2), "");
+  EXPECT_EQ(SqlSubstring("abc", 0, 2), "ab");  // clamped to 1-based start
+}
+
+}  // namespace
+}  // namespace elastic::db

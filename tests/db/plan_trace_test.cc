@@ -1,0 +1,59 @@
+#include "db/plan_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::db {
+namespace {
+
+TEST(PlanRecorderTest, RecordsStagesInOrder) {
+  PlanRecorder rec("Q6", 5);
+  TraceStage s0;
+  s0.op = "select";
+  s0.inputs = {PlanRecorder::Base("lineitem.l_quantity", 1000)};
+  s0.rows_out = 450;
+  EXPECT_EQ(rec.AddStage(s0), 0);
+  TraceStage s1;
+  s1.op = "project";
+  s1.inputs = {PlanRecorder::Inter(0, 450)};
+  s1.rows_out = 450;
+  EXPECT_EQ(rec.AddStage(s1), 1);
+
+  const PlanTrace trace = rec.Take();
+  EXPECT_EQ(trace.query, "Q6");
+  EXPECT_EQ(trace.stream, 5);
+  ASSERT_EQ(trace.stages.size(), 2u);
+  EXPECT_EQ(trace.stages[0].op, "select");
+  EXPECT_EQ(trace.stages[1].inputs[0].stage, 0);
+}
+
+TEST(PlanRecorderTest, VolumeAccounting) {
+  PlanRecorder rec("T", 0);
+  TraceStage s;
+  s.inputs = {PlanRecorder::Base("a.b", 100, 8), PlanRecorder::Base("a.c", 50, 8)};
+  s.rows_out = 10;
+  s.out_width = 16;
+  rec.AddStage(s);
+  const PlanTrace trace = rec.Take();
+  EXPECT_EQ(trace.TotalBytesRead(), 100 * 8 + 50 * 8);
+  EXPECT_EQ(trace.TotalBytesWritten(), 160);
+}
+
+TEST(PlanRecorderTest, BaseAndInterHelpers) {
+  const StageInput base = PlanRecorder::Base("t.c", 10, 4, false);
+  EXPECT_EQ(base.base_column, "t.c");
+  EXPECT_EQ(base.stage, -1);
+  EXPECT_FALSE(base.dense);
+  const StageInput inter = PlanRecorder::Inter(3, 20);
+  EXPECT_EQ(inter.stage, 3);
+  EXPECT_TRUE(inter.base_column.empty());
+}
+
+TEST(PlanRecorderDeathTest, ForwardReferenceAborts) {
+  PlanRecorder rec("T", 0);
+  TraceStage s;
+  s.inputs = {PlanRecorder::Inter(0, 10)};  // stage 0 doesn't exist yet
+  EXPECT_DEATH(rec.AddStage(s), "future stage");
+}
+
+}  // namespace
+}  // namespace elastic::db

@@ -1,0 +1,93 @@
+// Validation of the recorded physical plans (the simulator's inputs).
+
+#include <gtest/gtest.h>
+
+#include "db/queries.h"
+#include "tests/db/test_db.h"
+
+namespace elastic::db {
+namespace {
+
+const Database& Db() { return testutil::TestDb(); }
+
+TEST(QueryTraceTest, Q6TraceMirrorsMalPipeline) {
+  const QueryOutput out = RunTpchQuery(Db(), 6);
+  const PlanTrace& trace = out.trace;
+  ASSERT_EQ(trace.stages.size(), 6u);
+  // X_1 thetasubselect over the full quantity column.
+  EXPECT_EQ(trace.stages[0].op, "select");
+  EXPECT_EQ(trace.stages[0].inputs[0].base_column, "lineitem.l_quantity");
+  EXPECT_EQ(trace.stages[0].inputs[0].rows, Db().lineitem.num_rows());
+  EXPECT_TRUE(trace.stages[0].inputs[0].dense);
+  // X_2 narrows X_1: candidate-driven, sparse access.
+  EXPECT_EQ(trace.stages[1].inputs[0].base_column, "lineitem.l_shipdate");
+  EXPECT_FALSE(trace.stages[1].inputs[0].dense);
+  EXPECT_EQ(trace.stages[1].inputs[1].stage, 0);
+  // Output cardinalities shrink monotonically through the selections.
+  EXPECT_GE(trace.stages[0].rows_out, trace.stages[1].rows_out);
+  EXPECT_GE(trace.stages[1].rows_out, trace.stages[2].rows_out);
+  // Final aggregate emits one row.
+  EXPECT_EQ(trace.stages.back().rows_out, 1);
+}
+
+TEST(QueryTraceTest, SelectivityKnobControlsThetaSubselect) {
+  const Database& db = Db();
+  const QueryOutput lo = RunThetaSubselect(db, 0.02);
+  const QueryOutput hi = RunThetaSubselect(db, 0.64);
+  const int64_t rows = db.lineitem.num_rows();
+  const double lo_sel =
+      static_cast<double>(lo.result.at(0, 0).i64()) / static_cast<double>(rows);
+  const double hi_sel =
+      static_cast<double>(hi.result.at(0, 0).i64()) / static_cast<double>(rows);
+  EXPECT_NEAR(lo_sel, 0.02, 0.015);
+  EXPECT_NEAR(hi_sel, 0.64, 0.03);
+  // Output volume scales with selectivity.
+  EXPECT_GT(hi.trace.stages[0].rows_out, lo.trace.stages[0].rows_out * 10);
+}
+
+TEST(QueryTraceTest, JoinQueriesRecordBuildAndProbe) {
+  for (int q : {3, 5, 8, 10}) {
+    const QueryOutput out = RunTpchQuery(Db(), q);
+    bool has_build_or_probe = false;
+    for (const TraceStage& s : out.trace.stages) {
+      if (s.op == "join-build" || s.op == "join-probe") has_build_or_probe = true;
+      EXPECT_GE(s.rows_out, 0);
+      EXPECT_GT(s.cpu_weight, 0.0);
+    }
+    EXPECT_TRUE(has_build_or_probe) << "Q" << q;
+  }
+}
+
+TEST(QueryTraceTest, StageInputReferencesAreWellFormed) {
+  for (int q = 1; q <= 22; ++q) {
+    const QueryOutput out = RunTpchQuery(Db(), q);
+    for (size_t s = 0; s < out.trace.stages.size(); ++s) {
+      for (const StageInput& in : out.trace.stages[s].inputs) {
+        if (in.stage >= 0) {
+          EXPECT_LT(in.stage, static_cast<int>(s)) << "Q" << q << " stage " << s;
+        } else {
+          EXPECT_FALSE(in.base_column.empty()) << "Q" << q << " stage " << s;
+          // Base columns must exist: "table.column".
+          const size_t dot = in.base_column.find('.');
+          ASSERT_NE(dot, std::string::npos);
+          const Table& table = Db().table(in.base_column.substr(0, dot));
+          EXPECT_TRUE(table.has(in.base_column.substr(dot + 1)))
+              << in.base_column;
+        }
+        EXPECT_GE(in.rows, 0);
+      }
+    }
+  }
+}
+
+TEST(QueryTraceTest, HeavyQueriesMoveMoreBytes) {
+  // Q1 (full lineitem scan + wide aggregate) must read much more than the
+  // tiny region-only portions of e.g. Q2's part filter output. Compare
+  // against Q14 (one month of lineitem): Q1 reads strictly more.
+  const int64_t q1 = RunTpchQuery(Db(), 1).trace.TotalBytesRead();
+  const int64_t q14 = RunTpchQuery(Db(), 14).trace.TotalBytesRead();
+  EXPECT_GT(q1, q14);
+}
+
+}  // namespace
+}  // namespace elastic::db

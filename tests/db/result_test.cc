@@ -1,0 +1,71 @@
+#include "db/result.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::db {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_EQ(Value::I64(42).i64(), 42);
+  EXPECT_DOUBLE_EQ(Value::F64(3.5).f64(), 3.5);
+  EXPECT_EQ(Value::Str("hi").str(), "hi");
+}
+
+TEST(ValueTest, CompareWithinKind) {
+  EXPECT_LT(Value::I64(1).Compare(Value::I64(2)), 0);
+  EXPECT_GT(Value::F64(2.5).Compare(Value::F64(1.0)), 0);
+  EXPECT_EQ(Value::Str("a").Compare(Value::Str("a")), 0);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::I64(7).ToString(), "7");
+  EXPECT_EQ(Value::F64(2.5).ToString(), "2.50");
+  EXPECT_EQ(Value::Str("x").ToString(), "x");
+}
+
+QueryResult SampleResult() {
+  QueryResult r;
+  r.column_names = {"name", "score"};
+  r.rows.push_back({Value::Str("b"), Value::F64(2.0)});
+  r.rows.push_back({Value::Str("a"), Value::F64(3.0)});
+  r.rows.push_back({Value::Str("c"), Value::F64(2.0)});
+  return r;
+}
+
+TEST(QueryResultTest, SortSingleKeyDescending) {
+  QueryResult r = SampleResult();
+  r.Sort({{1, false}});
+  EXPECT_EQ(r.at(0, 0).str(), "a");
+}
+
+TEST(QueryResultTest, SortIsStableAcrossKeys) {
+  QueryResult r = SampleResult();
+  r.Sort({{1, false}, {0, true}});
+  // score 3 first; then ties on 2.0 ordered by name: b, c.
+  EXPECT_EQ(r.at(0, 0).str(), "a");
+  EXPECT_EQ(r.at(1, 0).str(), "b");
+  EXPECT_EQ(r.at(2, 0).str(), "c");
+}
+
+TEST(QueryResultTest, LimitTruncates) {
+  QueryResult r = SampleResult();
+  r.Limit(2);
+  EXPECT_EQ(r.num_rows(), 2);
+  r.Limit(10);  // no-op
+  EXPECT_EQ(r.num_rows(), 2);
+}
+
+TEST(QueryResultTest, ToStringContainsHeaderAndRows) {
+  QueryResult r = SampleResult();
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(QueryResultDeathTest, OutOfRangeAtAborts) {
+  QueryResult r = SampleResult();
+  EXPECT_DEATH(r.at(99, 0), "row out of range");
+}
+
+}  // namespace
+}  // namespace elastic::db

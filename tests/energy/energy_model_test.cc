@@ -1,0 +1,41 @@
+#include "energy/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::energy {
+namespace {
+
+TEST(EnergyModelTest, CpuEnergyScalesWithBusyTime) {
+  EnergyModel model;
+  numasim::MachineConfig config;  // 2.8 GHz, 4 cores/socket, 75 W ACP
+  // One core fully busy for one second = 2.8e9 cycles.
+  const double joules = model.CpuJoules(2'800'000'000LL, config);
+  EXPECT_NEAR(joules, 75.0 / 4.0, 1e-6);
+  EXPECT_NEAR(model.CpuJoules(0, config), 0.0, 1e-12);
+}
+
+TEST(EnergyModelTest, HtEnergyScalesWithBytes) {
+  EnergyModel model;
+  // 1 GB at 60 pJ/bit = 1e9 * 8 * 60e-12 J = 0.48 J.
+  EXPECT_NEAR(model.HtJoules(1'000'000'000LL), 0.48, 1e-9);
+}
+
+TEST(EnergyModelTest, StreamSplitReadsCounters) {
+  EnergyModel model;
+  numasim::MachineConfig config;
+  perf::CounterSet counters(4, 8, 16);
+  counters.stream_busy_cycles[3] = 2'800'000'000LL;
+  counters.stream_ht_bytes[3] = 1'000'000'000LL;
+  const EnergyModel::Split split = model.ForStream(counters, 3, config);
+  EXPECT_NEAR(split.cpu_joules, 18.75, 1e-6);
+  EXPECT_NEAR(split.ht_joules, 0.48, 1e-9);
+  EXPECT_NEAR(split.total(), 19.23, 1e-6);
+}
+
+TEST(EnergyModelTest, LessTrafficMeansLessEnergy) {
+  EnergyModel model;
+  EXPECT_LT(model.HtJoules(100), model.HtJoules(1000));
+}
+
+}  // namespace
+}  // namespace elastic::energy

@@ -1,0 +1,56 @@
+#include "exec/base_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "numasim/page_table.h"
+#include "tests/db/test_db.h"
+
+namespace elastic::exec {
+namespace {
+
+TEST(BaseCatalogTest, EveryColumnGetsABuffer) {
+  numasim::PageTable pt(4);
+  BaseCatalog catalog(&pt, testutil::TestDb(), BasePlacement::kChunkedRoundRobin,
+                      4096);
+  EXPECT_GT(catalog.PagesOf("lineitem.l_quantity"), 0);
+  EXPECT_GT(catalog.PagesOf("orders.o_orderdate"), 0);
+  EXPECT_GT(catalog.PagesOf("region.r_name"), 0);
+  EXPECT_NE(catalog.BufferOf("lineitem.l_quantity"),
+            catalog.BufferOf("lineitem.l_discount"));
+}
+
+TEST(BaseCatalogTest, PageCountMatchesEightByteColumns) {
+  numasim::PageTable pt(4);
+  const db::Database& db = testutil::TestDb();
+  BaseCatalog catalog(&pt, db, BasePlacement::kChunkedRoundRobin, 4096);
+  const int64_t rows = db.lineitem.num_rows();
+  EXPECT_EQ(catalog.RowsOf("lineitem.l_quantity"), rows);
+  EXPECT_EQ(catalog.PagesOf("lineitem.l_quantity"), (rows * 8 + 4095) / 4096);
+}
+
+TEST(BaseCatalogTest, AllOnNode0PlacesEverythingThere) {
+  numasim::PageTable pt(4);
+  BaseCatalog catalog(&pt, testutil::TestDb(), BasePlacement::kAllOnNode0, 4096);
+  EXPECT_GT(pt.ResidentPages(0), 0);
+  EXPECT_EQ(pt.ResidentPages(1), 0);
+  EXPECT_EQ(pt.ResidentPages(2), 0);
+  EXPECT_EQ(pt.ResidentPages(3), 0);
+}
+
+TEST(BaseCatalogTest, ChunkedRoundRobinUsesAllNodes) {
+  numasim::PageTable pt(4);
+  BaseCatalog catalog(&pt, testutil::TestDb(),
+                      BasePlacement::kChunkedRoundRobin, 4096);
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_GT(pt.ResidentPages(node), 0) << "node " << node;
+  }
+}
+
+TEST(BaseCatalogDeathTest, UnknownColumnAborts) {
+  numasim::PageTable pt(4);
+  BaseCatalog catalog(&pt, testutil::TestDb(), BasePlacement::kAllOnNode0, 4096);
+  EXPECT_DEATH(catalog.BufferOf("lineitem.nope"), "unknown");
+}
+
+}  // namespace
+}  // namespace elastic::exec

@@ -1,0 +1,129 @@
+#include "exec/client_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "db/queries.h"
+#include "ossim/machine.h"
+#include "tests/db/test_db.h"
+
+namespace elastic::exec {
+namespace {
+
+class ClientDriverTest : public ::testing::Test {
+ protected:
+  ClientDriverTest()
+      : machine_(ossim::MachineOptions{}),
+        catalog_(&machine_.page_table(), testutil::TestDb(),
+                 BasePlacement::kChunkedRoundRobin, 4096),
+        engine_(&machine_, &catalog_, EngineOptions{}),
+        q6_(db::RunTpchQuery(testutil::TestDb(), 6).trace),
+        q1_(db::RunTpchQuery(testutil::TestDb(), 1).trace) {}
+
+  void RunDriver(ClientDriver* driver, int64_t max_ticks = 500000) {
+    driver->Start();
+    int64_t ticks = 0;
+    while (!driver->AllDone() && ticks < max_ticks) {
+      machine_.Step();
+      ticks++;
+    }
+    ASSERT_TRUE(driver->AllDone()) << "driver stuck";
+  }
+
+  ossim::Machine machine_;
+  BaseCatalog catalog_;
+  DbmsEngine engine_;
+  db::PlanTrace q6_;
+  db::PlanTrace q1_;
+};
+
+TEST_F(ClientDriverTest, FixedQueryRunsAllRounds) {
+  ClientWorkload workload;
+  workload.mode = WorkloadMode::kFixedQuery;
+  workload.traces = {&q6_};
+  workload.queries_per_client = 3;
+  ClientDriver driver(&machine_, &engine_, workload, 4, 1);
+  RunDriver(&driver);
+  EXPECT_EQ(driver.completed(), 12);
+  EXPECT_GT(driver.ThroughputQps(), 0.0);
+  EXPECT_GT(driver.MeanLatencySeconds(), 0.0);
+}
+
+TEST_F(ClientDriverTest, RecordsHaveValidTimestamps) {
+  ClientWorkload workload;
+  workload.traces = {&q6_};
+  workload.queries_per_client = 2;
+  ClientDriver driver(&machine_, &engine_, workload, 2, 1);
+  RunDriver(&driver);
+  for (const auto& record : driver.records()) {
+    EXPECT_GE(record.completed, record.submitted);
+    EXPECT_EQ(record.class_index, 0);
+  }
+}
+
+TEST_F(ClientDriverTest, RandomMixUsesMultipleClasses) {
+  ClientWorkload workload;
+  workload.mode = WorkloadMode::kRandomMix;
+  workload.traces = {&q6_, &q1_};
+  workload.queries_per_client = 6;
+  ClientDriver driver(&machine_, &engine_, workload, 4, 99);
+  RunDriver(&driver);
+  int class0 = 0, class1 = 0;
+  for (const auto& record : driver.records()) {
+    if (record.class_index == 0) class0++;
+    if (record.class_index == 1) class1++;
+  }
+  EXPECT_GT(class0, 0);
+  EXPECT_GT(class1, 0);
+  EXPECT_EQ(class0 + class1, 24);
+}
+
+TEST_F(ClientDriverTest, PhasesRunClassesInOrder) {
+  ClientWorkload workload;
+  workload.mode = WorkloadMode::kPhases;
+  workload.traces = {&q6_, &q1_};
+  ClientDriver driver(&machine_, &engine_, workload, 3, 7);
+  RunDriver(&driver);
+  // 3 clients x 2 phases.
+  EXPECT_EQ(driver.completed(), 6);
+  // Phase 0 completions must all precede phase 1 completions.
+  simcore::Tick last_phase0 = 0;
+  simcore::Tick first_phase1 = INT64_MAX;
+  for (const auto& record : driver.records()) {
+    if (record.class_index == 0) {
+      last_phase0 = std::max(last_phase0, record.completed);
+    } else {
+      first_phase1 = std::min(first_phase1, record.completed);
+    }
+  }
+  EXPECT_LE(last_phase0, first_phase1);
+}
+
+TEST_F(ClientDriverTest, ThinkTimeDelaysResubmission) {
+  ClientWorkload workload;
+  workload.traces = {&q6_};
+  workload.queries_per_client = 2;
+  workload.think_ticks = 50;
+  ClientDriver driver(&machine_, &engine_, workload, 1, 3);
+  RunDriver(&driver);
+  ASSERT_EQ(driver.completed(), 2);
+  const auto& records = driver.records();
+  EXPECT_GE(records[1].submitted, records[0].completed + 50);
+}
+
+TEST_F(ClientDriverTest, PerClassLatencyFilter) {
+  ClientWorkload workload;
+  workload.mode = WorkloadMode::kRandomMix;
+  workload.traces = {&q6_, &q1_};
+  workload.queries_per_client = 4;
+  ClientDriver driver(&machine_, &engine_, workload, 2, 5);
+  RunDriver(&driver);
+  // Q1 is heavier than Q6: per-class latency should reflect that.
+  const double lat_q6 = driver.MeanLatencySeconds(0);
+  const double lat_q1 = driver.MeanLatencySeconds(1);
+  if (lat_q6 > 0 && lat_q1 > 0) {
+    EXPECT_GT(lat_q1, lat_q6 * 0.5);  // sanity: same order of magnitude+
+  }
+}
+
+}  // namespace
+}  // namespace elastic::exec

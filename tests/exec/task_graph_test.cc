@@ -1,0 +1,151 @@
+#include "exec/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "db/queries.h"
+#include "ossim/machine.h"
+#include "tests/db/test_db.h"
+
+namespace elastic::exec {
+namespace {
+
+class TaskGraphTest : public ::testing::Test {
+ protected:
+  TaskGraphTest()
+      : machine_(ossim::MachineOptions{}),
+        catalog_(&machine_.page_table(), testutil::TestDb(),
+                 BasePlacement::kChunkedRoundRobin, 4096),
+        trace_(db::RunTpchQuery(testutil::TestDb(), 6).trace) {}
+
+  ossim::Machine machine_;
+  BaseCatalog catalog_;
+  db::PlanTrace trace_;
+};
+
+TEST_F(TaskGraphTest, StartsWithFirstStageReady) {
+  TaskGraphOptions options;
+  options.parallelism = 4;
+  TaskGraph graph(&machine_.page_table(), &catalog_, &trace_, options, nullptr);
+  EXPECT_EQ(graph.current_stage(), 0);
+  const auto jobs = graph.TakeReadyJobs();
+  EXPECT_EQ(jobs.size(), 4u);
+  EXPECT_TRUE(graph.TakeReadyJobs().empty());  // handed out once
+}
+
+TEST_F(TaskGraphTest, JobsCoverTheInputColumn) {
+  TaskGraphOptions options;
+  options.parallelism = 4;
+  TaskGraph graph(&machine_.page_table(), &catalog_, &trace_, options, nullptr);
+  const auto jobs = graph.TakeReadyJobs();
+  // Stage 0 reads lineitem.l_quantity densely: the job slices must tile the
+  // whole buffer.
+  const int64_t pages = catalog_.PagesOf("lineitem.l_quantity");
+  int64_t covered = 0;
+  for (const auto& job : jobs) {
+    ASSERT_GE(job.ranges.size(), 1u);
+    covered += job.ranges[0].num_pages();
+  }
+  EXPECT_EQ(covered, pages);
+}
+
+TEST_F(TaskGraphTest, BarrierAdvancesStages) {
+  TaskGraphOptions options;
+  options.parallelism = 2;
+  TaskGraph graph(&machine_.page_table(), &catalog_, &trace_, options, nullptr);
+  auto jobs = graph.TakeReadyJobs();
+  ASSERT_EQ(jobs.size(), 2u);
+  graph.OnJobComplete();
+  EXPECT_EQ(graph.current_stage(), 0);  // one of two done: still stage 0
+  EXPECT_TRUE(graph.TakeReadyJobs().empty());
+  graph.OnJobComplete();
+  EXPECT_EQ(graph.current_stage(), 1);  // barrier crossed
+  EXPECT_FALSE(graph.TakeReadyJobs().empty());
+}
+
+TEST_F(TaskGraphTest, CompletesAfterAllStages) {
+  TaskGraphOptions options;
+  options.parallelism = 1;
+  bool completed = false;
+  TaskGraph graph(&machine_.page_table(), &catalog_, &trace_, options,
+                  [&completed] { completed = true; });
+  for (int stage = 0; stage < graph.num_stages(); ++stage) {
+    const auto jobs = graph.TakeReadyJobs();
+    ASSERT_EQ(jobs.size(), 1u) << "stage " << stage;
+    graph.OnJobComplete();
+  }
+  EXPECT_TRUE(graph.done());
+  EXPECT_TRUE(completed);
+}
+
+TEST_F(TaskGraphTest, IntermediateBuffersFreedAtCompletion) {
+  const int64_t buffers_before = machine_.page_table().total_buffers_created();
+  TaskGraphOptions options;
+  options.parallelism = 1;
+  {
+    TaskGraph graph(&machine_.page_table(), &catalog_, &trace_, options, nullptr);
+    for (int stage = 0; stage < graph.num_stages(); ++stage) {
+      graph.TakeReadyJobs();
+      graph.OnJobComplete();
+    }
+    EXPECT_TRUE(graph.done());
+  }
+  // All buffers created by the graph must be dead.
+  const int64_t buffers_after = machine_.page_table().total_buffers_created();
+  for (int64_t b = buffers_before; b < buffers_after; ++b) {
+    EXPECT_FALSE(machine_.page_table().IsLive(static_cast<numasim::BufferId>(b)));
+  }
+}
+
+TEST_F(TaskGraphTest, ParallelismCappedByInputPages) {
+  // A stage whose input has fewer pages than the requested parallelism must
+  // spawn fewer jobs, not empty ones.
+  db::PlanTrace tiny;
+  tiny.query = "tiny";
+  tiny.stream = 0;
+  db::TraceStage stage;
+  stage.op = "select";
+  stage.inputs = {db::PlanRecorder::Base("region.r_name", 5)};
+  stage.rows_out = 5;
+  tiny.stages.push_back(stage);
+  TaskGraphOptions options;
+  options.parallelism = 16;
+  TaskGraph graph(&machine_.page_table(), &catalog_, &tiny, options, nullptr);
+  const auto jobs = graph.TakeReadyJobs();
+  EXPECT_LT(jobs.size(), 16u);
+  EXPECT_GE(jobs.size(), 1u);
+}
+
+TEST_F(TaskGraphTest, ComputeBudgetMatchesRowsAndWeight) {
+  TaskGraphOptions options;
+  options.parallelism = 1;
+  options.cycles_per_row = 100.0;
+  TaskGraph graph(&machine_.page_table(), &catalog_, &trace_, options, nullptr);
+  const auto jobs = graph.TakeReadyJobs();
+  ASSERT_EQ(jobs.size(), 1u);
+  const auto& job = jobs[0];
+  int64_t pages = 0;
+  for (const auto& r : job.ranges) pages += r.num_pages();
+  const double total_cycles =
+      static_cast<double>(job.cpu_cycles_per_page) * static_cast<double>(pages);
+  // Stage 0 processes every lineitem row at weight 1.0.
+  const double expected =
+      100.0 * static_cast<double>(testutil::TestDb().lineitem.num_rows());
+  EXPECT_NEAR(total_cycles, expected, expected * 0.05);
+}
+
+TEST_F(TaskGraphTest, DestructorReleasesBuffersOfAbandonedQuery) {
+  const int64_t before = machine_.page_table().total_buffers_created();
+  {
+    TaskGraphOptions options;
+    TaskGraph graph(&machine_.page_table(), &catalog_, &trace_, options, nullptr);
+    graph.TakeReadyJobs();
+    // Abandon mid-flight.
+  }
+  const int64_t after = machine_.page_table().total_buffers_created();
+  for (int64_t b = before; b < after; ++b) {
+    EXPECT_FALSE(machine_.page_table().IsLive(static_cast<numasim::BufferId>(b)));
+  }
+}
+
+}  // namespace
+}  // namespace elastic::exec

@@ -1,0 +1,42 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::metrics {
+namespace {
+
+TEST(TableTest, RendersHeaderSeparatorAndRows) {
+  Table table({"mode", "speedup"});
+  table.AddRow({"adaptive", "1.29"});
+  table.AddRow({"os", "1.00"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("mode"), std::string::npos);
+  EXPECT_NE(out.find("adaptive"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Three content lines + separator.
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') lines++;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table table({"a", "value"});
+  table.AddRow({"longer-cell", "1"});
+  const std::string out = table.ToString();
+  // Header row must be padded to the widest cell.
+  const size_t header_end = out.find('\n');
+  const size_t value_pos = out.substr(0, header_end).find("value");
+  EXPECT_GT(value_pos, 10u);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Int(42), "42");
+  EXPECT_EQ(Table::Int(-7), "-7");
+}
+
+}  // namespace
+}  // namespace elastic::metrics

@@ -1,0 +1,69 @@
+#include "numasim/l3_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::numasim {
+namespace {
+
+TEST(L3CacheTest, MissThenHit) {
+  L3Cache cache(4);
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_TRUE(cache.Access(1));
+}
+
+TEST(L3CacheTest, EvictsLeastRecentlyUsed) {
+  L3Cache cache(2);
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(1);      // 1 is now MRU
+  cache.Access(3);      // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(L3CacheTest, CapacityIsRespected) {
+  L3Cache cache(8);
+  for (PageId p = 0; p < 100; ++p) cache.Access(p);
+  EXPECT_EQ(cache.size(), 8);
+}
+
+TEST(L3CacheTest, InvalidateRemoves) {
+  L3Cache cache(4);
+  cache.Access(42);
+  EXPECT_TRUE(cache.Invalidate(42));
+  EXPECT_FALSE(cache.Contains(42));
+  EXPECT_FALSE(cache.Invalidate(42));  // second time: nothing there
+}
+
+TEST(L3CacheTest, ClearDropsEverything) {
+  L3Cache cache(4);
+  cache.Access(1);
+  cache.Access(2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(L3CacheTest, WorkingSetLargerThanCacheAlwaysMisses) {
+  // Sequential scan of 2x the capacity: LRU gives zero hits on re-scan.
+  L3Cache cache(16);
+  for (int round = 0; round < 2; ++round) {
+    for (PageId p = 0; p < 32; ++p) {
+      EXPECT_FALSE(cache.Access(p)) << "round " << round << " page " << p;
+    }
+  }
+}
+
+TEST(L3CacheTest, WorkingSetWithinCacheAlwaysHitsAfterWarmup) {
+  L3Cache cache(32);
+  for (PageId p = 0; p < 16; ++p) cache.Access(p);
+  for (int round = 0; round < 3; ++round) {
+    for (PageId p = 0; p < 16; ++p) {
+      EXPECT_TRUE(cache.Access(p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elastic::numasim

@@ -1,0 +1,160 @@
+#include "numasim/memory_system.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/counters.h"
+
+namespace elastic::numasim {
+namespace {
+
+class MemorySystemTest : public ::testing::Test {
+ protected:
+  MemorySystemTest()
+      : topo_(MachineConfig{}),
+        pt_(topo_.num_nodes()),
+        counters_(topo_.num_nodes(), topo_.num_links(), topo_.total_cores()),
+        mem_(&topo_, &pt_, &counters_) {}
+
+  Topology topo_;
+  PageTable pt_;
+  perf::CounterSet counters_;
+  MemorySystem mem_;
+};
+
+TEST_F(MemorySystemTest, FirstTouchChargesFaultAndAllocatesLocally) {
+  const BufferId buf = pt_.CreateBuffer(4);
+  mem_.BeginTick();
+  const AccessResult r = mem_.Access(/*core=*/5, PageTable::PageOf(buf, 0),
+                                     /*is_write=*/false, perf::kNoStream);
+  EXPECT_TRUE(r.first_touch);
+  EXPECT_TRUE(r.minor_fault);
+  EXPECT_EQ(pt_.HomeOf(PageTable::PageOf(buf, 0)), topo_.NodeOfCore(5));
+  EXPECT_EQ(counters_.minor_faults, 1);
+  EXPECT_EQ(counters_.first_touch_faults, 1);
+}
+
+TEST_F(MemorySystemTest, LocalAccessGeneratesNoHtTraffic) {
+  const BufferId buf = pt_.CreateBuffer(4);
+  pt_.PlaceAllOn(buf, 0);
+  mem_.BeginTick();
+  const AccessResult r = mem_.Access(0, PageTable::PageOf(buf, 0), false, 0);
+  EXPECT_FALSE(r.remote);
+  EXPECT_EQ(counters_.ht_bytes_total, 0);
+  EXPECT_EQ(counters_.imc_bytes[0], topo_.config().page_bytes);
+  EXPECT_EQ(counters_.local_bytes[0], topo_.config().page_bytes);
+}
+
+TEST_F(MemorySystemTest, RemoteAccessChargesInterconnect) {
+  const BufferId buf = pt_.CreateBuffer(4);
+  pt_.PlaceAllOn(buf, 1);  // data on node 1
+  mem_.BeginTick();
+  const AccessResult r = mem_.Access(0, PageTable::PageOf(buf, 0), false, 0);
+  EXPECT_TRUE(r.remote);
+  EXPECT_TRUE(r.minor_fault);  // remote fetch counts as a fresh minor fault
+  EXPECT_EQ(counters_.ht_bytes_total, topo_.config().page_bytes);
+  EXPECT_EQ(counters_.imc_bytes[1], topo_.config().page_bytes);  // home IMC
+  EXPECT_EQ(counters_.remote_in_bytes[0], topo_.config().page_bytes);
+  EXPECT_GT(r.cycles, topo_.config().local_dram_cycles);
+}
+
+TEST_F(MemorySystemTest, DiagonalRemoteCostsTwoHops) {
+  const BufferId buf = pt_.CreateBuffer(4);
+  pt_.PlaceAllOn(buf, 3);  // S0 <-> S3 is two hops
+  mem_.BeginTick();
+  const AccessResult r = mem_.Access(0, PageTable::PageOf(buf, 0), false, 0);
+  const MachineConfig& cfg = topo_.config();
+  EXPECT_EQ(r.cycles, cfg.local_dram_cycles + 2 * cfg.remote_hop_cycles);
+  // Traffic counted on both traversed links.
+  EXPECT_EQ(counters_.ht_bytes_total, 2 * cfg.page_bytes);
+}
+
+TEST_F(MemorySystemTest, SecondAccessHitsL3) {
+  const BufferId buf = pt_.CreateBuffer(4);
+  pt_.PlaceAllOn(buf, 0);
+  mem_.BeginTick();
+  mem_.Access(0, PageTable::PageOf(buf, 0), false, 0);
+  const AccessResult r = mem_.Access(0, PageTable::PageOf(buf, 0), false, 0);
+  EXPECT_TRUE(r.l3_hit);
+  EXPECT_EQ(r.cycles, topo_.config().l3_hit_cycles);
+  EXPECT_EQ(counters_.l3_hits[0], 1);
+  EXPECT_EQ(counters_.l3_misses[0], 1);
+}
+
+TEST_F(MemorySystemTest, L3IsPerSocket) {
+  const BufferId buf = pt_.CreateBuffer(4);
+  pt_.PlaceAllOn(buf, 0);
+  mem_.BeginTick();
+  mem_.Access(0, PageTable::PageOf(buf, 0), false, 0);  // warms node 0 L3
+  const AccessResult r = mem_.Access(4, PageTable::PageOf(buf, 0), false, 0);
+  EXPECT_FALSE(r.l3_hit);  // node 1's cache is cold
+  EXPECT_TRUE(r.remote);
+}
+
+TEST_F(MemorySystemTest, WriteInvalidatesRemoteCopies) {
+  const BufferId buf = pt_.CreateBuffer(4);
+  pt_.PlaceAllOn(buf, 0);
+  const PageId page = PageTable::PageOf(buf, 0);
+  mem_.BeginTick();
+  mem_.Access(0, page, false, 0);   // cached on node 0
+  mem_.Access(4, page, false, 0);   // cached on node 1 too
+  mem_.Access(0, page, true, 0);    // write from node 0: invalidate node 1
+  EXPECT_EQ(counters_.l3_invalidations, 1);
+  const AccessResult r = mem_.Access(4, page, false, 0);
+  EXPECT_FALSE(r.l3_hit);  // node 1 must refetch
+}
+
+TEST_F(MemorySystemTest, CongestionAddsLatencyWhenLinkSaturates) {
+  const MachineConfig& cfg = topo_.config();
+  const int64_t pages_to_saturate =
+      mem_.link_capacity_per_tick() / cfg.page_bytes + 2;
+  const BufferId buf = pt_.CreateBuffer(pages_to_saturate + 10);
+  pt_.PlaceAllOn(buf, 1);
+  mem_.BeginTick();
+  int64_t last_cycles = 0;
+  for (int64_t p = 0; p < pages_to_saturate; ++p) {
+    last_cycles = mem_.Access(0, PageTable::PageOf(buf, p), false, 0).cycles;
+  }
+  // Once saturated, the remote access must cost more than the uncongested
+  // one-hop fetch.
+  EXPECT_GT(last_cycles, cfg.local_dram_cycles + cfg.remote_hop_cycles);
+  // A new tick resets the windows.
+  mem_.BeginTick();
+  const AccessResult fresh =
+      mem_.Access(0, PageTable::PageOf(buf, pages_to_saturate + 1), false, 0);
+  EXPECT_EQ(fresh.cycles, cfg.local_dram_cycles + cfg.remote_hop_cycles);
+}
+
+TEST_F(MemorySystemTest, StreamAttributionSeparatesQueries) {
+  const BufferId buf = pt_.CreateBuffer(8);
+  pt_.PlaceAllOn(buf, 1);
+  mem_.BeginTick();
+  mem_.Access(0, PageTable::PageOf(buf, 0), false, /*stream=*/3);
+  mem_.Access(0, PageTable::PageOf(buf, 1), false, /*stream=*/7);
+  EXPECT_EQ(counters_.stream_ht_bytes[3], topo_.config().page_bytes);
+  EXPECT_EQ(counters_.stream_ht_bytes[7], topo_.config().page_bytes);
+  EXPECT_EQ(counters_.stream_imc_bytes[3], topo_.config().page_bytes);
+}
+
+TEST_F(MemorySystemTest, NodeAccessPagesFeedThePriorityQueue) {
+  const BufferId buf = pt_.CreateBuffer(8);
+  pt_.PlaceAllOn(buf, 2);
+  mem_.BeginTick();
+  for (int64_t p = 0; p < 5; ++p) {
+    mem_.Access(0, PageTable::PageOf(buf, p), false, 0);
+  }
+  EXPECT_EQ(counters_.node_access_pages[2], 5);
+  EXPECT_EQ(counters_.node_access_pages[0], 0);
+}
+
+TEST_F(MemorySystemTest, ClearCachesForcesMisses) {
+  const BufferId buf = pt_.CreateBuffer(2);
+  pt_.PlaceAllOn(buf, 0);
+  mem_.BeginTick();
+  mem_.Access(0, PageTable::PageOf(buf, 0), false, 0);
+  mem_.ClearCaches();
+  const AccessResult r = mem_.Access(0, PageTable::PageOf(buf, 0), false, 0);
+  EXPECT_FALSE(r.l3_hit);
+}
+
+}  // namespace
+}  // namespace elastic::numasim

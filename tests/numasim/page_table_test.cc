@@ -1,0 +1,97 @@
+#include "numasim/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::numasim {
+namespace {
+
+TEST(PageTableTest, FirstTouchAllocatesAtTouchingNode) {
+  PageTable pt(4);
+  const BufferId buffer = pt.CreateBuffer(10, "col");
+  const PageId page = PageTable::PageOf(buffer, 3);
+  EXPECT_EQ(pt.HomeOf(page), kInvalidNode);
+  const auto touch = pt.Touch(page, 2);
+  EXPECT_TRUE(touch.first_touch);
+  EXPECT_EQ(touch.home, 2);
+  EXPECT_EQ(pt.HomeOf(page), 2);
+}
+
+TEST(PageTableTest, SecondTouchKeepsHome) {
+  PageTable pt(4);
+  const BufferId buffer = pt.CreateBuffer(4);
+  const PageId page = PageTable::PageOf(buffer, 0);
+  pt.Touch(page, 1);
+  const auto touch = pt.Touch(page, 3);
+  EXPECT_FALSE(touch.first_touch);
+  EXPECT_EQ(touch.home, 1);
+}
+
+TEST(PageTableTest, ResidentCountsTrackTouches) {
+  PageTable pt(2);
+  const BufferId buffer = pt.CreateBuffer(6);
+  pt.Touch(PageTable::PageOf(buffer, 0), 0);
+  pt.Touch(PageTable::PageOf(buffer, 1), 0);
+  pt.Touch(PageTable::PageOf(buffer, 2), 1);
+  EXPECT_EQ(pt.ResidentPages(0), 2);
+  EXPECT_EQ(pt.ResidentPages(1), 1);
+}
+
+TEST(PageTableTest, FreeBufferReleasesResidency) {
+  PageTable pt(2);
+  const BufferId buffer = pt.CreateBuffer(8);
+  pt.PlaceAllOn(buffer, 1);
+  EXPECT_EQ(pt.ResidentPages(1), 8);
+  pt.FreeBuffer(buffer);
+  EXPECT_EQ(pt.ResidentPages(1), 0);
+  EXPECT_FALSE(pt.IsLive(buffer));
+}
+
+TEST(PageTableTest, PlaceAllOnPutsEveryPageThere) {
+  PageTable pt(4);
+  const BufferId buffer = pt.CreateBuffer(16);
+  pt.PlaceAllOn(buffer, 3);
+  EXPECT_EQ(pt.ResidentPagesOfBuffer(buffer, 3), 16);
+  EXPECT_EQ(pt.ResidentPagesOfBuffer(buffer, 0), 0);
+}
+
+TEST(PageTableTest, ChunkedRoundRobinSpreadsEvenly) {
+  PageTable pt(4);
+  const BufferId buffer = pt.CreateBuffer(64);
+  pt.PlaceChunkedRoundRobin(buffer, 4);
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_EQ(pt.ResidentPagesOfBuffer(buffer, node), 16) << "node " << node;
+  }
+  // First chunk is on node 0, second on node 1.
+  EXPECT_EQ(pt.HomeOf(PageTable::PageOf(buffer, 0)), 0);
+  EXPECT_EQ(pt.HomeOf(PageTable::PageOf(buffer, 4)), 1);
+}
+
+TEST(PageTableTest, PageIdRoundTrips) {
+  const PageId page = PageTable::PageOf(7, 1234);
+  EXPECT_EQ(PageTable::BufferOf(page), 7u);
+  EXPECT_EQ(PageTable::IndexOf(page), 1234);
+}
+
+TEST(PageTableTest, LabelsAreKept) {
+  PageTable pt(2);
+  const BufferId buffer = pt.CreateBuffer(1, "lineitem.l_quantity");
+  EXPECT_EQ(pt.Label(buffer), "lineitem.l_quantity");
+}
+
+TEST(PageTableTest, ManyBuffersGetDistinctIds) {
+  PageTable pt(2);
+  const BufferId a = pt.CreateBuffer(1);
+  const BufferId b = pt.CreateBuffer(1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pt.total_buffers_created(), 2);
+}
+
+TEST(PageTableDeathTest, TouchAfterFreeAborts) {
+  PageTable pt(2);
+  const BufferId buffer = pt.CreateBuffer(2);
+  pt.FreeBuffer(buffer);
+  EXPECT_DEATH(pt.Touch(PageTable::PageOf(buffer, 0), 0), "freed");
+}
+
+}  // namespace
+}  // namespace elastic::numasim

@@ -1,0 +1,77 @@
+#include "ossim/cpu_mask.h"
+
+#include <gtest/gtest.h>
+
+#include "numasim/topology.h"
+
+namespace elastic::ossim {
+namespace {
+
+TEST(CpuMaskTest, FirstNSetsPrefix) {
+  const CpuMask mask = CpuMask::FirstN(3);
+  EXPECT_TRUE(mask.Has(0));
+  EXPECT_TRUE(mask.Has(2));
+  EXPECT_FALSE(mask.Has(3));
+  EXPECT_EQ(mask.Count(), 3);
+}
+
+TEST(CpuMaskTest, FullWidthMask) {
+  const CpuMask mask = CpuMask::FirstN(64);
+  EXPECT_EQ(mask.Count(), 64);
+  EXPECT_TRUE(mask.Has(63));
+}
+
+TEST(CpuMaskTest, SetAndClear) {
+  CpuMask mask;
+  mask.Set(5);
+  mask.Set(9);
+  EXPECT_EQ(mask.Count(), 2);
+  mask.Clear(5);
+  EXPECT_FALSE(mask.Has(5));
+  EXPECT_TRUE(mask.Has(9));
+}
+
+TEST(CpuMaskTest, OfBuildsFromList) {
+  const CpuMask mask = CpuMask::Of({1, 4, 9});
+  EXPECT_EQ(mask.Count(), 3);
+  EXPECT_EQ(mask.ToCores(), (std::vector<numasim::CoreId>{1, 4, 9}));
+}
+
+TEST(CpuMaskTest, NodeCoresOfPaperMachine) {
+  const numasim::Topology topo{numasim::MachineConfig{}};
+  const CpuMask mask = CpuMask::NodeCores(topo, 1);
+  EXPECT_EQ(mask.ToCores(), (std::vector<numasim::CoreId>{4, 5, 6, 7}));
+}
+
+TEST(CpuMaskTest, IntersectAndUnion) {
+  const CpuMask a = CpuMask::Of({0, 1, 2});
+  const CpuMask b = CpuMask::Of({2, 3});
+  EXPECT_EQ(a.Intersect(b).ToCores(), (std::vector<numasim::CoreId>{2}));
+  EXPECT_EQ(a.Union(b).Count(), 4);
+}
+
+TEST(CpuMaskTest, SubsetChecks) {
+  const CpuMask small = CpuMask::Of({1, 2});
+  const CpuMask big = CpuMask::Of({0, 1, 2, 3});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(CpuMask::None().IsSubsetOf(small));
+}
+
+TEST(CpuMaskTest, FirstOfEmptyIsInvalid) {
+  EXPECT_EQ(CpuMask::None().First(), numasim::kInvalidCore);
+  EXPECT_EQ(CpuMask::Of({7, 9}).First(), 7);
+}
+
+TEST(CpuMaskTest, ToStringIsReadable) {
+  EXPECT_EQ(CpuMask::Of({0, 3}).ToString(), "{0,3}");
+  EXPECT_EQ(CpuMask::None().ToString(), "{}");
+}
+
+TEST(CpuMaskTest, EqualityOperators) {
+  EXPECT_EQ(CpuMask::Of({1, 2}), CpuMask::Of({2, 1}));
+  EXPECT_NE(CpuMask::Of({1}), CpuMask::Of({2}));
+}
+
+}  // namespace
+}  // namespace elastic::ossim

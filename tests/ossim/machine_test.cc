@@ -1,0 +1,45 @@
+#include "ossim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::ossim {
+namespace {
+
+TEST(MachineTest, StepAdvancesClock) {
+  Machine machine{MachineOptions{}};
+  machine.Step();
+  machine.Step();
+  EXPECT_EQ(machine.clock().now(), 2);
+}
+
+TEST(MachineTest, TickHooksFireEveryStepInOrder) {
+  Machine machine{MachineOptions{}};
+  std::vector<int> order;
+  machine.AddTickHook([&order](simcore::Tick) { order.push_back(1); });
+  machine.AddTickHook([&order](simcore::Tick) { order.push_back(2); });
+  machine.Step();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(MachineTest, HookSeesPreStepTick) {
+  Machine machine{MachineOptions{}};
+  std::vector<simcore::Tick> ticks;
+  machine.AddTickHook([&ticks](simcore::Tick now) { ticks.push_back(now); });
+  machine.RunFor(3);
+  EXPECT_EQ(ticks, (std::vector<simcore::Tick>{0, 1, 2}));
+}
+
+TEST(MachineTest, RunUntilIdleStopsWhenNoWork) {
+  Machine machine{MachineOptions{}};
+  const int64_t executed = machine.RunUntilIdle(100);
+  EXPECT_EQ(executed, 0);  // nothing runnable
+}
+
+TEST(MachineTest, ComponentsShareCounters) {
+  Machine machine{MachineOptions{}};
+  EXPECT_EQ(machine.counters().num_nodes(), 4);
+  EXPECT_EQ(machine.counters().num_cores(), 16);
+}
+
+}  // namespace
+}  // namespace elastic::ossim

@@ -1,0 +1,89 @@
+#include "perf/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/counters.h"
+#include "simcore/clock.h"
+
+namespace elastic::perf {
+namespace {
+
+TEST(SamplerTest, DeltasSinceBaseline) {
+  CounterSet counters(4, 8, 16);
+  simcore::Clock clock;
+  Sampler sampler(&counters, &clock);
+
+  counters.l3_misses[2] += 10;
+  counters.ht_bytes_total += 4096;
+  counters.core_busy_cycles[0] += 1000;
+  clock.Advance(5);
+
+  const WindowStats stats = sampler.Sample();
+  EXPECT_EQ(stats.ticks, 5);
+  EXPECT_EQ(stats.l3_misses[2], 10);
+  EXPECT_EQ(stats.ht_bytes, 4096);
+  EXPECT_EQ(stats.core_busy_cycles[0], 1000);
+}
+
+TEST(SamplerTest, SampleRebaselines) {
+  CounterSet counters(4, 8, 16);
+  simcore::Clock clock;
+  Sampler sampler(&counters, &clock);
+  counters.minor_faults = 7;
+  clock.Advance(1);
+  sampler.Sample();
+  clock.Advance(1);
+  const WindowStats second = sampler.Sample();
+  EXPECT_EQ(second.minor_faults, 0);
+  EXPECT_EQ(second.ticks, 1);
+}
+
+TEST(SamplerTest, CpuLoadPercentOverMask) {
+  CounterSet counters(4, 8, 16);
+  simcore::Clock clock;
+  Sampler sampler(&counters, &clock);
+  const int64_t cycles_per_tick = 1000;
+  // Core 0 fully busy for 10 ticks, core 1 idle.
+  counters.core_busy_cycles[0] = 10 * cycles_per_tick;
+  clock.Advance(10);
+  const WindowStats stats = sampler.Sample();
+  const ossim::CpuMask both = ossim::CpuMask::Of({0, 1});
+  EXPECT_NEAR(stats.CpuLoadPercent(both, cycles_per_tick), 50.0, 1e-9);
+  const ossim::CpuMask only0 = ossim::CpuMask::Of({0});
+  EXPECT_NEAR(stats.CpuLoadPercent(only0, cycles_per_tick), 100.0, 1e-9);
+}
+
+TEST(SamplerTest, HtImcRatio) {
+  CounterSet counters(4, 8, 16);
+  simcore::Clock clock;
+  Sampler sampler(&counters, &clock);
+  counters.imc_bytes[0] = 1000;
+  counters.imc_bytes[1] = 1000;
+  counters.ht_bytes_total = 500;
+  clock.Advance(1);
+  const WindowStats stats = sampler.Sample();
+  EXPECT_NEAR(stats.HtImcRatio(), 0.25, 1e-9);
+}
+
+TEST(SamplerTest, RatioOfZeroTrafficIsZero) {
+  CounterSet counters(4, 8, 16);
+  simcore::Clock clock;
+  Sampler sampler(&counters, &clock);
+  clock.Advance(1);
+  EXPECT_DOUBLE_EQ(sampler.Sample().HtImcRatio(), 0.0);
+}
+
+TEST(SamplerTest, BandwidthUsesSimulatedSeconds) {
+  CounterSet counters(4, 8, 16);
+  simcore::Clock clock;
+  Sampler sampler(&counters, &clock);
+  counters.ht_bytes_total = 1'000'000;
+  counters.imc_bytes[3] = 2'000'000;
+  clock.Advance(1000);  // 1 simulated second at 1 ms/tick
+  const WindowStats stats = sampler.Sample();
+  EXPECT_NEAR(stats.HtBytesPerSecond(), 1e6, 1.0);
+  EXPECT_NEAR(stats.ImcBytesPerSecond(3), 2e6, 1.0);
+}
+
+}  // namespace
+}  // namespace elastic::perf

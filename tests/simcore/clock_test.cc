@@ -1,0 +1,36 @@
+#include "simcore/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::simcore {
+namespace {
+
+TEST(ClockTest, StartsAtZero) {
+  Clock clock;
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 0.0);
+}
+
+TEST(ClockTest, AdvanceAccumulates) {
+  Clock clock;
+  clock.Advance(5);
+  clock.Advance(7);
+  EXPECT_EQ(clock.now(), 12);
+}
+
+TEST(ClockTest, SecondsConversionUsesQuantum) {
+  Clock clock;
+  clock.Advance(1000);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 1000 * Clock::kSecondsPerTick);
+  EXPECT_DOUBLE_EQ(Clock::ToSeconds(2000), 2000 * Clock::kSecondsPerTick);
+}
+
+TEST(ClockTest, ResetReturnsToZero) {
+  Clock clock;
+  clock.Advance(42);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0);
+}
+
+}  // namespace
+}  // namespace elastic::simcore

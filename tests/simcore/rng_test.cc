@@ -1,0 +1,110 @@
+#include "simcore/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace elastic::simcore {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) differing++;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, ZeroSeedIsRemapped) {
+  Rng zero(0);
+  // Must not get stuck producing zeros.
+  int nonzero = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (zero.Next() != 0) nonzero++;
+  }
+  EXPECT_GE(nonzero, 9);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean of U(0,1) is 0.5; allow generous tolerance.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBernoulli(0.25)) hits++;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.Split();
+  // The child stream should not mirror the parent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace elastic::simcore
