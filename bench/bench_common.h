@@ -9,6 +9,14 @@
 // (1536 page frames) — the same qualitative regime as the paper's 1 GB vs
 // 6 MB L3 — while every bench finishes in seconds. Absolute numbers are
 // therefore scaled; the comparisons and shapes are what reproduce the paper.
+//
+// JSON emission convention: harnesses that track a performance trajectory
+// over PRs (micro_query_kernels being the first) write machine-readable
+// output to BENCH_<harness>.json in the working directory — a single JSON
+// object carrying at least {"bench": <name>, "scale_factor": <sf>} plus
+// one map of measured-unit name -> {metric name -> number} (e.g.
+// "kernels": {"join-build": {"speedup": ...}}). Keep keys stable across
+// PRs so the BENCH_*.json files diff and plot cleanly.
 
 #include <cstdio>
 #include <functional>

@@ -1,0 +1,90 @@
+#include "db/kernels/hash_table.h"
+
+#include <limits>
+
+namespace elastic::db::kernels {
+
+void JoinHashTable::Build(const std::vector<int64_t>& keys,
+                          const std::vector<int64_t>* rows) {
+  const int64_t n = rows != nullptr ? static_cast<int64_t>(rows->size())
+                                    : static_cast<int64_t>(keys.size());
+  ELASTIC_CHECK(n <= INT32_MAX, "join build side exceeds 2^31 rows");
+  num_keys_ = 0;
+  rows_.resize(static_cast<size_t>(n));
+
+  auto row_at = [&](int64_t i) {
+    return rows != nullptr ? (*rows)[static_cast<size_t>(i)] : i;
+  };
+
+  // Key range scan decides the addressing mode.
+  int64_t mn = std::numeric_limits<int64_t>::max();
+  int64_t mx = std::numeric_limits<int64_t>::min();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t key = keys[static_cast<size_t>(row_at(i))];
+    if (key < mn) mn = key;
+    if (key > mx) mx = key;
+  }
+  const uint64_t range =
+      n == 0 ? 0 : static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn) + 1;
+  // range == 0 can only mean uint64 wrap-around (full int64 span): sparse.
+  dense_ = n > 0 && range != 0 && range <= 2 * static_cast<uint64_t>(n) + 16;
+
+  if (dense_) {
+    min_key_ = mn;
+    max_key_ = mx;
+    slots_.assign(static_cast<size_t>(range), Slot{});
+    mask_ = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t key = keys[static_cast<size_t>(row_at(i))];
+      Slot& slot = slots_[static_cast<size_t>(key - mn)];
+      if (slot.count == 0) num_keys_++;
+      slot.count++;
+    }
+  } else {
+    min_key_ = 0;
+    max_key_ = -1;
+    const size_t cap = NextPow2Capacity(static_cast<size_t>(n) * 2);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    // Pass 1: claim a slot per distinct key and count its entries.
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t key = keys[static_cast<size_t>(row_at(i))];
+      size_t s = Mix64(static_cast<uint64_t>(key)) & mask_;
+      while (slots_[s].count != 0 && slots_[s].key != key) s = (s + 1) & mask_;
+      if (slots_[s].count == 0) {
+        slots_[s].key = key;
+        num_keys_++;
+      }
+      slots_[s].count++;
+    }
+  }
+
+  // Assign each key's contiguous region of the payload array.
+  int32_t running = 0;
+  for (Slot& slot : slots_) {
+    if (slot.count == 0) continue;
+    slot.offset = running;
+    running += slot.count;
+  }
+
+  // Pass 2: scatter rows, bumping offsets as fill cursors (restored after).
+  if (dense_) {
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t row = row_at(i);
+      const int64_t key = keys[static_cast<size_t>(row)];
+      rows_[static_cast<size_t>(
+          slots_[static_cast<size_t>(key - mn)].offset++)] = row;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t row = row_at(i);
+      const int64_t key = keys[static_cast<size_t>(row)];
+      size_t s = Mix64(static_cast<uint64_t>(key)) & mask_;
+      while (slots_[s].key != key || slots_[s].count == 0) s = (s + 1) & mask_;
+      rows_[static_cast<size_t>(slots_[s].offset++)] = row;
+    }
+  }
+  for (Slot& slot : slots_) slot.offset -= slot.count;
+}
+
+}  // namespace elastic::db::kernels

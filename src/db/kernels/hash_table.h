@@ -1,0 +1,180 @@
+#ifndef ELASTICORE_DB_KERNELS_HASH_TABLE_H_
+#define ELASTICORE_DB_KERNELS_HASH_TABLE_H_
+
+// Open-addressing hash tables for the join and group-by hot paths.
+//
+// Both tables are linear-probing with power-of-two capacity, flat slot
+// arrays, and no deletion support (tombstone-free: query-lifetime build
+// sides are built once and dropped whole). See README.md in this directory
+// for the design rationale.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "db/kernels/hash.h"
+#include "simcore/check.h"
+
+namespace elastic::db::kernels {
+
+/// Multi-map from int64 key to build-row ids, built in counting passes into
+/// a single flat payload array grouped by key: probe results for one key
+/// are a contiguous span in build-insertion order, so fan-out iteration is
+/// a pointer walk instead of a node-chain chase.
+///
+/// When the key range is no wider than ~2x the entry count — the normal
+/// case for TPC-H surrogate keys, which are dense 1..N — the table switches
+/// to direct addressing (slot = key - min, no hashing, no probing), the
+/// moral equivalent of MonetDB's positional joins on void columns:
+/// ascending probe keys then stream the slot and payload arrays
+/// sequentially instead of scattering over them. Sparse or adversarial key
+/// sets fall back to linear probing on a Mix64-scattered index.
+class JoinHashTable {
+ public:
+  /// Contiguous, immutable view of the build rows holding one key.
+  struct RowSpan {
+    const int64_t* data = nullptr;
+    size_t len = 0;
+
+    const int64_t* begin() const { return data; }
+    const int64_t* end() const { return data + len; }
+    size_t size() const { return len; }
+    bool empty() const { return len == 0; }
+    int64_t operator[](size_t i) const { return data[i]; }
+  };
+
+  /// (Re)builds from `keys`, restricted to the candidate rows when `rows`
+  /// is non-null. Stored row ids are positions in the underlying column.
+  void Build(const std::vector<int64_t>& keys,
+             const std::vector<int64_t>* rows = nullptr);
+
+  bool Contains(int64_t key) const { return FindSlot(key) >= 0; }
+
+  int64_t CountOf(int64_t key) const {
+    const int64_t slot = FindSlot(key);
+    return slot < 0 ? 0 : slots_[static_cast<size_t>(slot)].count;
+  }
+
+  RowSpan RowsOf(int64_t key) const {
+    const int64_t slot = FindSlot(key);
+    if (slot < 0) return RowSpan{};
+    const Slot& s = slots_[static_cast<size_t>(slot)];
+    return RowSpan{rows_.data() + s.offset, static_cast<size_t>(s.count)};
+  }
+
+  /// Number of distinct keys.
+  size_t num_keys() const { return num_keys_; }
+  /// Number of inserted (key, row) entries.
+  size_t num_entries() const { return rows_.size(); }
+  size_t capacity() const { return slots_.size(); }
+  /// Direct-addressing (dense key range) mode is active.
+  bool is_dense() const { return dense_; }
+
+ private:
+  struct Slot {
+    int64_t key = 0;
+    int32_t offset = 0;
+    int32_t count = 0;  // 0 marks an empty slot
+  };
+
+  /// Slot index of `key`, or -1 when absent.
+  int64_t FindSlot(int64_t key) const {
+    if (dense_) {
+      if (key < min_key_ || key > max_key_) return -1;
+      const int64_t i = key - min_key_;
+      return slots_[static_cast<size_t>(i)].count != 0 ? i : -1;
+    }
+    if (slots_.empty()) return -1;
+    size_t i = Mix64(static_cast<uint64_t>(key)) & mask_;
+    while (slots_[i].count != 0) {
+      if (slots_[i].key == key) return static_cast<int64_t>(i);
+      i = (i + 1) & mask_;
+    }
+    return -1;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<int64_t> rows_;
+  uint64_t mask_ = 0;
+  size_t num_keys_ = 0;
+  bool dense_ = false;
+  int64_t min_key_ = 0;
+  int64_t max_key_ = -1;
+};
+
+inline bool operator==(const JoinHashTable::RowSpan& span,
+                       const std::vector<int64_t>& rows) {
+  return std::equal(span.begin(), span.end(), rows.begin(), rows.end());
+}
+
+/// Open-addressing map from a hashed group key to a dense group id, growing
+/// by doubling at 3/4 load. Slots hold the fully mixed 64-bit hash (16-byte
+/// Hash128 keys are folded through Index()). Hash equality is a filter, not
+/// the verdict: the caller supplies an exact comparison against the group's
+/// representative row, so results are independent of hash quality.
+class GroupKeyTable {
+ public:
+  explicit GroupKeyTable(size_t expected_groups = 0) {
+    const size_t cap = NextPow2Capacity(expected_groups * 2);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+  }
+
+  /// Returns the group id of `h` if present (per `equals_rep`, called with a
+  /// candidate group id), otherwise inserts it with id `next_gid` and
+  /// returns `next_gid`.
+  template <typename EqRep>
+  int64_t FindOrInsert(const Hash128& h, int64_t next_gid, EqRep&& equals_rep) {
+    return FindOrInsertHashed(h.Index(), next_gid,
+                              std::forward<EqRep>(equals_rep));
+  }
+
+  /// Same, for callers that mix their own 64-bit hash (`hv` must already be
+  /// avalanched, e.g. through Mix64 — the slot index is its low bits).
+  template <typename EqRep>
+  int64_t FindOrInsertHashed(uint64_t hv, int64_t next_gid,
+                             EqRep&& equals_rep) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
+    size_t i = hv & mask_;
+    while (slots_[i].gid >= 0) {
+      if (slots_[i].hash == hv && equals_rep(slots_[i].gid)) {
+        return slots_[i].gid;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i].hash = hv;
+    slots_[i].gid = next_gid;
+    size_++;
+    return next_gid;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    int64_t gid = -1;  // -1 marks an empty slot
+  };
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.gid < 0) continue;
+      size_t i = s.hash & mask_;
+      while (slots_[i].gid >= 0) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace elastic::db::kernels
+
+#endif  // ELASTICORE_DB_KERNELS_HASH_TABLE_H_

@@ -1,0 +1,140 @@
+#ifndef ELASTICORE_DB_KERNELS_SELECT_H_
+#define ELASTICORE_DB_KERNELS_SELECT_H_
+
+// Chunked selection / projection kernels. All selection kernels share one
+// shape: the output vector is extended by a whole chunk up front, candidates
+// are written unconditionally at the cursor, and the cursor advances by the
+// predicate outcome — the store side of the loop is branch-free and the
+// vector never grows row-at-a-time. See README.md for the chunk-size
+// rationale.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace elastic::db::kernels {
+
+/// Rows per internal batch. 1024 * 8 bytes = two pages of output per
+/// column — small enough to stay L1-resident, large enough to amortise the
+/// per-chunk resize.
+inline constexpr int64_t kChunkRows = 1024;
+
+/// Appends the dense row ids in [0, n) satisfying `pred(i)` to `out`.
+/// The predicate receives the ROW INDEX, so multi-column and correlated
+/// predicates fuse into one pass.
+template <typename Pred>
+void SelectIdxInto(int64_t n, Pred pred, std::vector<int64_t>& out) {
+  int64_t out_n = static_cast<int64_t>(out.size());
+  for (int64_t base = 0; base < n; base += kChunkRows) {
+    const int64_t end = std::min(n, base + kChunkRows);
+    out.resize(static_cast<size_t>(out_n + (end - base)));
+    int64_t* dst = out.data() + out_n;
+    int64_t m = 0;
+    for (int64_t i = base; i < end; ++i) {
+      dst[m] = i;
+      m += pred(i) ? 1 : 0;
+    }
+    out_n += m;
+  }
+  out.resize(static_cast<size_t>(out_n));
+}
+
+/// Dense row ids in [0, n) whose ROW INDEX satisfies `pred`.
+template <typename Pred>
+std::vector<int64_t> SelectWhereIdx(int64_t n, Pred pred) {
+  std::vector<int64_t> out;
+  SelectIdxInto(n, std::move(pred), out);
+  return out;
+}
+
+/// Rows of `col` whose VALUE satisfies `pred`.
+template <typename T, typename Pred>
+std::vector<int64_t> SelectWhere(const std::vector<T>& col, Pred pred) {
+  const T* data = col.data();
+  return SelectWhereIdx(
+      static_cast<int64_t>(col.size()),
+      [data, &pred](int64_t i) { return pred(data[i]); });
+}
+
+/// Candidate rows of `in` whose ROW INDEX satisfies `pred`.
+template <typename Pred>
+std::vector<int64_t> RefineIdx(const std::vector<int64_t>& in, Pred pred) {
+  const int64_t n = static_cast<int64_t>(in.size());
+  const int64_t* src = in.data();
+  std::vector<int64_t> out;
+  int64_t out_n = 0;
+  for (int64_t base = 0; base < n; base += kChunkRows) {
+    const int64_t end = std::min(n, base + kChunkRows);
+    out.resize(static_cast<size_t>(out_n + (end - base)));
+    int64_t* dst = out.data() + out_n;
+    int64_t m = 0;
+    for (int64_t i = base; i < end; ++i) {
+      const int64_t row = src[i];
+      dst[m] = row;
+      m += pred(row) ? 1 : 0;
+    }
+    out_n += m;
+  }
+  out.resize(static_cast<size_t>(out_n));
+  return out;
+}
+
+/// Candidate rows of `in` whose `col` VALUE satisfies `pred`.
+template <typename T, typename Pred>
+std::vector<int64_t> Refine(const std::vector<T>& col,
+                            const std::vector<int64_t>& in, Pred pred) {
+  const T* data = col.data();
+  return RefineIdx(in, [data, &pred](int64_t row) { return pred(data[row]); });
+}
+
+/// Positional gather (MAL projection): col[rows].
+template <typename T>
+std::vector<T> Gather(const std::vector<T>& col,
+                      const std::vector<int64_t>& rows) {
+  std::vector<T> out;
+  out.reserve(rows.size());
+  for (int64_t row : rows) out.push_back(col[static_cast<size_t>(row)]);
+  return out;
+}
+
+/// Result of the fused Q6-shaped pass: the final selection plus the
+/// cardinality after each of the first two predicates, so plan traces keep
+/// per-stage rows_out without materialising the intermediate SelVecs.
+struct Fused3Result {
+  std::vector<int64_t> sel;
+  int64_t rows_after_p1 = 0;
+  int64_t rows_after_p2 = 0;
+};
+
+/// One pass over [0, n) evaluating three conjunctive predicates with
+/// branch-free accumulation: equivalent to
+/// Refine(p3, Refine(p2, SelectWhere(p1))) but touching the row-id stream
+/// once. Predicates receive the ROW INDEX and are evaluated unconditionally
+/// on EVERY row (no short-circuiting), so they must be total over [0, n).
+template <typename P1, typename P2, typename P3>
+Fused3Result FusedSelect3(int64_t n, P1 p1, P2 p2, P3 p3) {
+  Fused3Result r;
+  int64_t out_n = 0;
+  for (int64_t base = 0; base < n; base += kChunkRows) {
+    const int64_t end = std::min(n, base + kChunkRows);
+    r.sel.resize(static_cast<size_t>(out_n + (end - base)));
+    int64_t* dst = r.sel.data() + out_n;
+    int64_t m = 0;
+    for (int64_t i = base; i < end; ++i) {
+      const unsigned m1 = p1(i) ? 1u : 0u;
+      const unsigned m2 = m1 & (p2(i) ? 1u : 0u);
+      const unsigned m3 = m2 & (p3(i) ? 1u : 0u);
+      r.rows_after_p1 += m1;
+      r.rows_after_p2 += m2;
+      dst[m] = i;
+      m += m3;
+    }
+    out_n += m;
+  }
+  r.sel.resize(static_cast<size_t>(out_n));
+  return r;
+}
+
+}  // namespace elastic::db::kernels
+
+#endif  // ELASTICORE_DB_KERNELS_SELECT_H_

@@ -2,48 +2,59 @@
 
 #include <limits>
 
-namespace elastic::db {
+#include "db/kernels/hash.h"
 
-void HashJoin::Build(const std::vector<int64_t>& keys, const SelVec* rows) {
-  map_.clear();
-  if (rows != nullptr) {
-    for (int64_t row : *rows) {
-      map_[keys[static_cast<size_t>(row)]].push_back(row);
-    }
-  } else {
-    for (int64_t i = 0; i < static_cast<int64_t>(keys.size()); ++i) {
-      map_[keys[static_cast<size_t>(i)]].push_back(i);
-    }
-  }
-}
+namespace elastic::db {
 
 HashJoin::Pairs HashJoin::Probe(const std::vector<int64_t>& keys,
                                 const SelVec* rows) const {
+  const int64_t n = rows != nullptr ? static_cast<int64_t>(rows->size())
+                                    : static_cast<int64_t>(keys.size());
+  auto row_at = [&](int64_t i) {
+    return rows != nullptr ? (*rows)[static_cast<size_t>(i)] : i;
+  };
+
+  // Exact pre-reservation, two ways. Dense build sides make lookups a
+  // bounds check plus a direct index, so counting and then re-resolving is
+  // pure streaming and beats materialising anything. Sparse build sides
+  // pay a linear-probe chain per lookup, so there the pre-pass keeps each
+  // resolved span in a scratch vector and the fill pass does no hashing.
   Pairs pairs;
-  auto probe_one = [&](int64_t row) {
-    auto it = map_.find(keys[static_cast<size_t>(row)]);
-    if (it == map_.end()) return;
-    for (int64_t build_row : it->second) {
+  if (table_.is_dense()) {
+    size_t total = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      total += static_cast<size_t>(
+          table_.CountOf(keys[static_cast<size_t>(row_at(i))]));
+    }
+    pairs.build_rows.reserve(total);
+    pairs.probe_rows.reserve(total);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t row = row_at(i);
+      for (int64_t build_row : table_.RowsOf(keys[static_cast<size_t>(row)])) {
+        pairs.build_rows.push_back(build_row);
+        pairs.probe_rows.push_back(row);
+      }
+    }
+    return pairs;
+  }
+
+  std::vector<RowSpan> spans(static_cast<size_t>(n));
+  size_t total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const RowSpan span = table_.RowsOf(keys[static_cast<size_t>(row_at(i))]);
+    spans[static_cast<size_t>(i)] = span;
+    total += span.size();
+  }
+  pairs.build_rows.reserve(total);
+  pairs.probe_rows.reserve(total);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t row = row_at(i);
+    for (int64_t build_row : spans[static_cast<size_t>(i)]) {
       pairs.build_rows.push_back(build_row);
       pairs.probe_rows.push_back(row);
     }
-  };
-  if (rows != nullptr) {
-    for (int64_t row : *rows) probe_one(row);
-  } else {
-    for (int64_t i = 0; i < static_cast<int64_t>(keys.size()); ++i) probe_one(i);
   }
   return pairs;
-}
-
-int64_t HashJoin::CountOf(int64_t key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? 0 : static_cast<int64_t>(it->second.size());
-}
-
-const std::vector<int64_t>& HashJoin::RowsOf(int64_t key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? empty_ : it->second;
 }
 
 void Grouper::AddI64Key(std::vector<int64_t> values) {
@@ -74,27 +85,108 @@ void Grouper::Finish() {
     ELASTIC_CHECK(n == num_rows_, "group key columns have unequal lengths");
   }
 
-  std::unordered_map<std::string, int64_t> seen;
+  // Each row's keys fold into a 16-byte hashed key and group through the
+  // open-addressing table. No per-row heap encoding. The packed fast path
+  // covers the common case of short dictionary-style strings; both paths
+  // assign dense ids in first-occurrence order with exact key equality, so
+  // they produce identical groupings.
+  if (!FinishPacked()) FinishGeneric();
+}
+
+// Fast path: every string key value fits 15 bytes (TPC-H flags, statuses,
+// ship modes, priorities, brands, containers, nation names), so each key
+// column collapses to at most two canonical 64-bit words per row
+// (kernels::PackString15; int64 values are one word verbatim). Rows then
+// group over flat words: hashing is two multiplies per word and equality
+// is a word compare against the group's stored words — no string traffic
+// and no per-row allocation anywhere. Returns false (state reset) on the
+// first over-long string; Finish() falls back to the generic path.
+bool Grouper::FinishPacked() {
+  constexpr size_t kMaxCols = 16;
+  const size_t num_cols = keys_.size();
+  if (num_cols > kMaxCols) return false;
+  size_t stride = 0;  // packed words per row
+  for (const KeyCol& key : keys_) stride += key.is_str ? 2 : 1;
+  kernels::GroupKeyTable table(/*expected_groups=*/64);
+  std::vector<uint64_t> group_words;  // `stride` packed words per group
+  group_words.reserve(64 * stride);
   group_of_.resize(static_cast<size_t>(num_rows_));
-  std::string encoded;
   for (int64_t row = 0; row < num_rows_; ++row) {
-    encoded.clear();
-    for (const KeyCol& key : keys_) {
+    const size_t r = static_cast<size_t>(row);
+    uint64_t words[2 * kMaxCols];
+    size_t w = 0;
+    uint64_t h = kernels::kFnvOffset;
+    for (size_t c = 0; c < num_cols; ++c) {
+      const KeyCol& key = keys_[c];
       if (key.is_str) {
-        encoded += key.str[static_cast<size_t>(row)];
-        encoded += '\x01';
+        if (!kernels::PackString15(key.str[r], &words[w], &words[w + 1])) {
+          // Abandon mid-stream: reset and let the generic path redo it.
+          group_of_.clear();
+          rep_rows_.clear();
+          num_groups_ = 0;
+          return false;
+        }
+        h = kernels::Fnv1aWord(h, words[w]);
+        h = kernels::Fnv1aWord(h, words[w + 1]);
+        w += 2;
       } else {
-        const int64_t v = key.i64[static_cast<size_t>(row)];
-        encoded.append(reinterpret_cast<const char*>(&v), sizeof(v));
-        encoded += '\x02';
+        words[w] = static_cast<uint64_t>(key.i64[r]);
+        h = kernels::Fnv1aWord(h, words[w]);
+        w += 1;
       }
     }
-    auto [it, inserted] = seen.emplace(encoded, num_groups_);
-    if (inserted) {
+    const int64_t gid = table.FindOrInsertHashed(
+        kernels::Mix64(h), num_groups_, [&](int64_t g) {
+      const uint64_t* gw = group_words.data() + static_cast<size_t>(g) * stride;
+      for (size_t i = 0; i < stride; ++i) {
+        if (gw[i] != words[i]) return false;
+      }
+      return true;
+    });
+    if (gid == num_groups_) {
+      rep_rows_.push_back(row);
+      num_groups_++;
+      group_words.insert(group_words.end(), words, words + stride);
+    }
+    group_of_[r] = gid;
+  }
+  return true;
+}
+
+// Generic path: arbitrary-length string keys, word-chunked FNV-1a hashing
+// with exact comparison against the representative row.
+void Grouper::FinishGeneric() {
+  const size_t num_cols = keys_.size();
+  kernels::GroupKeyTable table(/*expected_groups=*/64);
+  group_of_.resize(static_cast<size_t>(num_rows_));
+  for (int64_t row = 0; row < num_rows_; ++row) {
+    const size_t r = static_cast<size_t>(row);
+    kernels::Hash128 h;
+    for (size_t c = 0; c < num_cols; ++c) {
+      const KeyCol& key = keys_[c];
+      if (key.is_str) {
+        h.UpdateBytes(key.str[r].data(), key.str[r].size());
+      } else {
+        h.Update(static_cast<uint64_t>(key.i64[r]));
+      }
+    }
+    const int64_t gid = table.FindOrInsert(h, num_groups_, [&](int64_t g) {
+      const size_t rep =
+          static_cast<size_t>(rep_rows_[static_cast<size_t>(g)]);
+      for (size_t c = 0; c < num_cols; ++c) {
+        const KeyCol& key = keys_[c];
+        if (key.is_str ? key.str[r] != key.str[rep]
+                       : key.i64[r] != key.i64[rep]) {
+          return false;
+        }
+      }
+      return true;
+    });
+    if (gid == num_groups_) {
       rep_rows_.push_back(row);
       num_groups_++;
     }
-    group_of_[static_cast<size_t>(row)] = it->second;
+    group_of_[r] = gid;
   }
 }
 

@@ -1,11 +1,13 @@
 #ifndef ELASTICORE_DB_OPERATORS_H_
 #define ELASTICORE_DB_OPERATORS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "db/kernels/hash_table.h"
+#include "db/kernels/select.h"
 #include "simcore/check.h"
 
 namespace elastic::db {
@@ -15,42 +17,37 @@ namespace elastic::db {
 /// time, mirroring the MAL plans the paper analyses.
 using SelVec = std::vector<int64_t>;
 
-/// Full-column selection: rows of `col` satisfying `pred`.
+/// Full-column selection: rows of `col` satisfying `pred`. Chunked,
+/// branch-light store path (see db/kernels/select.h).
 template <typename T, typename Pred>
 SelVec SelectWhere(const std::vector<T>& col, Pred pred) {
-  SelVec out;
-  for (int64_t i = 0; i < static_cast<int64_t>(col.size()); ++i) {
-    if (pred(col[static_cast<size_t>(i)])) out.push_back(i);
-  }
-  return out;
+  return kernels::SelectWhere(col, std::move(pred));
 }
 
 /// Candidate-list selection: rows of `in` whose `col` value satisfies `pred`.
 template <typename T, typename Pred>
 SelVec Refine(const std::vector<T>& col, const SelVec& in, Pred pred) {
-  SelVec out;
-  for (int64_t row : in) {
-    if (pred(col[static_cast<size_t>(row)])) out.push_back(row);
-  }
-  return out;
+  return kernels::Refine(col, in, std::move(pred));
 }
 
 /// Positional gather (MAL projection): col[rows].
 template <typename T>
 std::vector<T> Gather(const std::vector<T>& col, const SelVec& rows) {
-  std::vector<T> out;
-  out.reserve(rows.size());
-  for (int64_t row : rows) out.push_back(col[static_cast<size_t>(row)]);
-  return out;
+  return kernels::Gather(col, rows);
 }
 
-/// Equi-join on int64 keys, hash build + probe. Build rows and probe rows
-/// are returned as parallel row-id vectors.
+/// Equi-join on int64 keys, hash build + probe over an open-addressing
+/// table with a flat grouped payload (db/kernels/hash_table.h). Build rows
+/// and probe rows are returned as parallel row-id vectors.
 class HashJoin {
  public:
+  using RowSpan = kernels::JoinHashTable::RowSpan;
+
   /// Builds on `keys` (optionally restricted to `rows`). The stored build
   /// row ids are positions in the underlying table.
-  void Build(const std::vector<int64_t>& keys, const SelVec* rows = nullptr);
+  void Build(const std::vector<int64_t>& keys, const SelVec* rows = nullptr) {
+    table_.Build(keys, rows);
+  }
 
   struct Pairs {
     SelVec build_rows;
@@ -59,27 +56,35 @@ class HashJoin {
   };
 
   /// Probes with `keys` (optionally restricted to `rows`); every match
-  /// contributes one (build_row, probe_row) pair.
+  /// contributes one (build_row, probe_row) pair. Output vectors are sized
+  /// exactly from a counting pre-pass over the build-side entry counts, so
+  /// high-fanout probes never reallocate.
   Pairs Probe(const std::vector<int64_t>& keys, const SelVec* rows = nullptr) const;
 
   /// Semi-join test.
-  bool Contains(int64_t key) const { return map_.find(key) != map_.end(); }
+  bool Contains(int64_t key) const { return table_.Contains(key); }
 
   /// Number of build rows holding this key.
-  int64_t CountOf(int64_t key) const;
+  int64_t CountOf(int64_t key) const { return table_.CountOf(key); }
 
-  /// Build rows holding this key (empty when absent).
-  const std::vector<int64_t>& RowsOf(int64_t key) const;
+  /// Build rows holding this key (empty span when absent), contiguous and
+  /// in build-insertion order.
+  RowSpan RowsOf(int64_t key) const { return table_.RowsOf(key); }
 
-  size_t num_keys() const { return map_.size(); }
+  size_t num_keys() const { return table_.num_keys(); }
 
  private:
-  std::unordered_map<int64_t, std::vector<int64_t>> map_;
-  std::vector<int64_t> empty_;
+  kernels::JoinHashTable table_;
 };
 
 /// Multi-column group-by: feed gathered key columns (all aligned to the same
-/// row set), Finish() assigns dense group ids.
+/// row set), Finish() assigns dense group ids in first-occurrence order.
+///
+/// Finish() folds each row's keys into a hashed key over fixed-width words
+/// — int64 keys verbatim, strings up to 15 bytes as two packed words
+/// (kernels::PackString15), longer strings word-chunked FNV-1a style — and
+/// groups through an open-addressing table with exact verification,
+/// instead of heap-encoding a std::string per row.
 class Grouper {
  public:
   void AddI64Key(std::vector<int64_t> values);
@@ -104,6 +109,12 @@ class Grouper {
     std::vector<int64_t> i64;
     std::vector<std::string> str;
   };
+
+  /// Packed-words fast path (all strings <= 15 bytes); false when
+  /// inapplicable, with grouping state reset.
+  bool FinishPacked();
+  /// Arbitrary-key fallback; same first-occurrence group ids.
+  void FinishGeneric();
   std::vector<KeyCol> keys_;
   std::vector<int64_t> group_of_;
   std::vector<int64_t> rep_rows_;

@@ -9,6 +9,7 @@
 
 #include "db/column.h"
 #include "db/date.h"
+#include "db/kernels/select.h"
 #include "db/like.h"
 #include "db/operators.h"
 #include "db/plan_trace.h"

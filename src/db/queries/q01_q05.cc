@@ -142,7 +142,7 @@ QueryOutput Q2(const Database& db) {
   int64_t probe_pairs = 0;
   for (int64_t prow : p_sel) {
     const int64_t partkey = P.i64("p_partkey")[static_cast<size_t>(prow)];
-    const auto& entries = ps_by_part.RowsOf(partkey);
+    const HashJoin::RowSpan entries = ps_by_part.RowsOf(partkey);
     if (entries.empty()) continue;
     double min_cost = 0.0;
     bool first = true;
@@ -273,14 +273,14 @@ QueryOutput Q4(const Database& db) {
                                   static_cast<int64_t>(o_sel.size()));
 
   // Lineitems that arrived late (commitdate < receiptdate) — semi-join set.
-  const auto& l_commit = L.i64("l_commitdate");
-  const auto& l_receipt = L.i64("l_receiptdate");
+  // Correlated two-column predicate, fused via the index-based kernel.
+  const int64_t* l_commit = L.i64("l_commitdate").data();
+  const int64_t* l_receipt = L.i64("l_receiptdate").data();
   const auto& l_order = L.i64("l_orderkey");
-  SelVec late;
-  for (int64_t i = 0; i < L.num_rows(); ++i) {
-    const size_t k = static_cast<size_t>(i);
-    if (l_commit[k] < l_receipt[k]) late.push_back(i);
-  }
+  SelVec late = kernels::SelectWhereIdx(
+      L.num_rows(), [l_commit, l_receipt](int64_t i) {
+        return l_commit[i] < l_receipt[i];
+      });
   const int st_late = RecordSelect(&rec, "lineitem.l_commitdate", L.num_rows(),
                                    static_cast<int64_t>(late.size()));
   HashJoin late_orders;

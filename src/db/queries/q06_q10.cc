@@ -22,28 +22,35 @@ QueryOutput Q6Pipeline(const Database& db, const char* name, Date from, Date to,
   const auto& disc = L.f64("l_discount");
   const auto& ext = L.f64("l_extendedprice");
 
-  // X_1 := algebra.thetasubselect(l_quantity)
-  SelVec x1 = SelectWhere(qty, [max_qty](double q) { return q < max_qty; });
+  // X_1..X_3 := thetasubselect(l_quantity) -> subselect(l_shipdate) ->
+  // subselect(l_discount), fused into one branch-light pass. The kernel
+  // reports the cardinality after each predicate so the recorded plan keeps
+  // the three MAL stages of Figure 3 with their true intermediate sizes.
+  const double* q = qty.data();
+  const int64_t* s = ship.data();
+  const double* d = disc.data();
+  kernels::Fused3Result fused = kernels::FusedSelect3(
+      L.num_rows(),
+      [q, max_qty](int64_t i) { return q[i] < max_qty; },
+      [s, from, to](int64_t i) { return s[i] >= from && s[i] < to; },
+      [d, disc_lo, disc_hi](int64_t i) {
+        return d[i] >= disc_lo - 1e-9 && d[i] <= disc_hi + 1e-9;
+      });
   const int s1 = RecordSelect(&rec, "lineitem.l_quantity", L.num_rows(),
-                              static_cast<int64_t>(x1.size()));
-  // X_2 := algebra.subselect(l_shipdate, X_1)
-  SelVec x2 = Refine(ship, x1, [from, to](int64_t d) { return d >= from && d < to; });
+                              fused.rows_after_p1);
   TraceStage st2;
   st2.op = "select";
   st2.inputs = {PlanRecorder::Base("lineitem.l_shipdate",
-                                   static_cast<int64_t>(x1.size()), 8, false),
-                PlanRecorder::Inter(s1, static_cast<int64_t>(x1.size()))};
-  st2.rows_out = static_cast<int64_t>(x2.size());
+                                   fused.rows_after_p1, 8, false),
+                PlanRecorder::Inter(s1, fused.rows_after_p1)};
+  st2.rows_out = fused.rows_after_p2;
   const int s2 = rec.AddStage(std::move(st2));
-  // X_3 := algebra.subselect(l_discount, X_2)
-  SelVec x3 = Refine(disc, x2, [disc_lo, disc_hi](double d) {
-    return d >= disc_lo - 1e-9 && d <= disc_hi + 1e-9;
-  });
+  SelVec x3 = std::move(fused.sel);
   TraceStage st3;
   st3.op = "select";
   st3.inputs = {PlanRecorder::Base("lineitem.l_discount",
-                                   static_cast<int64_t>(x2.size()), 8, false),
-                PlanRecorder::Inter(s2, static_cast<int64_t>(x2.size()))};
+                                   fused.rows_after_p2, 8, false),
+                PlanRecorder::Inter(s2, fused.rows_after_p2)};
   st3.rows_out = static_cast<int64_t>(x3.size());
   const int s3 = rec.AddStage(std::move(st3));
 

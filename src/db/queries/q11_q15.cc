@@ -94,12 +94,14 @@ QueryOutput Q12(const Database& db) {
                                    static_cast<int64_t>(sel.size()));
   sel = Refine(receipt, sel, [from, to](int64_t d) { return d >= from && d < to; });
   // The remaining predicates are correlated (commit < receipt, ship <
-  // commit), so they are applied row-wise.
-  SelVec final_sel;
-  for (int64_t row : sel) {
-    const size_t k = static_cast<size_t>(row);
-    if (commit[k] < receipt[k] && shipd[k] < commit[k]) final_sel.push_back(row);
-  }
+  // commit): one fused index-based refinement over the candidate list.
+  const int64_t* commit_p = commit.data();
+  const int64_t* receipt_p = receipt.data();
+  const int64_t* shipd_p = shipd.data();
+  SelVec final_sel =
+      kernels::RefineIdx(sel, [commit_p, receipt_p, shipd_p](int64_t row) {
+        return commit_p[row] < receipt_p[row] && shipd_p[row] < commit_p[row];
+      });
   const int st_dates = RecordSelect(&rec, "lineitem.l_receiptdate", L.num_rows(),
                                     static_cast<int64_t>(final_sel.size()));
   (void)st_mode;

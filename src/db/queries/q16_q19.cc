@@ -19,14 +19,12 @@ QueryOutput Q16(const Database& db) {
   const auto& brand = P.str("p_brand");
   const auto& type = P.str("p_type");
   const auto& size = P.i64("p_size");
-  SelVec p_sel;
-  for (int64_t i = 0; i < P.num_rows(); ++i) {
+  SelVec p_sel = kernels::SelectWhereIdx(P.num_rows(), [&](int64_t i) {
     const size_t k = static_cast<size_t>(i);
-    if (brand[k] == "Brand#45") continue;
-    if (LikeStartsWith(type[k], "MEDIUM POLISHED")) continue;
-    if (kSizes.find(size[k]) == kSizes.end()) continue;
-    p_sel.push_back(i);
-  }
+    return brand[k] != "Brand#45" &&
+           !LikeStartsWith(type[k], "MEDIUM POLISHED") &&
+           kSizes.find(size[k]) != kSizes.end();
+  });
   const int st_part = RecordSelect(&rec, "part.p_type", P.num_rows(),
                                    static_cast<int64_t>(p_sel.size()));
 
@@ -95,11 +93,10 @@ QueryOutput Q17(const Database& db) {
 
   const auto& brand = P.str("p_brand");
   const auto& container = P.str("p_container");
-  SelVec p_sel;
-  for (int64_t i = 0; i < P.num_rows(); ++i) {
+  SelVec p_sel = kernels::SelectWhereIdx(P.num_rows(), [&](int64_t i) {
     const size_t k = static_cast<size_t>(i);
-    if (brand[k] == "Brand#23" && container[k] == "MED BOX") p_sel.push_back(i);
-  }
+    return brand[k] == "Brand#23" && container[k] == "MED BOX";
+  });
   const int st_part = RecordSelect(&rec, "part.p_brand", P.num_rows(),
                                    static_cast<int64_t>(p_sel.size()));
   HashJoin parts;
@@ -214,13 +211,11 @@ QueryOutput Q19(const Database& db) {
 
   // Pre-filter on shipmode/instruct, then evaluate the OR branches against
   // the joined part row.
-  SelVec l_sel;
-  for (int64_t i = 0; i < L.num_rows(); ++i) {
+  SelVec l_sel = kernels::SelectWhereIdx(L.num_rows(), [&](int64_t i) {
     const size_t k = static_cast<size_t>(i);
-    if (instruct[k] != "DELIVER IN PERSON") continue;
-    if (mode[k] != "AIR" && mode[k] != "REG AIR") continue;
-    l_sel.push_back(i);
-  }
+    return instruct[k] == "DELIVER IN PERSON" &&
+           (mode[k] == "AIR" || mode[k] == "REG AIR");
+  });
   const int st_line = RecordSelect(&rec, "lineitem.l_shipmode", L.num_rows(),
                                    static_cast<int64_t>(l_sel.size()));
 

@@ -180,16 +180,17 @@ QueryOutput Q22(const Database& db) {
   const auto& phone = C.str("c_phone");
   const auto& acctbal = C.f64("c_acctbal");
 
-  // avg(c_acctbal) over positive balances in the code set.
-  double sum = 0.0;
-  int64_t count = 0;
-  for (int64_t i = 0; i < C.num_rows(); ++i) {
+  // avg(c_acctbal) over positive balances in the code set: a chunked
+  // selection pass materialises the candidate list (MAL select ->
+  // aggregate shape), then the aggregate runs over the selection vector.
+  SelVec funded = kernels::SelectWhereIdx(C.num_rows(), [&](int64_t i) {
     const size_t k = static_cast<size_t>(i);
-    if (acctbal[k] <= 0.0) continue;
-    if (kCodes.find(SqlSubstring(phone[k], 1, 2)) == kCodes.end()) continue;
-    sum += acctbal[k];
-    count++;
-  }
+    return acctbal[k] > 0.0 &&
+           kCodes.find(SqlSubstring(phone[k], 1, 2)) != kCodes.end();
+  });
+  double sum = 0.0;
+  for (int64_t row : funded) sum += acctbal[static_cast<size_t>(row)];
+  const int64_t count = static_cast<int64_t>(funded.size());
   const double avg = count > 0 ? sum / static_cast<double>(count) : 0.0;
   RecordSelect(&rec, "customer.c_phone", C.num_rows(), count);
 

@@ -18,6 +18,8 @@ MemorySystem::MemorySystem(const Topology* topology, PageTable* page_table,
   link_bytes_this_tick_.assign(static_cast<size_t>(topology_->num_links()), 0);
   link_capacity_per_tick_ = static_cast<int64_t>(
       cfg.ht_link_bytes_per_second * simcore::Clock::kSecondsPerTick);
+  congestion_cycles_per_overload_ =
+      cfg.ht_congestion_penalty * static_cast<double>(cfg.remote_hop_cycles);
 }
 
 void MemorySystem::BeginTick() {
@@ -84,9 +86,8 @@ AccessResult MemorySystem::Access(CoreId core, PageId page, bool is_write,
               static_cast<double>(used - link_capacity_per_tick_) /
               static_cast<double>(link_capacity_per_tick_);
           const double capped = std::min(overload, 8.0);
-          result.cycles += static_cast<int64_t>(
-              capped * cfg.ht_congestion_penalty *
-              static_cast<double>(cfg.remote_hop_cycles));
+          result.cycles +=
+              static_cast<int64_t>(capped * congestion_cycles_per_overload_);
         }
       }
     }

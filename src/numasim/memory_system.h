@@ -64,6 +64,9 @@ class MemorySystem {
   std::vector<std::unique_ptr<L3Cache>> l3_;
   std::vector<int64_t> link_bytes_this_tick_;
   int64_t link_capacity_per_tick_;
+  /// Hoisted `ht_congestion_penalty * remote_hop_cycles`: constant for the
+  /// machine, previously recomputed per link per page access.
+  double congestion_cycles_per_overload_ = 0.0;
 };
 
 }  // namespace elastic::numasim

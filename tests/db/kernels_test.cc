@@ -1,0 +1,294 @@
+// Unit tests for the batch-kernel layer: the open-addressing join table,
+// the group-key table (including growth), and parity of the chunked /
+// fused selection kernels with plain scalar loops on random data.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/kernels/hash.h"
+#include "db/kernels/hash_table.h"
+#include "db/kernels/select.h"
+#include "db/operators.h"
+
+namespace elastic::db {
+namespace {
+
+using kernels::FusedSelect3;
+using kernels::GroupKeyTable;
+using kernels::Hash128;
+using kernels::JoinHashTable;
+
+TEST(JoinHashTableTest, BuildsFlatGroupedPayload) {
+  JoinHashTable table;
+  table.Build({7, 3, 7, 9, 3, 7});
+  EXPECT_EQ(table.num_keys(), 3u);
+  EXPECT_EQ(table.num_entries(), 6u);
+  // Rows of a key are contiguous and in build-insertion order.
+  EXPECT_EQ(table.RowsOf(7), (std::vector<int64_t>{0, 2, 5}));
+  EXPECT_EQ(table.RowsOf(3), (std::vector<int64_t>{1, 4}));
+  EXPECT_EQ(table.RowsOf(9), (std::vector<int64_t>{3}));
+  EXPECT_TRUE(table.RowsOf(42).empty());
+  EXPECT_EQ(table.CountOf(7), 3);
+  EXPECT_EQ(table.CountOf(42), 0);
+  EXPECT_TRUE(table.Contains(9));
+  EXPECT_FALSE(table.Contains(8));
+}
+
+TEST(JoinHashTableTest, RestrictedBuildUsesCandidateRows) {
+  JoinHashTable table;
+  const std::vector<int64_t> keys = {1, 2, 1, 2, 1};
+  const std::vector<int64_t> rows = {0, 3, 4};
+  table.Build(keys, &rows);
+  EXPECT_EQ(table.num_entries(), 3u);
+  EXPECT_EQ(table.RowsOf(1), (std::vector<int64_t>{0, 4}));
+  EXPECT_EQ(table.RowsOf(2), (std::vector<int64_t>{3}));
+}
+
+TEST(JoinHashTableTest, ZeroKeyIsNotConfusedWithEmptySlots) {
+  // Empty slots store key 0 internally; a real key 0 must still work.
+  JoinHashTable table;
+  table.Build({0, 5, 0});
+  EXPECT_EQ(table.RowsOf(0), (std::vector<int64_t>{0, 2}));
+  EXPECT_EQ(table.CountOf(0), 2);
+  EXPECT_TRUE(table.Contains(0));
+}
+
+TEST(JoinHashTableTest, CollisionHeavyKeysProbeCorrectly) {
+  // Keys chosen adversarially dense and distinct; power-of-two capacity
+  // plus linear probing must still resolve every key exactly.
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < 4096; ++i) keys.push_back(i * 64);  // strided
+  for (int64_t i = 0; i < 4096; ++i) keys.push_back(i * 64);  // duplicates
+  JoinHashTable table;
+  table.Build(keys);
+  EXPECT_EQ(table.num_keys(), 4096u);
+  for (int64_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(table.RowsOf(i * 64), (std::vector<int64_t>{i, i + 4096}));
+  }
+  EXPECT_FALSE(table.Contains(1));  // between the strides
+}
+
+TEST(JoinHashTableTest, EmptyBuild) {
+  JoinHashTable table;
+  table.Build({});
+  EXPECT_EQ(table.num_keys(), 0u);
+  EXPECT_FALSE(table.Contains(0));
+  EXPECT_TRUE(table.RowsOf(0).empty());
+}
+
+TEST(JoinHashTableTest, RebuildDropsPreviousContents) {
+  // Tombstone-free semantics: there is no deletion, only whole rebuilds.
+  JoinHashTable table;
+  table.Build({1, 2, 3});
+  table.Build({9});
+  EXPECT_EQ(table.num_keys(), 1u);
+  EXPECT_FALSE(table.Contains(1));
+  EXPECT_EQ(table.RowsOf(9), (std::vector<int64_t>{0}));
+}
+
+TEST(HashJoinTest, ProbeMatchesScalarReferenceOnRandomData) {
+  std::mt19937_64 rng(42);
+  std::vector<int64_t> build_keys(2000);
+  std::vector<int64_t> probe_keys(3000);
+  for (auto& k : build_keys) k = static_cast<int64_t>(rng() % 500);
+  for (auto& k : probe_keys) k = static_cast<int64_t>(rng() % 700);
+
+  HashJoin join;
+  join.Build(build_keys);
+  const HashJoin::Pairs pairs = join.Probe(probe_keys);
+
+  // Scalar reference: node-based multimap in insertion order.
+  std::unordered_map<int64_t, std::vector<int64_t>> ref;
+  for (size_t i = 0; i < build_keys.size(); ++i) {
+    ref[build_keys[i]].push_back(static_cast<int64_t>(i));
+  }
+  std::vector<int64_t> want_build, want_probe;
+  for (size_t i = 0; i < probe_keys.size(); ++i) {
+    auto it = ref.find(probe_keys[i]);
+    if (it == ref.end()) continue;
+    for (int64_t b : it->second) {
+      want_build.push_back(b);
+      want_probe.push_back(static_cast<int64_t>(i));
+    }
+  }
+  EXPECT_EQ(pairs.build_rows, want_build);
+  EXPECT_EQ(pairs.probe_rows, want_probe);
+}
+
+TEST(GroupKeyTableTest, GrowsFromMinimalCapacityWithoutLosingGroups) {
+  GroupKeyTable table(/*expected_groups=*/0);
+  const size_t initial_cap = table.capacity();
+  std::vector<Hash128> hashes;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    Hash128 h;
+    h.Update(i);
+    hashes.push_back(h);
+  }
+  for (int64_t i = 0; i < 10000; ++i) {
+    const int64_t gid = table.FindOrInsert(
+        hashes[static_cast<size_t>(i)], i, [&](int64_t) { return true; });
+    EXPECT_EQ(gid, i);  // all distinct -> fresh gid each time
+  }
+  EXPECT_EQ(table.size(), 10000u);
+  EXPECT_GT(table.capacity(), initial_cap);  // doubled several times
+  // Every key still finds its original gid after the growth rehashes.
+  for (int64_t i = 0; i < 10000; ++i) {
+    EXPECT_EQ(table.FindOrInsert(hashes[static_cast<size_t>(i)], 999999,
+                                 [&](int64_t) { return true; }),
+              i);
+  }
+}
+
+TEST(GroupKeyTableTest, HashCollisionsResolvedByExactComparison) {
+  // Two logical keys sharing one Hash128: the equals_rep callback must
+  // separate them into distinct groups.
+  GroupKeyTable table;
+  Hash128 h;
+  h.Update(123);
+  const std::vector<int64_t> logical_key = {1, 2};
+  auto eq_against = [&](int64_t row) {
+    return [&, row](int64_t gid) { return logical_key[static_cast<size_t>(gid)] ==
+                                          logical_key[static_cast<size_t>(row)]; };
+  };
+  EXPECT_EQ(table.FindOrInsert(h, 0, eq_against(0)), 0);
+  EXPECT_EQ(table.FindOrInsert(h, 1, eq_against(1)), 1);  // collides, differs
+  EXPECT_EQ(table.FindOrInsert(h, 2, eq_against(0)), 0);  // matches group 0
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(GrouperTest, ManyDistinctKeysMatchUnorderedMapReference) {
+  std::mt19937_64 rng(7);
+  std::vector<int64_t> keys(20000);
+  for (auto& k : keys) k = static_cast<int64_t>(rng() % 5000);
+  Grouper g;
+  g.AddI64Key(keys);
+  g.Finish();
+
+  std::unordered_map<int64_t, int64_t> ref;
+  std::vector<int64_t> want(keys.size());
+  int64_t next = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = ref.emplace(keys[i], next).first;
+    if (it->second == next) next++;
+    want[i] = it->second;
+  }
+  EXPECT_EQ(g.num_groups(), next);
+  EXPECT_EQ(g.group_of(), want);
+  for (int64_t gid = 0; gid < g.num_groups(); ++gid) {
+    EXPECT_EQ(g.I64KeyOfGroup(0, gid),
+              keys[static_cast<size_t>(g.representative_rows()[static_cast<size_t>(gid)])]);
+  }
+}
+
+TEST(GrouperTest, MixedStrI64KeysMatchStringEncodingReference) {
+  std::mt19937_64 rng(11);
+  const std::vector<std::string> names = {"ALPHA", "BETA", "GAMMA", "DELTA"};
+  std::vector<std::string> str_key(5000);
+  std::vector<int64_t> i64_key(5000);
+  for (size_t i = 0; i < str_key.size(); ++i) {
+    str_key[i] = names[rng() % names.size()];
+    i64_key[i] = static_cast<int64_t>(rng() % 7);
+  }
+  Grouper g;
+  g.AddStrKey(str_key);
+  g.AddI64Key(i64_key);
+  g.Finish();
+
+  // Reference: the seed executor's per-row string encoding.
+  std::unordered_map<std::string, int64_t> ref;
+  std::vector<int64_t> want(str_key.size());
+  int64_t next = 0;
+  for (size_t i = 0; i < str_key.size(); ++i) {
+    std::string encoded = str_key[i] + '\x01' + std::to_string(i64_key[i]);
+    auto it = ref.emplace(encoded, next).first;
+    if (it->second == next) next++;
+    want[i] = it->second;
+  }
+  EXPECT_EQ(g.num_groups(), next);
+  EXPECT_EQ(g.group_of(), want);
+}
+
+TEST(SelectKernelsTest, ChunkedSelectMatchesScalarOnRandomData) {
+  std::mt19937_64 rng(3);
+  std::vector<double> col(50000);
+  for (auto& v : col) v = static_cast<double>(rng() % 1000) / 10.0;
+  auto pred = [](double v) { return v < 37.5; };
+
+  std::vector<int64_t> want;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (pred(col[i])) want.push_back(static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(kernels::SelectWhere(col, pred), want);
+}
+
+TEST(SelectKernelsTest, ChunkedRefineMatchesScalarOnRandomData) {
+  std::mt19937_64 rng(5);
+  std::vector<int64_t> col(40000);
+  for (auto& v : col) v = static_cast<int64_t>(rng() % 100);
+  std::vector<int64_t> in;
+  for (int64_t i = 0; i < 40000; i += 3) in.push_back(i);
+  auto pred = [](int64_t v) { return v >= 20 && v < 60; };
+
+  std::vector<int64_t> want;
+  for (int64_t row : in) {
+    if (pred(col[static_cast<size_t>(row)])) want.push_back(row);
+  }
+  EXPECT_EQ(kernels::Refine(col, in, pred), want);
+}
+
+TEST(SelectKernelsTest, SelectSizesNotMultipleOfChunk) {
+  for (int64_t n : {0, 1, 1023, 1024, 1025, 4096, 5000}) {
+    std::vector<int64_t> col(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) col[static_cast<size_t>(i)] = i;
+    const std::vector<int64_t> sel =
+        kernels::SelectWhere(col, [](int64_t v) { return v % 2 == 0; });
+    EXPECT_EQ(static_cast<int64_t>(sel.size()), (n + 1) / 2) << "n=" << n;
+    for (int64_t row : sel) EXPECT_EQ(row % 2, 0);
+  }
+}
+
+TEST(SelectKernelsTest, FusedSelect3MatchesThreePassScalar) {
+  std::mt19937_64 rng(9);
+  const int64_t n = 30000;
+  std::vector<double> qty(static_cast<size_t>(n));
+  std::vector<int64_t> ship(static_cast<size_t>(n));
+  std::vector<double> disc(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t k = static_cast<size_t>(i);
+    qty[k] = static_cast<double>(rng() % 50);
+    ship[k] = static_cast<int64_t>(rng() % 2500);
+    disc[k] = static_cast<double>(rng() % 11) / 100.0;
+  }
+  auto p1 = [&](int64_t i) { return qty[static_cast<size_t>(i)] < 24.0; };
+  auto p2 = [&](int64_t i) {
+    return ship[static_cast<size_t>(i)] >= 800 && ship[static_cast<size_t>(i)] < 1200;
+  };
+  auto p3 = [&](int64_t i) {
+    return disc[static_cast<size_t>(i)] >= 0.05 && disc[static_cast<size_t>(i)] <= 0.07;
+  };
+
+  // Three-pass scalar reference with intermediate cardinalities.
+  std::vector<int64_t> x1, x2, x3;
+  for (int64_t i = 0; i < n; ++i) {
+    if (p1(i)) x1.push_back(i);
+  }
+  for (int64_t row : x1) {
+    if (p2(row)) x2.push_back(row);
+  }
+  for (int64_t row : x2) {
+    if (p3(row)) x3.push_back(row);
+  }
+
+  const kernels::Fused3Result fused = FusedSelect3(n, p1, p2, p3);
+  EXPECT_EQ(fused.rows_after_p1, static_cast<int64_t>(x1.size()));
+  EXPECT_EQ(fused.rows_after_p2, static_cast<int64_t>(x2.size()));
+  EXPECT_EQ(fused.sel, x3);
+}
+
+}  // namespace
+}  // namespace elastic::db

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <set>
+#include <utility>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -624,6 +627,69 @@ TEST(QueriesReference, Q21WaitCountsPositive) {
   }
   for (int64_t row = 1; row < r.num_rows(); ++row) {
     EXPECT_GE(r.at(row - 1, 1).i64(), r.at(row, 1).i64());
+  }
+}
+
+// Deterministic serialization of a result: kind-tagged cells with exact
+// f64 bit patterns, so the checksum moves iff any output byte moves.
+std::string SerializeResult(const QueryResult& result) {
+  std::string blob = result.query + "\n";
+  char buf[64];
+  for (const auto& row : result.rows) {
+    for (const auto& v : row) {
+      switch (v.kind()) {
+        case Value::Kind::kI64:
+          snprintf(buf, sizeof buf, "i%lld", static_cast<long long>(v.i64()));
+          blob += buf;
+          break;
+        case Value::Kind::kF64: {
+          const double d = v.f64();
+          uint64_t bits;
+          memcpy(&bits, &d, sizeof bits);
+          snprintf(buf, sizeof buf, "f%016llx",
+                   static_cast<unsigned long long>(bits));
+          blob += buf;
+          break;
+        }
+        case Value::Kind::kStr:
+          blob += "s" + v.str();
+          break;
+      }
+      blob += '|';
+    }
+    blob += '\n';
+  }
+  return blob;
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Golden checksums captured from the pre-kernel scalar executor (SF 0.01,
+// seed 19920101). The batch-kernel rewrite must keep every query output
+// byte-identical; any intentional result change must re-capture these.
+TEST(QueriesReference, AllQueriesMatchScalarExecutorGoldens) {
+  static const std::pair<int, uint64_t> kGoldens[] = {
+      {1, 0x14606f409de304f4ULL},  {2, 0x02e875de3078642cULL},
+      {3, 0x4fa972a7e17d82aaULL},  {4, 0xb14fb0df1744b9eeULL},
+      {5, 0xd6bad86028f27bc8ULL},  {6, 0x291ef72043827059ULL},
+      {7, 0xc8e416197a8f9b2bULL},  {8, 0x0943ecf271e7a389ULL},
+      {9, 0x84a20bb13a7de580ULL},  {10, 0xd05888c14d6f3f3dULL},
+      {11, 0x2add62257c9db194ULL}, {12, 0xfd096f5e09fe1767ULL},
+      {13, 0x1d52edba794d1783ULL}, {14, 0x1802a8442a4bf0f1ULL},
+      {15, 0x2959966b488175c7ULL}, {16, 0x8463106f246a144bULL},
+      {17, 0xcd0c6b1dfb28c775ULL}, {18, 0xfff775e518c2c2d0ULL},
+      {19, 0x0edb2fa2a7033a3fULL}, {20, 0xc7bd14e82201cdcfULL},
+      {21, 0x1d4607305629b1fdULL}, {22, 0x714aea0099cc2972ULL},
+  };
+  for (const auto& [q, golden] : kGoldens) {
+    EXPECT_EQ(Fnv1a(SerializeResult(Result(q))), golden) << "Q" << q;
   }
 }
 
