@@ -1,4 +1,4 @@
-// Ablation study of the design knobs DESIGN.md calls out:
+// Ablation study of the mechanism's design knobs:
 //  (1) CPU-load thresholds (thmin/thmax) — the paper fixes 10/70 "by rules
 //      of thumb" and reports that wider/narrower bands hurt,
 //  (2) monitoring period — reaction speed vs overhead,

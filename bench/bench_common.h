@@ -3,7 +3,8 @@
 
 // Shared setup for the figure-reproduction harnesses.
 //
-// Scale note (see DESIGN.md): the paper ran TPC-H at scale factor 1 (1 GB)
+// Scale note (see docs/ARCHITECTURE.md): the paper ran TPC-H at scale
+// factor 1 (1 GB)
 // on real hardware; these harnesses run the machine simulation at SF 0.15,
 // where a single lineitem column (~1760 pages) already exceeds a socket's L3
 // (1536 page frames) — the same qualitative regime as the paper's 1 GB vs
@@ -40,8 +41,7 @@ inline constexpr uint64_t kBenchSeed = 19920101;
 // Concurrency regime of the comparison figures. The paper drove 256 real
 // clients against a DBMS whose internal contention kept CPU load inside the
 // 10..70 band; our simulated engine has no software contention, so the same
-// demand is produced with moderately fewer clients plus client think time
-// (see EXPERIMENTS.md, "Scaling and substitutions").
+// demand is produced with moderately fewer clients plus client think time.
 inline constexpr int kBenchClients = 64;
 inline constexpr int64_t kBenchThinkTicks = 900;
 inline constexpr int64_t kBenchRampTicks = 600;

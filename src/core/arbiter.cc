@@ -1,0 +1,313 @@
+#include "core/arbiter.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/check.h"
+
+namespace elastic::core {
+
+const char* ArbitrationPolicyName(ArbitrationPolicy policy) {
+  switch (policy) {
+    case ArbitrationPolicy::kFairShare: return "fair_share";
+    case ArbitrationPolicy::kPriorityWeighted: return "priority_weighted";
+    case ArbitrationPolicy::kDemandProportional: return "demand_proportional";
+  }
+  return "?";
+}
+
+ArbitrationPolicy ArbitrationPolicyFromName(const std::string& name) {
+  if (name == "fair_share" || name == "fair") {
+    return ArbitrationPolicy::kFairShare;
+  }
+  if (name == "priority_weighted" || name == "priority") {
+    return ArbitrationPolicy::kPriorityWeighted;
+  }
+  if (name == "demand_proportional" || name == "demand") {
+    return ArbitrationPolicy::kDemandProportional;
+  }
+  ELASTIC_CHECK(false, "unknown arbitration policy name");
+  return ArbitrationPolicy::kFairShare;
+}
+
+CoreArbiter::CoreArbiter(ossim::Machine* machine, const ArbiterConfig& config)
+    : machine_(machine), config_(config) {
+  ELASTIC_CHECK(config_.monitor_period_ticks >= 1, "monitoring period >= 1");
+}
+
+int CoreArbiter::AddTenant(const ArbiterTenantConfig& config) {
+  ELASTIC_CHECK(!installed_, "AddTenant after Install");
+  ELASTIC_CHECK(config.weight > 0.0, "tenant weight must be positive");
+  Tenant tenant;
+  tenant.config = config;
+  tenant.mechanism = std::make_unique<ElasticMechanism>(
+      machine_, MakeMode(config.mode, &machine_->topology()), config.mechanism);
+  // Placeholder mask; Install() narrows it to the tenant's initial cores.
+  tenant.cpuset = machine_->scheduler().CreateCpuset(
+      ossim::CpuMask::AllOf(machine_->topology()));
+  tenants_.push_back(std::move(tenant));
+  return num_tenants() - 1;
+}
+
+const std::string& CoreArbiter::tenant_name(int tenant) const {
+  return tenants_[static_cast<size_t>(tenant)].config.name;
+}
+
+ElasticMechanism& CoreArbiter::mechanism(int tenant) {
+  return *tenants_[static_cast<size_t>(tenant)].mechanism;
+}
+
+ossim::CpusetId CoreArbiter::tenant_cpuset(int tenant) const {
+  return tenants_[static_cast<size_t>(tenant)].cpuset;
+}
+
+const ossim::CpuMask& CoreArbiter::tenant_mask(int tenant) const {
+  return tenants_[static_cast<size_t>(tenant)].mask;
+}
+
+int CoreArbiter::nalloc(int tenant) const {
+  return tenants_[static_cast<size_t>(tenant)].mask.Count();
+}
+
+ossim::CpuMask CoreArbiter::FreePool() const {
+  ossim::CpuMask owned;
+  for (const Tenant& tenant : tenants_) owned = owned.Union(tenant.mask);
+  const ossim::CpuMask all = ossim::CpuMask::AllOf(machine_->topology());
+  return ossim::CpuMask(all.bits() & ~owned.bits());
+}
+
+numasim::CoreId CoreArbiter::PickCoreFor(const Tenant& tenant,
+                                         const ossim::CpuMask& pool) const {
+  const numasim::Topology& topo = machine_->topology();
+  // Reuse the NodePriorityQueue as the NUMA-aware handout order: a node's
+  // score is dominated by how many cores the tenant already holds there
+  // (cluster the cpuset), with free capacity as the tie breaker. Ties in
+  // the queue itself break towards the lower node id, so handout is fully
+  // deterministic.
+  NodePriorityQueue queue(topo.num_nodes());
+  const double weight = static_cast<double>(topo.total_cores() + 1);
+  for (numasim::NodeId node = 0; node < topo.num_nodes(); ++node) {
+    int own = 0;
+    int free = 0;
+    for (numasim::CoreId core : topo.CoresOfNode(node)) {
+      if (tenant.mask.Has(core)) own++;
+      if (pool.Has(core)) free++;
+    }
+    queue.SetScore(node, own * weight + free);
+  }
+  for (numasim::NodeId node : queue.ByPriorityDescending()) {
+    for (numasim::CoreId core : topo.CoresOfNode(node)) {
+      if (pool.Has(core)) return core;
+    }
+  }
+  return numasim::kInvalidCore;
+}
+
+void CoreArbiter::Install() {
+  ELASTIC_CHECK(!installed_, "arbiter installed twice");
+  ELASTIC_CHECK(!tenants_.empty(), "arbiter needs at least one tenant");
+  int initial_total = 0;
+  for (const Tenant& tenant : tenants_) {
+    initial_total += tenant.config.mechanism.initial_cores;
+  }
+  ELASTIC_CHECK(initial_total <= machine_->topology().total_cores(),
+                "initial cores of all tenants exceed the machine");
+  installed_ = true;
+
+  // Hand out the initial disjoint masks; PickCoreFor naturally spreads
+  // fresh tenants across sockets (a new tenant prefers the emptiest node).
+  ossim::CpuMask pool = ossim::CpuMask::AllOf(machine_->topology());
+  for (Tenant& tenant : tenants_) {
+    for (int i = 0; i < tenant.config.mechanism.initial_cores; ++i) {
+      const numasim::CoreId core = PickCoreFor(tenant, pool);
+      ELASTIC_CHECK(core != numasim::kInvalidCore, "initial handout failed");
+      tenant.mask.Set(core);
+      pool.Clear(core);
+    }
+    machine_->scheduler().SetCpusetMask(tenant.cpuset, tenant.mask);
+    tenant.mechanism->InstallManaged(tenant.mask);
+  }
+
+  machine_->AddTickHook([this](simcore::Tick now) {
+    if (now % config_.monitor_period_ticks == 0 && now > 0) Poll(now);
+  });
+}
+
+std::vector<double> CoreArbiter::Entitlements(
+    const std::vector<ElasticMechanism::Decision>& decisions) const {
+  const int count = num_tenants();
+  const double total = static_cast<double>(machine_->topology().total_cores());
+  std::vector<double> entitlements(static_cast<size_t>(count), 0.0);
+  switch (config_.policy) {
+    case ArbitrationPolicy::kFairShare: {
+      for (double& e : entitlements) e = total / count;
+      break;
+    }
+    case ArbitrationPolicy::kPriorityWeighted: {
+      double sum = 0.0;
+      for (const Tenant& tenant : tenants_) sum += tenant.config.weight;
+      for (int i = 0; i < count; ++i) {
+        entitlements[static_cast<size_t>(i)] =
+            total * tenants_[static_cast<size_t>(i)].config.weight / sum;
+      }
+      break;
+    }
+    case ArbitrationPolicy::kDemandProportional: {
+      // Demand in busy-core equivalents; the epsilon keeps an all-idle
+      // machine at equal entitlements instead of 0/0.
+      std::vector<double> demand(static_cast<size_t>(count), 0.0);
+      double sum = 0.0;
+      for (int i = 0; i < count; ++i) {
+        const ElasticMechanism::Decision& d = decisions[static_cast<size_t>(i)];
+        demand[static_cast<size_t>(i)] =
+            std::max(d.u, 0.0) / 100.0 * d.current + 1e-6;
+        sum += demand[static_cast<size_t>(i)];
+      }
+      for (int i = 0; i < count; ++i) {
+        entitlements[static_cast<size_t>(i)] =
+            total * demand[static_cast<size_t>(i)] / sum;
+      }
+      break;
+    }
+  }
+  return entitlements;
+}
+
+void CoreArbiter::Poll(simcore::Tick now) {
+  ELASTIC_CHECK(installed_, "Poll before Install");
+  const int count = num_tenants();
+
+  std::vector<ElasticMechanism::Decision> decisions;
+  decisions.reserve(static_cast<size_t>(count));
+  for (Tenant& tenant : tenants_) {
+    decisions.push_back(tenant.mechanism->Decide(now));
+  }
+
+  ArbiterRound round;
+  round.tick = now;
+  round.tenants.resize(static_cast<size_t>(count));
+
+  // Phase 1: shrinks release one core each into the free pool. A tenant
+  // collapsing towards its floor frees capacity in the very round another
+  // tenant may claim it.
+  for (int i = 0; i < count; ++i) {
+    Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    const ElasticMechanism::Decision& d = decisions[static_cast<size_t>(i)];
+    if (d.desired >= d.current) continue;
+    const numasim::CoreId core = tenant.mechanism->mode().NextToRelease(tenant.mask);
+    ELASTIC_CHECK(core != numasim::kInvalidCore, "shrink from a 1-core tenant");
+    tenant.mask.Clear(core);
+    round.handoffs++;
+  }
+
+  // Phase 2: grant grows from the pool, most-entitled-deficit first.
+  const std::vector<double> entitlements = Entitlements(decisions);
+  std::vector<int> growers;
+  for (int i = 0; i < count; ++i) {
+    if (decisions[static_cast<size_t>(i)].desired >
+        decisions[static_cast<size_t>(i)].current) {
+      growers.push_back(i);
+    }
+  }
+  std::sort(growers.begin(), growers.end(), [&](int a, int b) {
+    const double da = entitlements[static_cast<size_t>(a)] -
+                      tenants_[static_cast<size_t>(a)].mask.Count();
+    const double db = entitlements[static_cast<size_t>(b)] -
+                      tenants_[static_cast<size_t>(b)].mask.Count();
+    if (da != db) return da > db;
+    const int na = tenants_[static_cast<size_t>(a)].mask.Count();
+    const int nb = tenants_[static_cast<size_t>(b)].mask.Count();
+    if (na != nb) return na < nb;
+    return a < b;
+  });
+
+  ossim::CpuMask pool = FreePool();
+  std::vector<int> unmet;
+  for (int grower : growers) {
+    Tenant& tenant = tenants_[static_cast<size_t>(grower)];
+    if (pool.Empty()) {
+      unmet.push_back(grower);
+      continue;
+    }
+    const numasim::CoreId core = PickCoreFor(tenant, pool);
+    ELASTIC_CHECK(core != numasim::kInvalidCore, "grant from empty pool");
+    tenant.mask.Set(core);
+    pool.Clear(core);
+    round.handoffs++;
+  }
+
+  // Phase 3: unmet grows may preempt one core from the tenant furthest
+  // above its entitlement — never from an overloaded tenant and never below
+  // the victim's initial_cores floor.
+  for (int grower : unmet) {
+    int victim = -1;
+    double worst_excess = 0.0;
+    for (int v = 0; v < count; ++v) {
+      if (v == grower) continue;
+      if (decisions[static_cast<size_t>(v)].state == PerfState::kOverload) {
+        continue;
+      }
+      const Tenant& candidate = tenants_[static_cast<size_t>(v)];
+      const int held = candidate.mask.Count();
+      if (held <= std::max(1, candidate.config.mechanism.initial_cores)) continue;
+      const double excess = held - entitlements[static_cast<size_t>(v)];
+      if (excess <= 0.0) continue;
+      if (victim < 0 || excess > worst_excess) {
+        victim = v;
+        worst_excess = excess;
+      }
+    }
+    if (victim < 0) {
+      round.starved++;
+      continue;
+    }
+    Tenant& loser = tenants_[static_cast<size_t>(victim)];
+    const numasim::CoreId core = loser.mechanism->mode().NextToRelease(loser.mask);
+    ELASTIC_CHECK(core != numasim::kInvalidCore, "preempted a 1-core tenant");
+    loser.mask.Clear(core);
+    tenants_[static_cast<size_t>(grower)].mask.Set(core);
+    round.handoffs++;
+    round.preemptions++;
+  }
+
+  // Phase 4: install the rebalanced cpusets and commit the grants into the
+  // tenants' nets so next round's t4..t7 guards see the real counts.
+  for (int i = 0; i < count; ++i) {
+    Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    machine_->scheduler().SetCpusetMask(tenant.cpuset, tenant.mask);
+    tenant.mechanism->CommitGrant(tenant.mask, now,
+                                  decisions[static_cast<size_t>(i)]);
+    TenantRound& tr = round.tenants[static_cast<size_t>(i)];
+    tr.state = decisions[static_cast<size_t>(i)].state;
+    tr.u = decisions[static_cast<size_t>(i)].u;
+    tr.demanded = decisions[static_cast<size_t>(i)].desired;
+    tr.granted = tenant.mask.Count();
+  }
+
+  handoffs_ += round.handoffs;
+  preemptions_ += round.preemptions;
+  if (round.starved > 0) starved_rounds_++;
+  if (config_.log_rounds) log_.push_back(std::move(round));
+}
+
+double CoreArbiter::JainIndex(const std::vector<double>& values) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (values.empty() || sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double CoreArbiter::FairnessIndex() const {
+  std::vector<double> counts;
+  counts.reserve(tenants_.size());
+  for (const Tenant& tenant : tenants_) {
+    counts.push_back(static_cast<double>(tenant.mask.Count()));
+  }
+  return JainIndex(counts);
+}
+
+}  // namespace elastic::core

@@ -1,0 +1,177 @@
+#ifndef ELASTICORE_CORE_ARBITER_H_
+#define ELASTICORE_CORE_ARBITER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocation_mode.h"
+#include "core/mechanism.h"
+#include "core/node_priority_queue.h"
+#include "ossim/machine.h"
+
+namespace elastic::core {
+
+/// How the arbiter resolves competing grow demands (and picks preemption
+/// victims) when tenants contend for the same sockets. Every policy defines
+/// a per-tenant *entitlement* — the share of the machine the tenant is
+/// notionally owed — and grants/reclaims cores towards those entitlements.
+enum class ArbitrationPolicy {
+  /// Equal entitlement: N / num_tenants cores each, regardless of weight or
+  /// measured demand.
+  kFairShare,
+  /// Entitlement proportional to the tenant's configured weight:
+  /// N * w_i / sum(w).
+  kPriorityWeighted,
+  /// Entitlement proportional to measured demand (busy-core equivalents,
+  /// u_i * nalloc_i, from the last monitoring window). Assumes the tenants
+  /// run the kCpuLoad transition strategy.
+  kDemandProportional,
+};
+
+const char* ArbitrationPolicyName(ArbitrationPolicy policy);
+ArbitrationPolicy ArbitrationPolicyFromName(const std::string& name);
+
+/// One tenant registered with the arbiter.
+struct ArbiterTenantConfig {
+  std::string name = "tenant";
+  /// Per-tenant thresholds/strategy. monitor_period_ticks is ignored (the
+  /// arbiter polls every tenant from one hook at its own period);
+  /// initial_cores doubles as the preemption floor; max_cores caps growth.
+  MechanismConfig mechanism;
+  /// Allocation mode driving *which* core the tenant releases on a shrink
+  /// ("sparse", "dense" or "adaptive", as in the single-tenant mechanism).
+  std::string mode = "adaptive";
+  /// Share under kPriorityWeighted (ignored by the other policies).
+  double weight = 1.0;
+};
+
+struct ArbiterConfig {
+  ArbitrationPolicy policy = ArbitrationPolicy::kFairShare;
+  /// Monitoring period of the single arbiter hook, in simulated ticks.
+  int monitor_period_ticks = 20;
+  /// Keep a per-round decision log.
+  bool log_rounds = true;
+};
+
+/// Per-tenant outcome of one arbitration round.
+struct TenantRound {
+  PerfState state = PerfState::kStable;
+  double u = 0.0;
+  /// Cores the tenant's net asked for (before arbitration).
+  int demanded = 0;
+  /// Cores the tenant actually holds after the round.
+  int granted = 0;
+};
+
+/// One arbitration round across all tenants.
+struct ArbiterRound {
+  simcore::Tick tick = 0;
+  std::vector<TenantRound> tenants;
+  /// Cores that changed owner (tenant <-> free pool or tenant -> tenant).
+  int handoffs = 0;
+  /// Handoffs taken from a tenant that had not offered the core.
+  int preemptions = 0;
+  /// Grow demands left unmet this round.
+  int starved = 0;
+};
+
+/// Multi-tenant elastic core arbitration (the step beyond the paper): N
+/// independent ElasticMechanism instances — one per tenant DBMS — run their
+/// PrT nets against a shared machine, and the arbiter resolves conflicting
+/// grow/shrink demands into disjoint per-tenant cpusets.
+///
+/// Each monitoring round:
+///   1. every tenant's net classifies its own window (Decide) and demands
+///      nalloc-1, nalloc or nalloc+1 cores;
+///   2. shrinks release cores into the free pool (the shrinking tenant's
+///      allocation mode picks which core);
+///   3. grows are granted from the pool in order of entitlement deficit,
+///      NUMA-aware: a NodePriorityQueue keyed by the tenant's per-node core
+///      counts (ties towards free capacity) keeps each tenant's cpuset
+///      clustered on as few sockets as possible;
+///   4. unmet grows may preempt one core from the tenant furthest above its
+///      entitlement, provided that tenant is not itself overloaded and
+///      stays at or above its initial_cores floor;
+///   5. the resulting masks are installed as scheduler cpusets and
+///      committed back into each tenant's net.
+///
+/// Tenant masks are always pairwise disjoint and never empty.
+class CoreArbiter {
+ public:
+  CoreArbiter(ossim::Machine* machine, const ArbiterConfig& config);
+
+  CoreArbiter(const CoreArbiter&) = delete;
+  CoreArbiter& operator=(const CoreArbiter&) = delete;
+
+  /// Registers a tenant (before Install) and creates its scheduler cpuset.
+  /// Returns the tenant index. The cpuset starts as the whole machine and
+  /// is narrowed to the tenant's initial mask at Install().
+  int AddTenant(const ArbiterTenantConfig& config);
+
+  /// Assigns the initial disjoint masks (initial_cores each, spread across
+  /// sockets) and registers the single monitoring hook. Call once, after
+  /// every AddTenant and before running workloads.
+  void Install();
+
+  /// One arbitration round; runs automatically every monitor_period_ticks
+  /// once installed. Public for unit tests.
+  void Poll(simcore::Tick now);
+
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+  const std::string& tenant_name(int tenant) const;
+  ElasticMechanism& mechanism(int tenant);
+  ossim::CpusetId tenant_cpuset(int tenant) const;
+  const ossim::CpuMask& tenant_mask(int tenant) const;
+  int nalloc(int tenant) const;
+
+  /// Cores not owned by any tenant.
+  ossim::CpuMask FreePool() const;
+
+  int64_t core_handoffs() const { return handoffs_; }
+  int64_t preemptions() const { return preemptions_; }
+  int64_t starved_rounds() const { return starved_rounds_; }
+
+  /// Jain's fairness index over the current per-tenant core counts
+  /// normalised by entitlement-free equal shares: 1.0 = perfectly even.
+  double FairnessIndex() const;
+  /// Jain's index (sum x)^2 / (n * sum x^2) over arbitrary non-negative
+  /// values (benches use it over per-tenant throughput too).
+  static double JainIndex(const std::vector<double>& values);
+
+  const ArbiterConfig& config() const { return config_; }
+  const std::vector<ArbiterRound>& log() const { return log_; }
+
+ private:
+  struct Tenant {
+    ArbiterTenantConfig config;
+    std::unique_ptr<ElasticMechanism> mechanism;
+    ossim::CpusetId cpuset = ossim::kGlobalCpuset;
+    ossim::CpuMask mask;
+  };
+
+  /// Entitlements of every tenant under the configured policy; `decisions`
+  /// supplies the demand signal for kDemandProportional.
+  std::vector<double> Entitlements(
+      const std::vector<ElasticMechanism::Decision>& decisions) const;
+
+  /// NUMA-aware pick of a free-pool core for a tenant: prefer the node where
+  /// the tenant already holds the most cores, then the node with the most
+  /// free cores, then the lowest node id; lowest core id within the node.
+  numasim::CoreId PickCoreFor(const Tenant& tenant,
+                              const ossim::CpuMask& pool) const;
+
+  ossim::Machine* machine_;
+  ArbiterConfig config_;
+  std::vector<Tenant> tenants_;
+  bool installed_ = false;
+
+  int64_t handoffs_ = 0;
+  int64_t preemptions_ = 0;
+  int64_t starved_rounds_ = 0;
+  std::vector<ArbiterRound> log_;
+};
+
+}  // namespace elastic::core
+
+#endif  // ELASTICORE_CORE_ARBITER_H_

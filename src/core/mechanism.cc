@@ -37,13 +37,21 @@ ElasticMechanism::ElasticMechanism(ossim::Machine* machine,
   ELASTIC_CHECK(config_.initial_cores >= 1, "must start with at least one core");
   ELASTIC_CHECK(config_.initial_cores <= machine->topology().total_cores(),
                 "initial cores exceed machine");
+  const int total = machine->topology().total_cores();
+  if (config_.max_cores <= 0 || config_.max_cores > total) {
+    config_.max_cores = total;
+  }
+  ELASTIC_CHECK(config_.initial_cores <= config_.max_cores,
+                "initial cores exceed max_cores");
   BuildNet();
 }
 
 void ElasticMechanism::BuildNet() {
   const double thmin = config_.thmin;
   const double thmax = config_.thmax;
-  const double ntotal = static_cast<double>(machine_->topology().total_cores());
+  // N in the t5/t6 guards: the whole machine for a standalone mechanism, or
+  // the tenant's cap under a CoreArbiter.
+  const double ntotal = static_cast<double>(config_.max_cores);
 
   p_checks_ = net_.AddPlace("Checks");
   p_provision_ = net_.AddPlace("Provision");
@@ -141,6 +149,17 @@ void ElasticMechanism::Install() {
   });
 }
 
+void ElasticMechanism::InstallManaged(const ossim::CpuMask& initial) {
+  ELASTIC_CHECK(!installed_, "mechanism installed twice");
+  ELASTIC_CHECK(!initial.Empty(), "managed install needs at least one core");
+  ELASTIC_CHECK(initial.Count() <= config_.max_cores,
+                "initial mask exceeds max_cores");
+  installed_ = true;
+  allocated_ = initial;
+  net_.SetSingleToken(p_provision_, static_cast<double>(initial.Count()));
+  sampler_.Reset();
+}
+
 double ElasticMechanism::Measure(const perf::WindowStats& window) const {
   switch (config_.strategy) {
     case TransitionStrategy::kCpuLoad:
@@ -152,7 +171,9 @@ double ElasticMechanism::Measure(const perf::WindowStats& window) const {
   return 0.0;
 }
 
-void ElasticMechanism::Poll(simcore::Tick now) {
+ElasticMechanism::Decision ElasticMechanism::Decide(simcore::Tick now) {
+  (void)now;
+  ELASTIC_CHECK(installed_, "Decide before Install/InstallManaged");
   const perf::WindowStats window = sampler_.Sample();
   const double u = Measure(window);
   last_u_ = u;
@@ -174,38 +195,56 @@ void ElasticMechanism::Poll(simcore::Tick now) {
 
   // New provision count decided by the net.
   ELASTIC_CHECK(!net_.Marking(p_provision_).empty(), "Provision lost its token");
-  const int new_nalloc = static_cast<int>(net_.Marking(p_provision_).front());
-  const int old_nalloc = allocated_.Count();
-
-  if (new_nalloc > old_nalloc) {
-    const numasim::CoreId core = mode_->NextToAllocate(allocated_);
-    ELASTIC_CHECK(core != numasim::kInvalidCore,
-                  "net allocated beyond available cores");
-    allocated_.Set(core);
-    machine_->scheduler().SetAllowedMask(allocated_);
-  } else if (new_nalloc < old_nalloc) {
-    const numasim::CoreId core = mode_->NextToRelease(allocated_);
-    ELASTIC_CHECK(core != numasim::kInvalidCore, "net released the last core");
-    allocated_.Clear(core);
-    machine_->scheduler().SetAllowedMask(allocated_);
-  }
+  Decision decision;
+  decision.state = state;
+  decision.u = u;
+  decision.current = allocated_.Count();
+  decision.desired = static_cast<int>(net_.Marking(p_provision_).front());
+  decision.label = net_.TransitionName(*classify) + "-" + PerfStateName(state) +
+                   "-" + net_.TransitionName(*action);
 
   // The measurement token returned to Checks is stale; drop it. The next
   // round installs a fresh measurement.
   net_.ClearPlace(p_checks_);
+  return decision;
+}
+
+void ElasticMechanism::CommitGrant(const ossim::CpuMask& mask, simcore::Tick now,
+                                   const Decision& decision) {
+  ELASTIC_CHECK(!mask.Empty(), "grant must keep at least one core");
+  ELASTIC_CHECK(mask.Count() <= config_.max_cores, "grant exceeds max_cores");
+  allocated_ = mask;
+  net_.SetSingleToken(p_provision_, static_cast<double>(mask.Count()));
 
   if (config_.log_transitions) {
     StateTransitionEvent event;
     event.tick = now;
-    event.label = net_.TransitionName(*classify) + "-" + PerfStateName(state) +
-                  "-" + net_.TransitionName(*action);
-    event.state = state;
-    event.u = u;
+    event.label = decision.label;
+    event.state = decision.state;
+    event.u = decision.u;
     event.nalloc = allocated_.Count();
     log_.push_back(event);
     machine_->trace().Add(now, "transition", allocated_.Count(),
-                          static_cast<int64_t>(u * 100.0), log_.back().label);
+                          static_cast<int64_t>(decision.u * 100.0),
+                          log_.back().label);
   }
+}
+
+void ElasticMechanism::Poll(simcore::Tick now) {
+  const Decision decision = Decide(now);
+  ossim::CpuMask mask = allocated_;
+  if (decision.desired > decision.current) {
+    const numasim::CoreId core = mode_->NextToAllocate(mask);
+    ELASTIC_CHECK(core != numasim::kInvalidCore,
+                  "net allocated beyond available cores");
+    mask.Set(core);
+  } else if (decision.desired < decision.current) {
+    const numasim::CoreId core = mode_->NextToRelease(mask);
+    ELASTIC_CHECK(core != numasim::kInvalidCore, "net released the last core");
+    mask.Clear(core);
+  }
+  machine_->scheduler().SetAllowedMask(mask);
+  CommitGrant(mask, now, decision);
 }
 
 }  // namespace elastic::core

@@ -32,12 +32,22 @@ struct MechanismConfig {
   double thmin = 10.0;
   double thmax = 70.0;
   TransitionStrategy strategy = TransitionStrategy::kCpuLoad;
-  /// Monitoring period in simulated ticks.
+  /// Monitoring period in simulated ticks. Under a CoreArbiter the arbiter's
+  /// period wins: it polls every tenant mechanism from its own single hook.
   int monitor_period_ticks = 20;
-  /// Cores handed to the OS before the first monitoring round.
+  /// Cores handed to the OS before the first monitoring round. Also the
+  /// floor a CoreArbiter preemption never shrinks a tenant below.
   int initial_cores = 1;
   /// Keep a transition log (Fig. 7) and emit trace events.
   bool log_transitions = true;
+
+  // -- Fields added for the multi-tenant core arbiter. --
+
+  /// Ceiling on the cores this mechanism asks for; -1 means every core of
+  /// the machine (the single-tenant behaviour). A CoreArbiter can cap each
+  /// tenant below the machine size, which becomes the Petri net's N in the
+  /// t5/t6 guards.
+  int max_cores = -1;
 };
 
 /// Returns the paper's default thresholds for a strategy (10/70 for CPU
@@ -83,10 +93,39 @@ class ElasticMechanism {
   /// on the machine. Call once before running the workload.
   void Install();
 
+  /// Managed install, used by the multi-tenant CoreArbiter: primes the
+  /// mechanism with an externally chosen initial mask, registers no tick
+  /// hook and never touches the scheduler — the arbiter owns both.
+  void InstallManaged(const ossim::CpuMask& initial);
+
   /// One rule-condition-action round: sample counters, update the net,
   /// fire transitions, apply the allocation decision. Runs automatically
   /// every monitor_period_ticks once installed; public for unit tests.
   void Poll(simcore::Tick now);
+
+  /// Outcome of one classification round of the PrT net, before any core
+  /// has actually moved. `desired` is what the net asked for; an arbiter
+  /// may grant less (or take more on a preemption).
+  struct Decision {
+    PerfState state = PerfState::kStable;
+    double u = 0.0;
+    int current = 0;
+    int desired = 0;
+    /// Fired rule-condition-action labels, e.g. "t1-Overload-t5".
+    std::string label;
+  };
+
+  /// Fires one monitoring round of the net *without* touching the scheduler
+  /// or the allocated mask. Callers that use Decide() must follow up with
+  /// CommitGrant() each round so the Provision token tracks reality.
+  Decision Decide(simcore::Tick now);
+
+  /// Records the allocation actually granted after a Decide() round: sets
+  /// the mask, rewrites the net's Provision token (the net may have asked
+  /// for a different count than was granted) and appends to the transition
+  /// log. Does not touch the scheduler.
+  void CommitGrant(const ossim::CpuMask& mask, simcore::Tick now,
+                   const Decision& decision);
 
   /// Number of cores currently handed to the OS.
   int nalloc() const { return allocated_.Count(); }

@@ -25,7 +25,8 @@ DbmsEngine::DbmsEngine(ossim::Machine* machine, const BaseCatalog* catalog,
       node = w % topo.num_nodes();
       pin = ossim::CpuMask::NodeCores(topo, node);
     }
-    const ossim::ThreadId id = machine_->scheduler().SpawnWorker(pin, on_job_done);
+    const ossim::ThreadId id =
+        machine_->scheduler().SpawnWorker(pin, on_job_done, options_.cpuset);
     workers_.push_back(id);
     worker_node_[id] = node;
     if (node >= 0) workers_per_node_[static_cast<size_t>(node)]++;

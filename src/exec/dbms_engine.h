@@ -30,6 +30,11 @@ struct EngineOptions {
   /// SQL Server bound workers to core counts, Section VI).
   int pool_size = -1;
   TaskGraphOptions task_graph;
+  /// Cpuset group the engine's workers are confined to. kGlobalCpuset for a
+  /// single-tenant engine; a CoreArbiter tenant cpuset in multi-tenant
+  /// deployments (the arbiter then rebalances the group's cores while the
+  /// engine stays oblivious, exactly like cgroups on a real DBMS).
+  ossim::CpusetId cpuset = ossim::kGlobalCpuset;
 };
 
 /// A Volcano-style DBMS execution engine running on the simulated machine.

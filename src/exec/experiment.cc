@@ -62,4 +62,83 @@ int64_t Experiment::RunUntilQuiet(int64_t max_ticks) {
   return ticks;
 }
 
+MultiTenantExperiment::MultiTenantExperiment(const db::Database* database,
+                                             const MultiTenantOptions& options)
+    : options_(options) {
+  ossim::MachineOptions machine_options;
+  machine_options.config = options.machine_config;
+  machine_options.scheduler = options.scheduler;
+  machine_options.seed = options.seed;
+  machine_ = std::make_unique<ossim::Machine>(machine_options);
+
+  catalog_ = std::make_unique<BaseCatalog>(&machine_->page_table(), *database,
+                                           options.placement,
+                                           options.machine_config.page_bytes);
+
+  core::ArbiterConfig arbiter_config;
+  arbiter_config.policy = options.policy;
+  arbiter_config.monitor_period_ticks = options.monitor_period_ticks;
+  arbiter_config.log_rounds = options.log_rounds;
+  arbiter_ = std::make_unique<core::CoreArbiter>(machine_.get(), arbiter_config);
+}
+
+int MultiTenantExperiment::AddTenant(const TenantSpec& spec) {
+  ELASTIC_CHECK(!started_, "AddTenant after Start");
+  Tenant tenant;
+  tenant.spec = spec;
+
+  core::ArbiterTenantConfig arbiter_tenant;
+  arbiter_tenant.name = spec.name;
+  arbiter_tenant.mechanism = spec.mechanism;
+  arbiter_tenant.mode = spec.mode;
+  arbiter_tenant.weight = spec.weight;
+  tenant.arbiter_index = arbiter_->AddTenant(arbiter_tenant);
+
+  EngineOptions engine_options;
+  engine_options.model = spec.engine_model;
+  engine_options.pool_size = spec.pool_size;
+  engine_options.task_graph = spec.task_graph;
+  engine_options.cpuset = arbiter_->tenant_cpuset(tenant.arbiter_index);
+  tenant.engine = std::make_unique<DbmsEngine>(machine_.get(), catalog_.get(),
+                                               engine_options);
+
+  tenants_.push_back(std::move(tenant));
+  return num_tenants() - 1;
+}
+
+void MultiTenantExperiment::Start() {
+  ELASTIC_CHECK(!started_, "multi-tenant experiment started twice");
+  ELASTIC_CHECK(!tenants_.empty(), "no tenants registered");
+  started_ = true;
+  arbiter_->Install();
+  // Per-tenant driver seeds are decorrelated so tenants do not submit in
+  // lockstep even with identical workloads.
+  int index = 0;
+  for (Tenant& tenant : tenants_) {
+    tenant.driver = std::make_unique<ClientDriver>(
+        machine_.get(), tenant.engine.get(), tenant.spec.workload,
+        tenant.spec.num_clients,
+        options_.seed ^ (0x9E37 + 0x85EB * static_cast<uint64_t>(index)));
+    tenant.driver->Start();
+    index++;
+  }
+}
+
+int64_t MultiTenantExperiment::RunUntilDone(int64_t max_ticks) {
+  ELASTIC_CHECK(started_, "RunUntilDone before Start");
+  int64_t ticks = 0;
+  auto all_done = [this]() {
+    for (const Tenant& tenant : tenants_) {
+      if (!tenant.driver->AllDone()) return false;
+    }
+    return true;
+  };
+  while (!all_done() && ticks < max_ticks) {
+    machine_->Step();
+    ticks++;
+  }
+  ELASTIC_CHECK(all_done(), "tenant workloads did not finish within max_ticks");
+  return ticks;
+}
+
 }  // namespace elastic::exec

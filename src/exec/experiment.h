@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/arbiter.h"
 #include "core/mechanism.h"
 #include "db/column.h"
 #include "exec/base_catalog.h"
@@ -71,6 +73,90 @@ class Experiment {
   std::unique_ptr<DbmsEngine> engine_;
   std::unique_ptr<core::ElasticMechanism> mechanism_;
   std::unique_ptr<ClientDriver> driver_;
+};
+
+/// One tenant of a multi-tenant experiment: an independent DBMS instance
+/// (own engine + worker pool + client population) whose cores are managed by
+/// the shared CoreArbiter.
+struct TenantSpec {
+  std::string name = "tenant";
+  /// Per-tenant elastic mechanism (thresholds, initial/max cores, release
+  /// mode) and arbitration weight — see core::ArbiterTenantConfig.
+  core::MechanismConfig mechanism;
+  std::string mode = "adaptive";
+  double weight = 1.0;
+
+  ThreadModel engine_model = ThreadModel::kOsScheduled;
+  int pool_size = -1;
+  TaskGraphOptions task_graph;
+
+  /// The tenant's own TPC-H schedule: typically the Fig. 18 stable-phases
+  /// generator (WorkloadMode::kPhases) or the Fig. 19 mixed generator
+  /// (WorkloadMode::kRandomMix).
+  ClientWorkload workload;
+  int num_clients = 1;
+};
+
+struct MultiTenantOptions {
+  numasim::MachineConfig machine_config;
+  ossim::SchedulerConfig scheduler;
+  uint64_t seed = 42;
+
+  core::ArbitrationPolicy policy = core::ArbitrationPolicy::kFairShare;
+  int monitor_period_ticks = 20;
+  bool log_rounds = true;
+  BasePlacement placement = BasePlacement::kChunkedRoundRobin;
+};
+
+/// N tenant DBMS instances contending for one simulated machine under a
+/// CoreArbiter — the multi-tenant deployment regime of "OLTP on Hardware
+/// Islands" applied to the paper's mechanism. Every tenant shares the base
+/// catalog (read-only TPC-H data) but owns its engine, worker pool, client
+/// driver and elastic mechanism.
+class MultiTenantExperiment {
+ public:
+  MultiTenantExperiment(const db::Database* database,
+                        const MultiTenantOptions& options);
+
+  MultiTenantExperiment(const MultiTenantExperiment&) = delete;
+  MultiTenantExperiment& operator=(const MultiTenantExperiment&) = delete;
+
+  /// Registers a tenant (engine + cpuset + arbiter slot). Call before
+  /// Start(); returns the tenant index.
+  int AddTenant(const TenantSpec& spec);
+
+  /// Installs the arbiter (initial disjoint masks) and starts every
+  /// tenant's client driver.
+  void Start();
+
+  /// Steps the machine until every tenant's driver finished (bounded by
+  /// max_ticks; CHECK-fails on timeout). Returns ticks executed.
+  int64_t RunUntilDone(int64_t max_ticks);
+
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+  ossim::Machine& machine() { return *machine_; }
+  core::CoreArbiter& arbiter() { return *arbiter_; }
+  DbmsEngine& engine(int tenant) { return *tenants_[static_cast<size_t>(tenant)].engine; }
+  ClientDriver& driver(int tenant) { return *tenants_[static_cast<size_t>(tenant)].driver; }
+  const std::string& tenant_name(int tenant) const {
+    return tenants_[static_cast<size_t>(tenant)].spec.name;
+  }
+  const MultiTenantOptions& options() const { return options_; }
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    int arbiter_index = -1;
+    std::unique_ptr<DbmsEngine> engine;
+    std::unique_ptr<ClientDriver> driver;
+  };
+
+  MultiTenantOptions options_;
+  std::unique_ptr<ossim::Machine> machine_;
+  std::unique_ptr<BaseCatalog> catalog_;
+  std::unique_ptr<core::CoreArbiter> arbiter_;
+  std::vector<Tenant> tenants_;
+  bool started_ = false;
 };
 
 }  // namespace elastic::exec

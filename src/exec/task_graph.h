@@ -16,7 +16,8 @@ namespace elastic::exec {
 /// Tuning of the trace-to-jobs conversion.
 struct TaskGraphOptions {
   /// Parallel tasks per stage — the Volcano horizontal parallelism degree.
-  /// MonetDB sets one worker thread per core (paper footnote 2).
+  /// MonetDB sets one worker thread per core (paper footnote 2); the
+  /// default matches the 16 cores of the default 4x4 MachineConfig.
   int parallelism = 16;
   /// Interpreted-engine compute cost per row (~80 cycles/row, in line with
   /// MonetDB's per-BAT operator cost on the paper's hardware). Together with

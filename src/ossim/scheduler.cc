@@ -37,27 +37,58 @@ Scheduler::Scheduler(const numasim::Topology* topology,
 }
 
 ThreadId Scheduler::SpawnWorker(std::optional<CpuMask> pin,
-                                std::function<void(ThreadId)> on_job_done) {
+                                std::function<void(ThreadId)> on_job_done,
+                                CpusetId cpuset) {
+  ELASTIC_CHECK(cpuset == kGlobalCpuset || (cpuset >= 0 && cpuset < num_cpusets()),
+                "unknown cpuset");
   Thread thread;
   thread.id = static_cast<ThreadId>(threads_.size());
   thread.state = ThreadState::kIdle;
   thread.pin = pin;
+  thread.cpuset = cpuset;
   thread.on_job_done = std::move(on_job_done);
   threads_.push_back(std::move(thread));
   return threads_.back().id;
 }
 
 ThreadId Scheduler::SpawnOneShot(Job job, std::optional<CpuMask> pin,
-                                 std::function<void(ThreadId)> on_exit) {
+                                 std::function<void(ThreadId)> on_exit,
+                                 CpusetId cpuset) {
+  ELASTIC_CHECK(cpuset == kGlobalCpuset || (cpuset >= 0 && cpuset < num_cpusets()),
+                "unknown cpuset");
   Thread thread;
   thread.id = static_cast<ThreadId>(threads_.size());
   thread.state = ThreadState::kIdle;
   thread.pin = pin;
+  thread.cpuset = cpuset;
   thread.one_shot = true;
   thread.on_exit = std::move(on_exit);
   threads_.push_back(std::move(thread));
   AssignJob(threads_.back().id, std::move(job));
   return threads_.back().id;
+}
+
+CpusetId Scheduler::CreateCpuset(CpuMask mask) {
+  ELASTIC_CHECK(!mask.Empty(), "cpuset must hold at least one core");
+  ELASTIC_CHECK(mask.IsSubsetOf(CpuMask::AllOf(*topology_)),
+                "cpuset exceeds machine cores");
+  cpusets_.push_back(mask);
+  return static_cast<CpusetId>(cpusets_.size()) - 1;
+}
+
+CpuMask Scheduler::cpuset_mask(CpusetId cpuset) const {
+  ELASTIC_CHECK(cpuset >= 0 && cpuset < num_cpusets(), "unknown cpuset");
+  return cpusets_[static_cast<size_t>(cpuset)];
+}
+
+void Scheduler::SetCpusetMask(CpusetId cpuset, CpuMask mask) {
+  ELASTIC_CHECK(cpuset >= 0 && cpuset < num_cpusets(), "unknown cpuset");
+  ELASTIC_CHECK(!mask.Empty(), "cpuset must keep at least one core");
+  ELASTIC_CHECK(mask.IsSubsetOf(CpuMask::AllOf(*topology_)),
+                "cpuset exceeds machine cores");
+  if (mask == cpusets_[static_cast<size_t>(cpuset)]) return;
+  cpusets_[static_cast<size_t>(cpuset)] = mask;
+  ReconfineThreads();
 }
 
 void Scheduler::AssignJob(ThreadId id, Job job) {
@@ -81,46 +112,60 @@ void Scheduler::SetAllowedMask(CpuMask mask) {
   ELASTIC_CHECK(mask.IsSubsetOf(CpuMask::AllOf(*topology_)),
                 "cpuset exceeds machine cores");
   if (mask == allowed_) return;
-  const CpuMask old = allowed_;
   allowed_ = mask;
-  // Evacuate threads stranded on now-forbidden cores.
-  for (numasim::CoreId core : old.ToCores()) {
-    if (mask.Has(core)) continue;
-    // Running thread first.
+  ReconfineThreads();
+}
+
+void Scheduler::MigrateThread(ThreadId id) {
+  Thread& thread = threads_[id];
+  const numasim::CoreId target = PickCoreForPlacement(thread);
+  thread.migrations++;
+  counters_->thread_migrations++;
+  if (config_.trace_migrations) {
+    trace_->Add(clock_->now(), "migrate", id, target);
+  }
+  thread.consecutive_ticks_on_core = 0;
+  EnqueueReady(id, target);
+}
+
+void Scheduler::ReconfineThreads() {
+  // Migrate every ready/running thread whose current core left its
+  // effective mask. Checking the invariant (rather than diffing old vs new
+  // cores) also repairs fallback placements: a cpuset thread parked on the
+  // global mask while cpuset ∩ allowed was empty returns to its group as
+  // soon as a mask change makes the intersection non-empty again.
+  for (numasim::CoreId core = 0; core < topology_->total_cores(); ++core) {
     const ThreadId running = running_[core];
-    if (running != kInvalidThread) {
+    if (running != kInvalidThread &&
+        !EffectiveMask(threads_[running]).Has(core)) {
       running_[core] = kInvalidThread;
-      Thread& thread = threads_[running];
-      const numasim::CoreId target = PickCoreForPlacement(thread);
-      thread.migrations++;
-      counters_->thread_migrations++;
-      if (config_.trace_migrations) {
-        trace_->Add(clock_->now(), "migrate", running, target);
-      }
-      thread.consecutive_ticks_on_core = 0;
-      EnqueueReady(running, target);
+      MigrateThread(running);
     }
-    while (!run_queue_[core].empty()) {
-      const ThreadId id = run_queue_[core].front();
-      run_queue_[core].pop_front();
-      Thread& thread = threads_[id];
-      const numasim::CoreId target = PickCoreForPlacement(thread);
-      thread.migrations++;
-      counters_->thread_migrations++;
-      if (config_.trace_migrations) {
-        trace_->Add(clock_->now(), "migrate", id, target);
+    auto& queue = run_queue_[core];
+    for (size_t scan = queue.size(); scan > 0; --scan) {
+      const ThreadId id = queue.front();
+      queue.pop_front();
+      if (!EffectiveMask(threads_[id]).Has(core)) {
+        MigrateThread(id);
+      } else {
+        queue.push_back(id);  // still legally placed, keep queue order
       }
-      EnqueueReady(id, target);
     }
   }
 }
 
 CpuMask Scheduler::EffectiveMask(const Thread& thread) const {
+  CpuMask world = allowed_;
+  if (thread.cpuset != kGlobalCpuset) {
+    const CpuMask scoped =
+        cpusets_[static_cast<size_t>(thread.cpuset)].Intersect(allowed_);
+    if (!scoped.Empty()) world = scoped;
+  }
   if (thread.pin.has_value()) {
-    const CpuMask effective = thread.pin->Intersect(allowed_);
+    const CpuMask effective = thread.pin->Intersect(world);
     if (!effective.Empty()) return effective;
   }
-  return allowed_;
+  return world;
 }
 
 int Scheduler::CoreLoad(numasim::CoreId core) const {

@@ -35,7 +35,10 @@ struct SchedulerConfig {
 /// Simulated OS CPU scheduler: one run queue per core, node-oblivious load
 /// balancing, and work stealing — the baseline behaviour the paper's Section
 /// II measures. The elastic mechanism narrows the scheduler's world through
-/// SetAllowedMask(), the cgroup cpuset emulation.
+/// SetAllowedMask(), the cgroup cpuset emulation. Multi-tenant deployments
+/// instead carve the machine into named cpuset *groups* (CreateCpuset):
+/// every thread attached to a group is confined to that group's mask, which
+/// the core arbiter rebalances at monitor-round boundaries.
 class Scheduler {
  public:
   Scheduler(const numasim::Topology* topology, numasim::MemorySystem* memory,
@@ -47,14 +50,29 @@ class Scheduler {
 
   /// Creates a long-lived pool worker (starts idle). `on_job_done` runs every
   /// time the worker finishes a job; the engine uses it to hand the worker
-  /// its next job or leave it parked.
+  /// its next job or leave it parked. `cpuset` confines the worker to a
+  /// cpuset group for its whole lifetime.
   ThreadId SpawnWorker(std::optional<CpuMask> pin,
-                       std::function<void(ThreadId)> on_job_done);
+                       std::function<void(ThreadId)> on_job_done,
+                       CpusetId cpuset = kGlobalCpuset);
 
   /// Creates a one-shot thread that executes `job` and exits (the hand-coded
   /// C microbenchmark model: one pthread per work unit).
   ThreadId SpawnOneShot(Job job, std::optional<CpuMask> pin,
-                        std::function<void(ThreadId)> on_exit);
+                        std::function<void(ThreadId)> on_exit,
+                        CpusetId cpuset = kGlobalCpuset);
+
+  /// Creates a cpuset group (simulated cgroup cpuset). Threads attached to
+  /// the group run only on `mask ∩ allowed_mask()`; work stealing and load
+  /// balancing never cross group boundaries.
+  CpusetId CreateCpuset(CpuMask mask);
+
+  /// Rewrites a group's mask. Threads of the group sitting on cores that
+  /// left the mask are migrated immediately, exactly like SetAllowedMask.
+  void SetCpusetMask(CpusetId cpuset, CpuMask mask);
+
+  CpuMask cpuset_mask(CpusetId cpuset) const;
+  int num_cpusets() const { return static_cast<int>(cpusets_.size()); }
 
   /// Queues a job on a worker. Wakes the worker if it was idle.
   void AssignJob(ThreadId thread, Job job);
@@ -88,8 +106,15 @@ class Scheduler {
   /// spread-for-balance behaviour of the default OS policy.
   numasim::CoreId PickCoreForPlacement(const Thread& thread);
 
-  /// Effective mask of a thread = pin ∩ allowed, falling back to allowed.
+  /// Effective mask of a thread: world = cpuset ∩ allowed (falling back to
+  /// allowed when empty), then pin ∩ world (falling back to world).
   CpuMask EffectiveMask(const Thread& thread) const;
+
+  /// Re-places a thread that lost its core (mask shrank under it).
+  void MigrateThread(ThreadId id);
+  /// Restores the placement invariant after any mask change: every
+  /// ready/running thread sits on a core of its effective mask.
+  void ReconfineThreads();
 
   void EnqueueReady(ThreadId id, numasim::CoreId core);
   void RemoveFromCore(ThreadId id);
@@ -107,6 +132,7 @@ class Scheduler {
   SchedulerConfig config_;
 
   CpuMask allowed_;
+  std::vector<CpuMask> cpusets_;
   int64_t cycles_per_tick_;
   std::deque<Thread> threads_;
   std::vector<std::deque<ThreadId>> run_queue_;  // per core, ready threads

@@ -16,6 +16,12 @@ namespace elastic::ossim {
 using ThreadId = int64_t;
 inline constexpr ThreadId kInvalidThread = -1;
 
+/// Identifier of a scheduler cpuset group (the simulated cgroup cpuset a
+/// thread is confined to). kGlobalCpuset means the thread only obeys the
+/// scheduler's global allowed mask.
+using CpusetId = int;
+inline constexpr CpusetId kGlobalCpuset = -1;
+
 /// One contiguous page range of a buffer accessed by a job.
 struct PageRange {
   numasim::BufferId buffer = 0;
@@ -69,9 +75,13 @@ struct Thread {
   /// Current core (valid while kReady/kRunning).
   numasim::CoreId core = numasim::kInvalidCore;
   /// Optional hard pin (SQL Server soft-NUMA): scheduler intersects it with
-  /// the global allowed mask; if the intersection is empty the global mask
-  /// wins (the OS cannot run a thread nowhere).
+  /// the thread's world (cpuset ∩ global allowed mask); if the intersection
+  /// is empty the world wins (the OS cannot run a thread nowhere).
   std::optional<CpuMask> pin;
+  /// Cpuset group the thread belongs to (multi-tenant isolation); the
+  /// scheduler confines the thread to the group's mask and never steals it
+  /// onto a core outside that mask.
+  CpusetId cpuset = kGlobalCpuset;
   /// One-shot threads exit after their last job instead of going idle.
   bool one_shot = false;
 

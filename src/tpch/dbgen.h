@@ -11,7 +11,8 @@ namespace elastic::tpch {
 /// Generator parameters.
 struct DbgenOptions {
   /// TPC-H scale factor; SF 1 is the paper's 1 GB database. The benches use
-  /// smaller factors and report scaled shapes, as documented in DESIGN.md.
+  /// smaller factors and report scaled shapes, as documented in
+  /// docs/ARCHITECTURE.md.
   double scale_factor = 0.01;
   uint64_t seed = 19920101;
 };

@@ -1,0 +1,310 @@
+#include "core/arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include "ossim/machine.h"
+#include "simcore/rng.h"
+
+namespace elastic::core {
+namespace {
+
+/// A small 2-node / 4-core machine keeps the contention arithmetic obvious.
+std::unique_ptr<ossim::Machine> SmallMachine() {
+  ossim::MachineOptions options;
+  options.config.num_nodes = 2;
+  options.config.cores_per_node = 2;
+  return std::make_unique<ossim::Machine>(options);
+}
+
+ArbiterTenantConfig Tenant(const std::string& name, int initial_cores,
+                           double weight = 1.0) {
+  ArbiterTenantConfig config;
+  config.name = name;
+  config.mechanism.initial_cores = initial_cores;
+  config.weight = weight;
+  return config;
+}
+
+/// Makes the cores of `mask` look `percent` busy over `ticks` ticks by
+/// writing counters directly; the caller advances the clock once per batch.
+void FakeLoad(ossim::Machine* machine, const ossim::CpuMask& mask,
+              double percent, int ticks) {
+  const int64_t cycles_per_tick = machine->scheduler().cycles_per_tick();
+  for (numasim::CoreId core : mask.ToCores()) {
+    machine->counters().core_busy_cycles[static_cast<size_t>(core)] +=
+        static_cast<int64_t>(percent / 100.0 * cycles_per_tick * ticks);
+  }
+}
+
+void ExpectDisjointCover(const CoreArbiter& arbiter, int total_cores) {
+  uint64_t seen = 0;
+  for (int t = 0; t < arbiter.num_tenants(); ++t) {
+    const ossim::CpuMask& mask = arbiter.tenant_mask(t);
+    EXPECT_GE(mask.Count(), 1) << "tenant " << t << " lost its last core";
+    EXPECT_EQ(seen & mask.bits(), 0u) << "tenant masks overlap";
+    seen |= mask.bits();
+  }
+  EXPECT_EQ(seen & ~((uint64_t{1} << total_cores) - 1), 0u)
+      << "mask beyond the machine";
+}
+
+TEST(ArbiterTest, InstallAssignsDisjointSpreadMasks) {
+  auto machine = SmallMachine();
+  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  arbiter.AddTenant(Tenant("a", 2));
+  arbiter.AddTenant(Tenant("b", 1));
+  arbiter.Install();
+  // Tenant a clusters on node 0; the fresh tenant b prefers the emptier
+  // node 1.
+  EXPECT_EQ(arbiter.tenant_mask(0), ossim::CpuMask::Of({0, 1}));
+  EXPECT_EQ(arbiter.tenant_mask(1), ossim::CpuMask::Of({2}));
+  EXPECT_EQ(arbiter.FreePool(), ossim::CpuMask::Of({3}));
+  ExpectDisjointCover(arbiter, 4);
+  // Scheduler cpusets mirror the masks.
+  EXPECT_EQ(machine->scheduler().cpuset_mask(arbiter.tenant_cpuset(0)),
+            arbiter.tenant_mask(0));
+  EXPECT_EQ(machine->scheduler().cpuset_mask(arbiter.tenant_cpuset(1)),
+            arbiter.tenant_mask(1));
+}
+
+TEST(ArbiterTest, BothOverloadedOneFreeCoreFairShare) {
+  auto machine = SmallMachine();
+  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  arbiter.AddTenant(Tenant("a", 2));
+  arbiter.AddTenant(Tenant("b", 1));
+  arbiter.Install();
+
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  // Both demand +1 with one free core. Fair share (2 each): tenant b is
+  // further below its entitlement and wins the core; tenant a's demand is
+  // starved (b is overloaded, so no preemption from it either).
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+  EXPECT_EQ(arbiter.nalloc(1), 2);
+  EXPECT_EQ(arbiter.starved_rounds(), 1);
+  EXPECT_EQ(arbiter.preemptions(), 0);
+  ExpectDisjointCover(arbiter, 4);
+  ASSERT_EQ(arbiter.log().size(), 1u);
+  EXPECT_EQ(arbiter.log()[0].tenants[0].state, PerfState::kOverload);
+  EXPECT_EQ(arbiter.log()[0].tenants[1].state, PerfState::kOverload);
+  EXPECT_EQ(arbiter.log()[0].tenants[0].demanded, 3);
+  EXPECT_EQ(arbiter.log()[0].tenants[0].granted, 2);
+}
+
+TEST(ArbiterTest, BothOverloadedPriorityWeightedPrefersHeavyTenant) {
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kPriorityWeighted;
+  CoreArbiter arbiter(machine.get(), config);
+  arbiter.AddTenant(Tenant("heavy", 2, /*weight=*/3.0));
+  arbiter.AddTenant(Tenant("light", 1, /*weight=*/1.0));
+  arbiter.Install();
+
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  // Entitlements 3:1 — the heavy tenant is below its share and takes the
+  // free core even though it already holds more.
+  EXPECT_EQ(arbiter.nalloc(0), 3);
+  EXPECT_EQ(arbiter.nalloc(1), 1);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, DemandProportionalFollowsBusyCoreEquivalents) {
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kDemandProportional;
+  CoreArbiter arbiter(machine.get(), config);
+  arbiter.AddTenant(Tenant("a", 2));
+  arbiter.AddTenant(Tenant("b", 1));
+  arbiter.Install();
+
+  // a: 99% of 2 cores (~2 busy-core equivalents), b: 99% of 1 (~1).
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  // Entitlements ~2.67 vs ~1.33: a's deficit is larger and a gets the core.
+  EXPECT_EQ(arbiter.nalloc(0), 3);
+  EXPECT_EQ(arbiter.nalloc(1), 1);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, ShrinkReleasesCoreAnotherTenantClaims) {
+  auto machine = SmallMachine();
+  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  arbiter.AddTenant(Tenant("idle", 3));
+  arbiter.AddTenant(Tenant("busy", 1));
+  arbiter.Install();
+  ASSERT_EQ(arbiter.FreePool().Count(), 0);
+
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 2.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  // The idle tenant shrinks; its released core lands in the pool and the
+  // overloaded tenant claims it in the very same round.
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+  EXPECT_EQ(arbiter.nalloc(1), 2);
+  EXPECT_EQ(arbiter.core_handoffs(), 2);
+  EXPECT_EQ(arbiter.preemptions(), 0);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, PreemptionTakesFromOverEntitledStableTenant) {
+  auto machine = SmallMachine();
+  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  arbiter.AddTenant(Tenant("hog", 1));
+  arbiter.AddTenant(Tenant("starved", 1));
+  arbiter.Install();
+
+  // Grow the hog to 3 cores while the other tenant idles at its 1-core
+  // floor (it cannot shrink below 1, so the pool drains).
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 50.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  ASSERT_EQ(arbiter.nalloc(0), 3);
+  ASSERT_EQ(arbiter.FreePool().Count(), 0);
+
+  // Now the roles flip: the hog goes stable, the other tenant overloads.
+  // No free core exists, so the arbiter preempts one from the hog (above
+  // its fair entitlement of 2, not overloaded, above its floor of 1).
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+  EXPECT_EQ(arbiter.nalloc(1), 2);
+  EXPECT_EQ(arbiter.preemptions(), 1);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, PreemptionRespectsInitialCoresFloor) {
+  auto machine = SmallMachine();
+  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  // The "protected" tenant's floor is its whole holding: 2 initial cores.
+  arbiter.AddTenant(Tenant("protected", 2));
+  arbiter.AddTenant(Tenant("grower", 2));
+  arbiter.Install();
+  ASSERT_EQ(arbiter.FreePool().Count(), 0);
+
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  // No victim: the stable tenant sits at its initial_cores floor.
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+  EXPECT_EQ(arbiter.nalloc(1), 2);
+  EXPECT_EQ(arbiter.preemptions(), 0);
+  EXPECT_EQ(arbiter.starved_rounds(), 1);
+}
+
+TEST(ArbiterTest, PolicyDeterminismUnderFixedRngSeed) {
+  // Identical machines driven by identical simcore-RNG load sequences must
+  // produce byte-identical arbitration histories, for every policy.
+  for (ArbitrationPolicy policy :
+       {ArbitrationPolicy::kFairShare, ArbitrationPolicy::kPriorityWeighted,
+        ArbitrationPolicy::kDemandProportional}) {
+    auto run = [policy]() {
+      auto machine = SmallMachine();
+      ArbiterConfig config;
+      config.policy = policy;
+      CoreArbiter arbiter(machine.get(), config);
+      arbiter.AddTenant(Tenant("a", 1, 2.0));
+      arbiter.AddTenant(Tenant("b", 1, 1.0));
+      arbiter.Install();
+      simcore::Rng rng(4242);
+      std::vector<std::pair<uint64_t, uint64_t>> history;
+      for (int round = 0; round < 40; ++round) {
+        FakeLoad(machine.get(), arbiter.tenant_mask(0),
+                 static_cast<double>(rng.NextBounded(100)), 20);
+        FakeLoad(machine.get(), arbiter.tenant_mask(1),
+                 static_cast<double>(rng.NextBounded(100)), 20);
+        machine->clock().Advance(20);
+        arbiter.Poll(machine->clock().now());
+        history.emplace_back(arbiter.tenant_mask(0).bits(),
+                             arbiter.tenant_mask(1).bits());
+      }
+      return history;
+    };
+    EXPECT_EQ(run(), run()) << ArbitrationPolicyName(policy);
+  }
+}
+
+TEST(ArbiterTest, MasksStayDisjointUnderRandomLoads) {
+  auto machine = std::make_unique<ossim::Machine>(ossim::MachineOptions{});
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kDemandProportional;
+  CoreArbiter arbiter(machine.get(), config);
+  arbiter.AddTenant(Tenant("a", 1));
+  arbiter.AddTenant(Tenant("b", 2));
+  arbiter.AddTenant(Tenant("c", 1));
+  arbiter.Install();
+  simcore::Rng rng(7);
+  for (int round = 0; round < 60; ++round) {
+    for (int t = 0; t < arbiter.num_tenants(); ++t) {
+      FakeLoad(machine.get(), arbiter.tenant_mask(t),
+               static_cast<double>(rng.NextBounded(100)), 20);
+    }
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+    ExpectDisjointCover(arbiter, 16);
+  }
+}
+
+TEST(ArbiterTest, MaxCoresCapsTenantGrowth) {
+  auto machine = SmallMachine();
+  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  ArbiterTenantConfig capped = Tenant("capped", 1);
+  capped.mechanism.max_cores = 2;
+  arbiter.AddTenant(capped);
+  arbiter.Install();
+  for (int round = 0; round < 5; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  // The net's t6 guard saturates at max_cores, not at the machine size.
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+}
+
+TEST(ArbiterTest, JainIndexBounds) {
+  EXPECT_DOUBLE_EQ(CoreArbiter::JainIndex({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(CoreArbiter::JainIndex({4.0, 0.0, 0.0, 0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(CoreArbiter::JainIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(CoreArbiter::JainIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(ArbiterTest, PolicyNamesRoundTrip) {
+  for (ArbitrationPolicy policy :
+       {ArbitrationPolicy::kFairShare, ArbitrationPolicy::kPriorityWeighted,
+        ArbitrationPolicy::kDemandProportional}) {
+    EXPECT_EQ(ArbitrationPolicyFromName(ArbitrationPolicyName(policy)), policy);
+  }
+}
+
+TEST(ArbiterTest, InstalledHookPollsOnPeriod) {
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.monitor_period_ticks = 5;
+  CoreArbiter arbiter(machine.get(), config);
+  arbiter.AddTenant(Tenant("a", 1));
+  arbiter.Install();
+  machine->RunFor(11);  // polls at ticks 5 and 10
+  EXPECT_EQ(arbiter.log().size(), 2u);
+}
+
+}  // namespace
+}  // namespace elastic::core

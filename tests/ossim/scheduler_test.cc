@@ -190,6 +190,110 @@ TEST_F(SchedulerTest, MultiRangeJobInterleavesAndCompletes) {
   EXPECT_EQ(machine_->scheduler().thread(0).pages_processed, 100);
 }
 
+TEST_F(SchedulerTest, CpusetConfinesThreads) {
+  const CpusetId group = machine_->scheduler().CreateCpuset(CpuMask::Of({0, 1}));
+  for (int i = 0; i < 6; ++i) {
+    machine_->scheduler().SpawnOneShot(ScanJob(500), std::nullopt, nullptr,
+                                       group);
+  }
+  machine_->RunFor(3);
+  for (int64_t id = 0; id < machine_->scheduler().num_threads(); ++id) {
+    const Thread& t = machine_->scheduler().thread(id);
+    if (t.state == ThreadState::kReady || t.state == ThreadState::kRunning) {
+      EXPECT_TRUE(t.core == 0 || t.core == 1) << "thread on core " << t.core;
+    }
+  }
+}
+
+TEST_F(SchedulerTest, CpusetRebalanceMigratesOnlyItsThreads) {
+  const CpusetId a = machine_->scheduler().CreateCpuset(CpuMask::Of({0, 1}));
+  const CpusetId b = machine_->scheduler().CreateCpuset(CpuMask::Of({2, 3}));
+  std::vector<ThreadId> a_threads;
+  std::vector<ThreadId> b_threads;
+  for (int i = 0; i < 4; ++i) {
+    a_threads.push_back(machine_->scheduler().SpawnOneShot(
+        ScanJob(50000), std::nullopt, nullptr, a));
+    b_threads.push_back(machine_->scheduler().SpawnOneShot(
+        ScanJob(50000), std::nullopt, nullptr, b));
+  }
+  machine_->RunFor(2);
+  // Hand group a a different pair of cores, as the arbiter does at a
+  // monitor-round boundary.
+  machine_->scheduler().SetCpusetMask(a, CpuMask::Of({4, 5}));
+  machine_->RunFor(2);
+  for (ThreadId id : a_threads) {
+    const Thread& t = machine_->scheduler().thread(id);
+    if (t.state == ThreadState::kReady || t.state == ThreadState::kRunning) {
+      EXPECT_TRUE(t.core == 4 || t.core == 5) << "thread on core " << t.core;
+    }
+  }
+  for (ThreadId id : b_threads) {
+    const Thread& t = machine_->scheduler().thread(id);
+    if (t.state == ThreadState::kReady || t.state == ThreadState::kRunning) {
+      EXPECT_TRUE(t.core == 2 || t.core == 3) << "thread on core " << t.core;
+    }
+  }
+}
+
+TEST_F(SchedulerTest, StealNeverCrossesCpusetBoundary) {
+  // Six long jobs crowd the one-core group; the fifteen idle cores outside
+  // the group must not steal them.
+  const CpusetId group = machine_->scheduler().CreateCpuset(CpuMask::Of({0}));
+  for (int i = 0; i < 6; ++i) {
+    machine_->scheduler().SpawnOneShot(ScanJob(5000), std::nullopt, nullptr,
+                                       group);
+  }
+  machine_->RunFor(10);
+  EXPECT_EQ(machine_->counters().stolen_tasks, 0);
+  for (int core = 1; core < 16; ++core) {
+    EXPECT_EQ(machine_->counters().core_busy_cycles[core], 0)
+        << "work leaked to core " << core;
+  }
+}
+
+TEST_F(SchedulerTest, CpusetThreadsReconfinedAfterGlobalMaskRoundTrip) {
+  // When cpuset ∩ allowed goes empty the group's threads legally fall back
+  // to the global mask; once the intersection is restored they must return
+  // to their group instead of squatting on foreign cores forever.
+  const CpusetId group = machine_->scheduler().CreateCpuset(CpuMask::Of({4, 5}));
+  std::vector<ThreadId> ids;
+  for (int i = 0; i < 2; ++i) {
+    ids.push_back(machine_->scheduler().SpawnOneShot(ScanJob(50000),
+                                                     std::nullopt, nullptr,
+                                                     group));
+  }
+  machine_->RunFor(2);
+  machine_->scheduler().SetAllowedMask(CpuMask::Of({0, 1}));
+  machine_->RunFor(2);
+  for (ThreadId id : ids) {
+    const Thread& t = machine_->scheduler().thread(id);
+    if (t.state == ThreadState::kReady || t.state == ThreadState::kRunning) {
+      EXPECT_TRUE(t.core == 0 || t.core == 1) << "thread on core " << t.core;
+    }
+  }
+  machine_->scheduler().SetAllowedMask(CpuMask::FirstN(16));
+  machine_->RunFor(2);
+  for (ThreadId id : ids) {
+    const Thread& t = machine_->scheduler().thread(id);
+    if (t.state == ThreadState::kReady || t.state == ThreadState::kRunning) {
+      EXPECT_TRUE(t.core == 4 || t.core == 5) << "thread on core " << t.core;
+    }
+  }
+}
+
+TEST_F(SchedulerTest, PinIntersectsCpusetWorld) {
+  const CpusetId group = machine_->scheduler().CreateCpuset(CpuMask::Of({1, 2}));
+  // Pin {0,1} ∩ cpuset {1,2} = {1}.
+  machine_->scheduler().SpawnOneShot(ScanJob(3000), CpuMask::Of({0, 1}), nullptr,
+                                     group);
+  for (int tick = 0; tick < 10; ++tick) {
+    machine_->Step();
+    const Thread& t = machine_->scheduler().thread(0);
+    if (t.state == ThreadState::kFinished) break;
+    if (t.core != numasim::kInvalidCore) EXPECT_EQ(t.core, 1);
+  }
+}
+
 TEST_F(SchedulerTest, TimesliceRotatesThreadsOnSharedCore) {
   machine_->scheduler().SetAllowedMask(CpuMask::Of({0}));
   // Two long jobs share core 0; both make progress before either finishes.

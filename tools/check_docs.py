@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (the CI docs job).
+
+Two classes of rot this catches:
+  1. Relative markdown links whose target file no longer exists.
+  2. Build commands quoted in the docs (`./build/<target>` and the tier-1
+     cmake/ctest lines) that no longer match a real CMake target. Target
+     names are derived from the filesystem exactly the way CMakeLists.txt
+     derives them (bench/*.cc and examples/*.cpp -> one binary each,
+     tests/**/*_test.cc -> <dir>_<file>), so the check needs no configured
+     build tree.
+
+Run from anywhere: `python3 tools/check_docs.py`. Exits non-zero with one
+line per problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BUILD_CMD_RE = re.compile(r"\./build/([A-Za-z0-9_]+)")
+
+# The tier-1 verify commands of ROADMAP.md; README.md must quote each.
+TIER1_SNIPPETS = [
+    "cmake -B build -S .",
+    "cmake --build build -j",
+    "ctest --output-on-failure -j",
+]
+
+
+def markdown_files():
+    skip_dirs = {"build", ".git"}
+    for path in sorted(REPO.rglob("*.md")):
+        if any(part in skip_dirs for part in path.parts):
+            continue
+        yield path
+
+
+def cmake_targets():
+    """Binary names CMakeLists.txt would create, derived like the globs."""
+    targets = {"elasticore"}
+    for src in REPO.glob("bench/*.cc"):
+        targets.add(src.stem)
+    for src in REPO.glob("examples/*.cpp"):
+        targets.add(src.stem)
+    for src in REPO.glob("tests/**/*_test.cc"):
+        rel = src.relative_to(REPO / "tests")
+        targets.add(str(rel.with_suffix("")).replace("/", "_"))
+    return targets
+
+
+def check_links(errors):
+    for md in markdown_files():
+        rel_md = md.relative_to(REPO)
+        for line_no, line in enumerate(md.read_text().splitlines(), start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target_path = (md.parent / target.split("#")[0]).resolve()
+                if not target_path.exists():
+                    errors.append(
+                        f"{rel_md}:{line_no}: broken link -> {target}")
+
+
+def check_build_commands(errors):
+    targets = cmake_targets()
+    for md in markdown_files():
+        rel_md = md.relative_to(REPO)
+        text = md.read_text()
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            for name in BUILD_CMD_RE.findall(line):
+                if name not in targets:
+                    errors.append(
+                        f"{rel_md}:{line_no}: ./build/{name} is not a "
+                        f"CMake target")
+
+    readme = (REPO / "README.md").read_text()
+    for snippet in TIER1_SNIPPETS:
+        if snippet not in readme:
+            errors.append(
+                f"README.md: missing tier-1 build command `{snippet}`")
+
+
+def main():
+    errors = []
+    check_links(errors)
+    check_build_commands(errors)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)")
+        return 1
+    print("check_docs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
