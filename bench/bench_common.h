@@ -20,6 +20,7 @@
 // PRs so the BENCH_*.json files diff and plot cleanly.
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <string>
@@ -37,6 +38,19 @@ namespace elastic::bench {
 
 inline constexpr double kBenchScaleFactor = 0.15;
 inline constexpr uint64_t kBenchSeed = 19920101;
+
+/// Unified CLI convention of the JSON-emitting harnesses: every one accepts
+/// `--out <path>` to override its default `BENCH_<harness>.json`. Harnesses
+/// parse their own extra flags; this helper only extracts --out so the
+/// convention cannot drift per binary.
+inline std::string JsonOutPath(int argc, char** argv,
+                               const std::string& default_path) {
+  std::string out = default_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
+  }
+  return out;
+}
 
 // Concurrency regime of the comparison figures. The paper drove 256 real
 // clients against a DBMS whose internal contention kept CPU load inside the

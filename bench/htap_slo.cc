@@ -1,0 +1,234 @@
+// HTAP co-location under SLO-aware elastic arbitration: one OLTP tenant
+// (partition-latched NewOrder/Payment engine, open-loop arrivals with
+// periodic bursts, p99 SLO) shares the 16-core machine with one OLAP tenant
+// (mixed TPC-H scan clients). Three deployments are compared:
+//
+//   static      OS-style fixed split: OLTP keeps its initial cores for the
+//               whole run, no rebalancing (cgroup pinning).
+//   fair_share  the arbiter with equal entitlements; the never-preempt-
+//               overloaded rule means the perpetually overloaded scan
+//               tenant cannot be preempted, so OLTP drowns during bursts.
+//   slo_aware   tail-latency feedback entitlements: the OLTP tenant's
+//               recent p99 drives grow/shrink, and while it violates its
+//               SLO it may preempt the best-effort scan tenant.
+//
+// Expected shape: slo_aware holds OLTP p99 below the SLO while OLAP
+// throughput stays within ~15% of fair_share; static must pick one side to
+// sacrifice. Emits BENCH_htap_slo.json (see bench_common.h).
+
+#include <array>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "exec/htap_experiment.h"
+
+namespace elastic::bench {
+namespace {
+
+constexpr double kSloP99Seconds = 0.060;  // 60 ms tail budget
+constexpr int64_t kMaxTicks = 5'000'000;
+
+struct ConfigResult {
+  std::string name;
+  // OLTP side.
+  double oltp_tps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  int64_t oltp_completed = 0;
+  int64_t latch_waits = 0;
+  bool slo_met = false;
+  // OLAP side.
+  double olap_qps = 0.0;
+  int64_t olap_completed = 0;
+  double olap_finish_s = 0.0;
+  // Arbitration.
+  int64_t handoffs = 0;
+  int64_t preemptions = 0;
+  int64_t starved_rounds = 0;
+  double total_s = 0.0;
+};
+
+exec::HtapOltpTenant OltpTenant() {
+  exec::HtapOltpTenant oltp;
+  oltp.name = "oltp";
+  oltp.mechanism.initial_cores = 4;
+  // Burst headroom: the SLO boost may claim up to 8 cores — comfortably
+  // above the ~5.7 busy-core burst demand, so the backlog drains instead
+  // of merely holding, without displacing more of the scan tenant than the
+  // tail actually needs.
+  oltp.mechanism.max_cores = 8;
+  oltp.slo_p99_s = kSloP99Seconds;
+  // Short memory: once a burst has drained, its samples should age out of
+  // the probe within a few hundred ticks so the shed path can hand the
+  // slack back to the scan tenant well before the next burst.
+  oltp.probe_window_ticks = 400;
+  oltp.engine.num_partitions = 64;
+  oltp.engine.pool_size = 8;
+  // ~10 simulated ms of service per NewOrder on one core (a 16-page stock
+  // check at just over half a quantum per page): burst arrivals then offer
+  // ~5.7 busy-core equivalents against the static 4-core share, so
+  // queueing — not service — dominates the tail when under-provisioned.
+  oltp.engine.cpu_cycles_per_page = 1'500'000;
+  oltp.engine.neworder_stock_rows = 8192;
+  oltp.workload.total_txns = 3000;
+  oltp.workload.arrival_interval_ticks = 3;
+  oltp.workload.new_order_fraction = 0.5;
+  // Bursts: every 2.5 simulated seconds the arrival rate triples for 0.8 s.
+  // A split sized for the average rate drowns here; the elastic policies
+  // must react within a few monitoring rounds.
+  oltp.workload.burst_period_ticks = 2500;
+  oltp.workload.burst_length_ticks = 800;
+  oltp.workload.burst_interval_ticks = 1;
+  return oltp;
+}
+
+exec::HtapOlapTenant OlapTenant() {
+  exec::HtapOlapTenant olap;
+  olap.name = "olap";
+  olap.mechanism.initial_cores = 4;
+  olap.workload.mode = exec::WorkloadMode::kRandomMix;
+  for (int q : {1, 6, 14}) olap.workload.traces.push_back(&QueryTrace(q));
+  // No think time: the scan tenant is continuously core-hungry (and so
+  // permanently Overloaded), the regime in which never-preempt-overloaded
+  // blinds the classic policies. Sized to keep scans running for the whole
+  // OLTP schedule, bursts included.
+  olap.workload.queries_per_client = 18;
+  olap.workload.ramp_ticks = kBenchRampTicks;
+  olap.num_clients = 24;
+  return olap;
+}
+
+ConfigResult RunConfig(const std::string& name) {
+  exec::HtapOptions options;
+  options.seed = kBenchSeed;
+  options.placement = exec::BasePlacement::kTableAffine;
+  // Latency SLOs live on the timescale of tens of ticks: a 10-tick round
+  // lets the arbiter move a core within ~1/6 of the SLO budget. The same
+  // cadence is used for every arbitrated config, so the comparison stays
+  // policy-vs-policy rather than period-vs-period.
+  options.monitor_period_ticks = 10;
+  if (name == "static") {
+    options.static_split = true;
+  } else {
+    options.policy = core::ArbitrationPolicyFromName(name);
+  }
+
+  exec::HtapExperiment experiment(&BenchDb(), options, OltpTenant(),
+                                  OlapTenant());
+  experiment.Start();
+  experiment.RunUntilDone(kMaxTicks);
+
+  ConfigResult result;
+  result.name = name;
+  const oltp::LatencyRecorder& lat = experiment.oltp_client().latencies();
+  result.p50_ms = lat.PercentileSeconds(0.50) * 1e3;
+  result.p95_ms = lat.PercentileSeconds(0.95) * 1e3;
+  result.p99_ms = lat.PercentileSeconds(0.99) * 1e3;
+  result.slo_met = lat.PercentileSeconds(0.99) <= kSloP99Seconds;
+  result.oltp_completed = experiment.oltp_client().completed();
+  result.latch_waits = experiment.oltp_engine().latch_waits();
+  result.oltp_tps =
+      static_cast<double>(result.oltp_completed) /
+      simcore::Clock::ToSeconds(experiment.oltp_finished_tick());
+  // OLAP throughput over the tenant's *own* finish window, so a config
+  // where OLAP finishes early is not diluted by the joint run length.
+  result.olap_completed = experiment.olap_driver().completed();
+  result.olap_finish_s =
+      simcore::Clock::ToSeconds(experiment.olap_finished_tick());
+  result.olap_qps =
+      static_cast<double>(result.olap_completed) / result.olap_finish_s;
+  if (experiment.arbiter() != nullptr) {
+    result.handoffs = experiment.arbiter()->core_handoffs();
+    result.preemptions = experiment.arbiter()->preemptions();
+    result.starved_rounds = experiment.arbiter()->starved_rounds();
+  }
+  result.total_s =
+      simcore::Clock::ToSeconds(experiment.machine().clock().now());
+  return result;
+}
+
+void Main(const std::string& json_path) {
+  const std::array<std::string, 3> configs = {"static", "fair_share",
+                                              "slo_aware"};
+  std::vector<ConfigResult> results;
+  for (const std::string& name : configs) {
+    std::fprintf(stderr, "running config %s ...\n", name.c_str());
+    results.push_back(RunConfig(name));
+  }
+
+  metrics::Table table({"config", "oltp tps", "p50 ms", "p95 ms", "p99 ms",
+                        "slo", "olap qps", "preempt", "total s"});
+  double fair_share_qps = 0.0;
+  for (const ConfigResult& r : results) {
+    if (r.name == "fair_share") fair_share_qps = r.olap_qps;
+    table.AddRow({r.name, metrics::Table::Num(r.oltp_tps, 1),
+                  metrics::Table::Num(r.p50_ms, 1),
+                  metrics::Table::Num(r.p95_ms, 1),
+                  metrics::Table::Num(r.p99_ms, 1),
+                  r.slo_met ? "met" : "MISS",
+                  metrics::Table::Num(r.olap_qps, 2),
+                  std::to_string(r.preemptions),
+                  metrics::Table::Num(r.total_s, 2)});
+  }
+  table.Print("HTAP co-location, p99 SLO " +
+              metrics::Table::Num(kSloP99Seconds * 1e3, 0) + " ms");
+  std::printf(
+      "\nExpected shape: static and fair_share miss the OLTP p99 SLO during "
+      "arrival bursts\n(fair_share cannot preempt the always-overloaded scan "
+      "tenant); slo_aware holds the\nSLO while OLAP throughput stays within "
+      "~15%% of fair_share.\n");
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"htap_slo\",\n"
+               "  \"scale_factor\": %.4f,\n  \"slo_p99_ms\": %.1f,\n"
+               "  \"configs\": {\n",
+               kBenchScaleFactor, kSloP99Seconds * 1e3);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(
+        json,
+        "    \"%s\": {\n"
+        "      \"oltp\": {\"tps\": %.4f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"slo_met\": %s, \"completed\": %lld, "
+        "\"latch_waits\": %lld},\n"
+        "      \"olap\": {\"qps\": %.4f, \"completed\": %lld, "
+        "\"finish_s\": %.4f},\n"
+        "      \"arbiter\": {\"core_handoffs\": %lld, \"preemptions\": %lld, "
+        "\"starved_rounds\": %lld},\n"
+        "      \"total_s\": %.4f\n    }%s\n",
+        r.name.c_str(), r.oltp_tps, r.p50_ms, r.p95_ms, r.p99_ms,
+        r.slo_met ? "true" : "false", static_cast<long long>(r.oltp_completed),
+        static_cast<long long>(r.latch_waits), r.olap_qps,
+        static_cast<long long>(r.olap_completed), r.olap_finish_s,
+        static_cast<long long>(r.handoffs),
+        static_cast<long long>(r.preemptions),
+        static_cast<long long>(r.starved_rounds), r.total_s,
+        i + 1 < results.size() ? "," : "");
+  }
+  double slo_vs_fair = 0.0;
+  for (const ConfigResult& r : results) {
+    if (r.name == "slo_aware" && fair_share_qps > 0.0) {
+      slo_vs_fair = r.olap_qps / fair_share_qps;
+    }
+  }
+  std::fprintf(json,
+               "  },\n  \"olap_qps_slo_aware_vs_fair_share\": %.4f\n}\n",
+               slo_vs_fair);
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace elastic::bench
+
+int main(int argc, char** argv) {
+  elastic::bench::Main(
+      elastic::bench::JsonOutPath(argc, argv, "BENCH_htap_slo.json"));
+  return 0;
+}

@@ -306,11 +306,14 @@ int Run(double scale_factor, int reps, const std::string& json_path) {
 int main(int argc, char** argv) {
   double sf = elastic::bench::kBenchScaleFactor;
   int reps = 5;
-  std::string out = "BENCH_micro_query_kernels.json";
-  for (int i = 1; i + 1 < argc; i += 2) {
+  // Flag scanning matches JsonOutPath: every flag takes a value and may
+  // appear anywhere (the old loop stepped by two and misparsed odd layouts).
+  for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--sf") == 0) sf = std::atof(argv[i + 1]);
     if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
   }
-  return elastic::bench::Run(sf, reps, out);
+  return elastic::bench::Run(
+      sf, reps,
+      elastic::bench::JsonOutPath(argc, argv,
+                                  "BENCH_micro_query_kernels.json"));
 }

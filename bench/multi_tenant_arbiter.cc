@@ -209,10 +209,7 @@ void Main(const std::string& json_path) {
 }  // namespace elastic::bench
 
 int main(int argc, char** argv) {
-  std::string out = "BENCH_multi_tenant_arbiter.json";
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
-  }
-  elastic::bench::Main(out);
+  elastic::bench::Main(elastic::bench::JsonOutPath(
+      argc, argv, "BENCH_multi_tenant_arbiter.json"));
   return 0;
 }

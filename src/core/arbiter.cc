@@ -1,17 +1,26 @@
 #include "core/arbiter.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "simcore/check.h"
 
 namespace elastic::core {
 
+/// kSloAware band: boost the SLO tenant's entitlement when its recent tail
+/// runs past 3/4 of the target (reacting at the target itself is reacting
+/// one violated transaction too late), shed slack below half the target,
+/// hold in between.
+constexpr double kSloBoostRatio = 0.75;
+constexpr double kSloShedRatio = 0.5;
+
 const char* ArbitrationPolicyName(ArbitrationPolicy policy) {
   switch (policy) {
     case ArbitrationPolicy::kFairShare: return "fair_share";
     case ArbitrationPolicy::kPriorityWeighted: return "priority_weighted";
     case ArbitrationPolicy::kDemandProportional: return "demand_proportional";
+    case ArbitrationPolicy::kSloAware: return "slo_aware";
   }
   return "?";
 }
@@ -25,6 +34,9 @@ ArbitrationPolicy ArbitrationPolicyFromName(const std::string& name) {
   }
   if (name == "demand_proportional" || name == "demand") {
     return ArbitrationPolicy::kDemandProportional;
+  }
+  if (name == "slo_aware" || name == "slo") {
+    return ArbitrationPolicy::kSloAware;
   }
   ELASTIC_CHECK(false, "unknown arbitration policy name");
   return ArbitrationPolicy::kFairShare;
@@ -109,6 +121,11 @@ void CoreArbiter::Install() {
   int initial_total = 0;
   for (const Tenant& tenant : tenants_) {
     initial_total += tenant.config.mechanism.initial_cores;
+    if (config_.policy == ArbitrationPolicy::kSloAware &&
+        tenant.config.slo_p99_s >= 0.0) {
+      ELASTIC_CHECK(static_cast<bool>(tenant.config.tail_latency_probe),
+                    "SLO tenant needs a tail_latency_probe under slo_aware");
+    }
   }
   ELASTIC_CHECK(initial_total <= machine_->topology().total_cores(),
                 "initial cores of all tenants exceed the machine");
@@ -133,8 +150,23 @@ void CoreArbiter::Install() {
   });
 }
 
+std::vector<double> CoreArbiter::SloRatios(simcore::Tick now) const {
+  std::vector<double> ratios(static_cast<size_t>(num_tenants()), -1.0);
+  if (config_.policy != ArbitrationPolicy::kSloAware) return ratios;
+  for (int i = 0; i < num_tenants(); ++i) {
+    const ArbiterTenantConfig& config = tenants_[static_cast<size_t>(i)].config;
+    if (config.slo_p99_s < 0.0 || !config.tail_latency_probe) continue;
+    const double p99 = config.tail_latency_probe(now);
+    if (p99 < 0.0) continue;  // no completions in the window yet
+    ratios[static_cast<size_t>(i)] =
+        p99 / std::max(config.slo_p99_s, 1e-12);
+  }
+  return ratios;
+}
+
 std::vector<double> CoreArbiter::Entitlements(
-    const std::vector<ElasticMechanism::Decision>& decisions) const {
+    const std::vector<ElasticMechanism::Decision>& decisions,
+    const std::vector<double>& slo_ratios) const {
   const int count = num_tenants();
   const double total = static_cast<double>(machine_->topology().total_cores());
   std::vector<double> entitlements(static_cast<size_t>(count), 0.0);
@@ -169,6 +201,52 @@ std::vector<double> CoreArbiter::Entitlements(
       }
       break;
     }
+    case ArbitrationPolicy::kSloAware: {
+      // SLO tenants first: entitlement tracks the tail-latency error.
+      // Past the boost threshold (ratio > 3/4 of target) the tenant is owed
+      // headroom — one core early on, proportional to the error once in
+      // violation; a controller that waits for ratio > 1 reacts only after
+      // transactions have already blown the budget. Comfortably below
+      // target (ratio < 1/2) it sheds one core of slack; in between it
+      // holds. No signal yet = hold. Best-effort tenants split whatever
+      // the SLO tenants leave — they absorb slack when the SLO tenants are
+      // happy and become the preemption victims when one is not.
+      double remaining = total;
+      int best_effort = 0;
+      for (int i = 0; i < count; ++i) {
+        const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+        if (tenant.config.slo_p99_s < 0.0) {
+          best_effort++;
+          continue;
+        }
+        const double held = tenant.mask.Count();
+        const double ratio = slo_ratios[static_cast<size_t>(i)];
+        const double floor =
+            std::max(1, tenant.config.mechanism.initial_cores);
+        const double cap = tenant.config.mechanism.max_cores > 0
+                               ? tenant.config.mechanism.max_cores
+                               : total;
+        double e = held;
+        if (ratio > kSloBoostRatio) {
+          e = std::min(
+              cap,
+              held + std::max(1.0, std::ceil((ratio - 1.0) * held) + 1.0));
+        } else if (ratio >= 0.0 && ratio < kSloShedRatio) {
+          e = std::max(floor, held - 1.0);
+        }
+        entitlements[static_cast<size_t>(i)] = e;
+        remaining -= e;
+      }
+      if (best_effort > 0) {
+        const double share = std::max(0.0, remaining) / best_effort;
+        for (int i = 0; i < count; ++i) {
+          if (tenants_[static_cast<size_t>(i)].config.slo_p99_s < 0.0) {
+            entitlements[static_cast<size_t>(i)] = share;
+          }
+        }
+      }
+      break;
+    }
   }
   return entitlements;
 }
@@ -194,6 +272,16 @@ void CoreArbiter::Poll(simcore::Tick now) {
     Tenant& tenant = tenants_[static_cast<size_t>(i)];
     const ElasticMechanism::Decision& d = decisions[static_cast<size_t>(i)];
     if (d.desired >= d.current) continue;
+    // Under kSloAware an SLO tenant's floor is provisioned standby
+    // capacity, not just a preemption bound: lulls in an open-loop arrival
+    // stream must not strip the cores the next burst will need before the
+    // tail signal can possibly react.
+    if (config_.policy == ArbitrationPolicy::kSloAware &&
+        tenant.config.slo_p99_s >= 0.0 &&
+        tenant.mask.Count() <=
+            std::max(1, tenant.config.mechanism.initial_cores)) {
+      continue;
+    }
     const numasim::CoreId core = tenant.mechanism->mode().NextToRelease(tenant.mask);
     ELASTIC_CHECK(core != numasim::kInvalidCore, "shrink from a 1-core tenant");
     tenant.mask.Clear(core);
@@ -201,7 +289,8 @@ void CoreArbiter::Poll(simcore::Tick now) {
   }
 
   // Phase 2: grant grows from the pool, most-entitled-deficit first.
-  const std::vector<double> entitlements = Entitlements(decisions);
+  const std::vector<double> slo_ratios = SloRatios(now);
+  const std::vector<double> entitlements = Entitlements(decisions, slo_ratios);
   std::vector<int> growers;
   for (int i = 0; i < count; ++i) {
     if (decisions[static_cast<size_t>(i)].desired >
@@ -240,11 +329,23 @@ void CoreArbiter::Poll(simcore::Tick now) {
   // above its entitlement — never from an overloaded tenant and never below
   // the victim's initial_cores floor.
   for (int grower : unmet) {
+    // Under kSloAware an SLO tenant at or past the boost threshold may take
+    // a core from a best-effort tenant even when that tenant is overloaded:
+    // a scan-heavy best-effort workload is overloaded by construction (it
+    // can absorb any number of cores), and honouring its overload would let
+    // it starve the latency SLO indefinitely. The floor below stays
+    // absolute.
+    const bool slo_violating =
+        slo_ratios[static_cast<size_t>(grower)] > kSloBoostRatio;
     int victim = -1;
     double worst_excess = 0.0;
     for (int v = 0; v < count; ++v) {
       if (v == grower) continue;
-      if (decisions[static_cast<size_t>(v)].state == PerfState::kOverload) {
+      const bool victim_best_effort =
+          config_.policy == ArbitrationPolicy::kSloAware &&
+          tenants_[static_cast<size_t>(v)].config.slo_p99_s < 0.0;
+      if (decisions[static_cast<size_t>(v)].state == PerfState::kOverload &&
+          !(slo_violating && victim_best_effort)) {
         continue;
       }
       const Tenant& candidate = tenants_[static_cast<size_t>(v)];

@@ -1,6 +1,7 @@
 #ifndef ELASTICORE_CORE_ARBITER_H_
 #define ELASTICORE_CORE_ARBITER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,15 @@ enum class ArbitrationPolicy {
   /// u_i * nalloc_i, from the last monitoring window). Assumes the tenants
   /// run the kCpuLoad transition strategy.
   kDemandProportional,
+  /// Tail-latency feedback: tenants with an SLO (slo_p99_s >= 0 and a
+  /// tail_latency_probe) are entitled to headroom proportional to how far
+  /// their recent p99 sits above the target, and shed one core of slack
+  /// when comfortably below it; best-effort tenants split whatever remains.
+  /// An SLO tenant past the boost threshold (recent p99 above 3/4 of its
+  /// target) may preempt a best-effort tenant even if that tenant is
+  /// overloaded (the one policy that relaxes never-preempt-overloaded —
+  /// see docs/POLICIES.md).
+  kSloAware,
 };
 
 const char* ArbitrationPolicyName(ArbitrationPolicy policy);
@@ -44,6 +54,16 @@ struct ArbiterTenantConfig {
   std::string mode = "adaptive";
   /// Share under kPriorityWeighted (ignored by the other policies).
   double weight = 1.0;
+
+  // -- kSloAware inputs (ignored by the other policies). --
+
+  /// Target p99 latency in simulated seconds; < 0 marks a best-effort
+  /// tenant (no SLO).
+  double slo_p99_s = -1.0;
+  /// Called once per round for the tenant's recent p99 latency in simulated
+  /// seconds; return < 0 while no completions exist in the window. Required
+  /// for SLO tenants under kSloAware.
+  std::function<double(simcore::Tick now)> tail_latency_probe;
 };
 
 struct ArbiterConfig {
@@ -151,9 +171,16 @@ class CoreArbiter {
   };
 
   /// Entitlements of every tenant under the configured policy; `decisions`
-  /// supplies the demand signal for kDemandProportional.
+  /// supplies the demand signal for kDemandProportional, `slo_ratios` the
+  /// per-tenant p99/target ratios for kSloAware (< 0 = best-effort or no
+  /// signal yet; all -1 outside kSloAware).
   std::vector<double> Entitlements(
-      const std::vector<ElasticMechanism::Decision>& decisions) const;
+      const std::vector<ElasticMechanism::Decision>& decisions,
+      const std::vector<double>& slo_ratios) const;
+
+  /// Recent-p99 / target ratio per tenant under kSloAware (probes fire
+  /// here); < 0 for best-effort tenants and SLO tenants without a signal.
+  std::vector<double> SloRatios(simcore::Tick now) const;
 
   /// NUMA-aware pick of a free-pool core for a tenant: prefer the node where
   /// the tenant already holds the most cores, then the node with the most

@@ -1,0 +1,144 @@
+#include "exec/htap_experiment.h"
+
+#include <algorithm>
+
+#include "simcore/check.h"
+
+namespace elastic::exec {
+
+HtapExperiment::HtapExperiment(const db::Database* database,
+                               const HtapOptions& options,
+                               const HtapOltpTenant& oltp_spec,
+                               const HtapOlapTenant& olap_spec)
+    : options_(options), oltp_spec_(oltp_spec), olap_spec_(olap_spec) {
+  ossim::MachineOptions machine_options;
+  machine_options.config = options.machine_config;
+  machine_options.scheduler = options.scheduler;
+  machine_options.seed = options.seed;
+  machine_ = std::make_unique<ossim::Machine>(machine_options);
+
+  catalog_ = std::make_unique<BaseCatalog>(&machine_->page_table(), *database,
+                                           options.placement,
+                                           options.machine_config.page_bytes);
+
+  ossim::CpusetId oltp_cpuset;
+  ossim::CpusetId olap_cpuset;
+  if (options_.static_split) {
+    // OS-style fixed partitioning: OLTP takes its initial_cores clustered
+    // from core 0 upwards (dense on the first socket(s)), OLAP the rest.
+    const int total = machine_->topology().total_cores();
+    const int oltp_n = oltp_spec_.mechanism.initial_cores;
+    ELASTIC_CHECK(oltp_n >= 1 && oltp_n < total,
+                  "static split needs 1 <= oltp initial_cores < machine");
+    const ossim::CpuMask oltp_mask = ossim::CpuMask::FirstN(oltp_n);
+    const ossim::CpuMask olap_mask(
+        ossim::CpuMask::AllOf(machine_->topology()).bits() & ~oltp_mask.bits());
+    static_oltp_cpuset_ = machine_->scheduler().CreateCpuset(oltp_mask);
+    static_olap_cpuset_ = machine_->scheduler().CreateCpuset(olap_mask);
+    oltp_cpuset = static_oltp_cpuset_;
+    olap_cpuset = static_olap_cpuset_;
+  } else {
+    core::ArbiterConfig arbiter_config;
+    arbiter_config.policy = options_.policy;
+    arbiter_config.monitor_period_ticks = options_.monitor_period_ticks;
+    arbiter_config.log_rounds = options_.log_rounds;
+    arbiter_ =
+        std::make_unique<core::CoreArbiter>(machine_.get(), arbiter_config);
+
+    core::ArbiterTenantConfig oltp_tenant;
+    oltp_tenant.name = oltp_spec_.name;
+    oltp_tenant.mechanism = oltp_spec_.mechanism;
+    oltp_tenant.mode = oltp_spec_.mode;
+    oltp_tenant.weight = oltp_spec_.weight;
+    oltp_tenant.slo_p99_s = oltp_spec_.slo_p99_s;
+    if (oltp_spec_.slo_p99_s >= 0.0) {
+      const int64_t window = oltp_spec_.probe_window_ticks;
+      // Two tail signals, take the worse: the recent completed-latency p99
+      // (the SLO as measured) and the oldest in-flight age (its leading
+      // indicator — during queue buildup the delayed transactions have not
+      // completed yet, so the completed p99 alone reports the violation
+      // only after it is already history).
+      oltp_tenant.tail_latency_probe = [this, window](simcore::Tick now) {
+        if (!oltp_client_) return -1.0;
+        const double completed_p99 =
+            oltp_client_->latencies().WindowPercentileSeconds(0.99, now,
+                                                              window);
+        const double in_flight_age =
+            oltp_client_->OldestInFlightAgeSeconds(now);
+        return std::max(completed_p99, in_flight_age);
+      };
+    }
+    oltp_arbiter_index_ = arbiter_->AddTenant(oltp_tenant);
+
+    core::ArbiterTenantConfig olap_tenant;
+    olap_tenant.name = olap_spec_.name;
+    olap_tenant.mechanism = olap_spec_.mechanism;
+    olap_tenant.mode = olap_spec_.mode;
+    olap_tenant.weight = olap_spec_.weight;
+    olap_arbiter_index_ = arbiter_->AddTenant(olap_tenant);
+
+    oltp_cpuset = arbiter_->tenant_cpuset(oltp_arbiter_index_);
+    olap_cpuset = arbiter_->tenant_cpuset(olap_arbiter_index_);
+  }
+
+  oltp::TxnEngineOptions oltp_engine_options = oltp_spec_.engine;
+  oltp_engine_options.cpuset = oltp_cpuset;
+  oltp_engine_ = std::make_unique<oltp::TxnEngine>(
+      machine_.get(), catalog_.get(), oltp_engine_options);
+
+  EngineOptions olap_engine_options;
+  olap_engine_options.model = olap_spec_.engine_model;
+  olap_engine_options.pool_size = olap_spec_.pool_size;
+  olap_engine_options.task_graph = olap_spec_.task_graph;
+  olap_engine_options.cpuset = olap_cpuset;
+  olap_engine_ = std::make_unique<DbmsEngine>(machine_.get(), catalog_.get(),
+                                              olap_engine_options);
+}
+
+void HtapExperiment::Start() {
+  ELASTIC_CHECK(!started_, "HTAP experiment started twice");
+  started_ = true;
+  if (arbiter_) arbiter_->Install();
+
+  oltp_client_ = std::make_unique<oltp::OltpClient>(
+      machine_.get(), oltp_engine_.get(), oltp_spec_.workload,
+      options_.seed ^ 0x0117);
+  olap_driver_ = std::make_unique<ClientDriver>(
+      machine_.get(), olap_engine_.get(), olap_spec_.workload,
+      olap_spec_.num_clients, options_.seed ^ 0x01A9);
+  oltp_client_->Start();
+  olap_driver_->Start();
+}
+
+int64_t HtapExperiment::RunUntilDone(int64_t max_ticks) {
+  ELASTIC_CHECK(started_, "RunUntilDone before Start");
+  int64_t ticks = 0;
+  while (ticks < max_ticks) {
+    const bool oltp_done = oltp_client_->AllDone();
+    const bool olap_done = olap_driver_->AllDone();
+    if (oltp_done && oltp_finished_ < 0) {
+      oltp_finished_ = machine_->clock().now();
+    }
+    if (olap_done && olap_finished_ < 0) {
+      olap_finished_ = machine_->clock().now();
+    }
+    if (oltp_done && olap_done) return ticks;
+    machine_->Step();
+    ticks++;
+  }
+  ELASTIC_CHECK(oltp_client_->AllDone() && olap_driver_->AllDone(),
+                "HTAP workloads did not finish within max_ticks");
+  return ticks;
+}
+
+int HtapExperiment::oltp_cores() const {
+  if (arbiter_) return arbiter_->nalloc(oltp_arbiter_index_);
+  return machine_->scheduler().cpuset_mask(static_oltp_cpuset_).Count();
+}
+
+int HtapExperiment::olap_cores() const {
+  if (arbiter_) return arbiter_->nalloc(olap_arbiter_index_);
+  return machine_->scheduler().cpuset_mask(static_olap_cpuset_).Count();
+}
+
+}  // namespace elastic::exec

@@ -1,0 +1,66 @@
+#include "oltp/oltp_client.h"
+
+#include <algorithm>
+
+#include "simcore/check.h"
+
+namespace elastic::oltp {
+
+OltpClient::OltpClient(ossim::Machine* machine, TxnEngine* engine,
+                       const OltpWorkload& workload, uint64_t seed)
+    : machine_(machine),
+      engine_(engine),
+      workload_(workload),
+      mix_(seed, engine->options().num_partitions,
+           workload.new_order_fraction),
+      arrival_rng_(seed ^ 0xA5A5A5A5ULL) {
+  ELASTIC_CHECK(workload_.total_txns >= 1, "need at least one transaction");
+  ELASTIC_CHECK(workload_.arrival_interval_ticks >= 1,
+                "arrival interval must be >= 1 tick");
+
+  // Precompute the open-loop schedule: a fixed-rate stream with ±50%
+  // deterministic jitter per gap, switching to the burst rate inside burst
+  // windows. The schedule depends only on the seed and the workload shape.
+  arrivals_.reserve(static_cast<size_t>(workload_.total_txns));
+  simcore::Tick at = 0;
+  for (int64_t i = 0; i < workload_.total_txns; ++i) {
+    arrivals_.push_back(at);
+    int64_t interval = workload_.arrival_interval_ticks;
+    if (workload_.burst_period_ticks > 0 &&
+        at % workload_.burst_period_ticks >=
+            workload_.burst_period_ticks - workload_.burst_length_ticks) {
+      interval = std::max<int64_t>(1, workload_.burst_interval_ticks);
+    }
+    // Jitter in [interval/2, interval*3/2]; floor at one tick.
+    const int64_t jitter = static_cast<int64_t>(
+        arrival_rng_.NextBounded(static_cast<uint64_t>(interval) + 1));
+    at += std::max<int64_t>(1, interval / 2 + jitter);
+  }
+}
+
+void OltpClient::Start() {
+  ELASTIC_CHECK(!started_, "client started twice");
+  started_ = true;
+  started_at_ = machine_->clock().now();
+  machine_->AddTickHook([this](simcore::Tick now) { PumpArrivals(now); });
+  PumpArrivals(machine_->clock().now());
+}
+
+void OltpClient::PumpArrivals(simcore::Tick now) {
+  const simcore::Tick rel = now - started_at_;
+  while (submitted_ < workload_.total_txns &&
+         arrivals_[static_cast<size_t>(submitted_)] <= rel) {
+    const TxnRequest request = mix_.Next();
+    const simcore::Tick submitted_tick = now;
+    submitted_++;
+    in_flight_.insert(submitted_tick);
+    engine_->Submit(request, [this, submitted_tick]() {
+      const simcore::Tick done = machine_->clock().now();
+      last_completion_ = done;
+      in_flight_.erase(in_flight_.find(submitted_tick));
+      latencies_.Record(done, done - submitted_tick);
+    });
+  }
+}
+
+}  // namespace elastic::oltp

@@ -1,0 +1,99 @@
+#ifndef ELASTICORE_OLTP_OLTP_CLIENT_H_
+#define ELASTICORE_OLTP_OLTP_CLIENT_H_
+
+#include <set>
+#include <vector>
+
+#include "oltp/latency.h"
+#include "oltp/txn.h"
+#include "oltp/txn_engine.h"
+#include "ossim/machine.h"
+
+namespace elastic::oltp {
+
+/// Arrival schedule of the open-loop OLTP workload. Unlike the closed-loop
+/// exec::ClientDriver (a client waits for its completion before resubmitting),
+/// arrivals here are a fixed function of time: when the engine falls behind,
+/// requests queue and the latency tail grows instead of the offered load
+/// shrinking — the regime in which an SLO is meaningful at all.
+struct OltpWorkload {
+  /// Total transactions to submit.
+  int64_t total_txns = 1000;
+  /// Mean inter-arrival gap in ticks during normal operation.
+  int64_t arrival_interval_ticks = 4;
+  /// NewOrder fraction of the mix (the rest are Payments).
+  double new_order_fraction = 0.5;
+
+  /// Optional periodic bursts: during the LAST `burst_length_ticks` of every
+  /// `burst_period_ticks` window, arrivals speed up to
+  /// `burst_interval_ticks`. 0 disables bursts. Bursts are what force the
+  /// arbiter to *react* — a static split sized for the average rate drowns
+  /// during them — and they sit at the window's end so the first one only
+  /// fires after the co-located tenants have settled into steady state.
+  int64_t burst_period_ticks = 0;
+  int64_t burst_length_ticks = 0;
+  int64_t burst_interval_ticks = 1;
+};
+
+/// Open-loop transaction submitter with per-transaction latency recording.
+/// The full arrival schedule and the request stream are precomputed from the
+/// seed, so two runs with equal seeds submit byte-identical workloads at
+/// identical ticks regardless of how the engine behaves in between.
+class OltpClient {
+ public:
+  OltpClient(ossim::Machine* machine, TxnEngine* engine,
+             const OltpWorkload& workload, uint64_t seed);
+
+  OltpClient(const OltpClient&) = delete;
+  OltpClient& operator=(const OltpClient&) = delete;
+
+  /// Registers the arrival tick hook. Call once before stepping the machine.
+  void Start();
+
+  /// True when every transaction has been submitted and completed.
+  bool AllDone() const {
+    return submitted_ == workload_.total_txns &&
+           latencies_.count() == workload_.total_txns;
+  }
+
+  const LatencyRecorder& latencies() const { return latencies_; }
+  int64_t submitted() const { return submitted_; }
+  int64_t completed() const { return latencies_.count(); }
+  /// Tick of the last completion (-1 before the first).
+  simcore::Tick last_completion_tick() const { return last_completion_; }
+
+  /// Age of the oldest still-unfinished transaction in simulated seconds
+  /// (-1 when none is in flight). The *leading* tail signal: a completed-
+  /// latency percentile cannot report a violation until the delayed
+  /// transactions finally finish, which during queue buildup is exactly too
+  /// late; the oldest in-flight age is a lower bound on the p100 that the
+  /// current queue will eventually produce.
+  double OldestInFlightAgeSeconds(simcore::Tick now) const {
+    if (in_flight_.empty()) return -1.0;
+    return simcore::Clock::ToSeconds(now - *in_flight_.begin());
+  }
+
+ private:
+  void PumpArrivals(simcore::Tick now);
+
+  ossim::Machine* machine_;
+  TxnEngine* engine_;
+  OltpWorkload workload_;
+  TxnMix mix_;
+  simcore::Rng arrival_rng_;
+
+  /// Precomputed arrival schedule (ascending ticks), one per transaction.
+  std::vector<simcore::Tick> arrivals_;
+  /// Submit ticks of in-flight transactions (multiset: several can share a
+  /// tick).
+  std::multiset<simcore::Tick> in_flight_;
+  int64_t submitted_ = 0;
+  simcore::Tick started_at_ = 0;
+  simcore::Tick last_completion_ = -1;
+  LatencyRecorder latencies_;
+  bool started_ = false;
+};
+
+}  // namespace elastic::oltp
+
+#endif  // ELASTICORE_OLTP_OLTP_CLIENT_H_

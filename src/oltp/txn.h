@@ -1,0 +1,69 @@
+#ifndef ELASTICORE_OLTP_TXN_H_
+#define ELASTICORE_OLTP_TXN_H_
+
+#include <cstdint>
+
+#include "simcore/rng.h"
+
+namespace elastic::oltp {
+
+/// The two TPC-C-style transaction profiles, expressed over TPC-H-derived
+/// tables: NewOrder reads a customer row and a handful of partsupp "stock"
+/// rows, then appends order + line rows; Payment reads and updates one
+/// customer balance. NewOrder is the heavy write profile, Payment the short
+/// one — together they cover the read-write mix the hardware-islands line of
+/// work uses to show OLTP's sensitivity to core placement.
+enum class TxnType { kNewOrder, kPayment };
+
+const char* TxnTypeName(TxnType type);
+
+/// One transaction to execute: its profile, the partition whose latch it
+/// must take, and the row neighbourhoods it touches (offsets are fractions
+/// of the partition's row range, resolved to pages by the engine).
+struct TxnRequest {
+  int64_t id = 0;
+  TxnType type = TxnType::kNewOrder;
+  int partition = 0;
+  /// Customer row neighbourhood within the partition, in [0, 1).
+  double customer_offset = 0.0;
+  /// Stock (partsupp) row neighbourhood within the partition, in [0, 1).
+  double stock_offset = 0.0;
+};
+
+/// Deterministic transaction mix: a pure function of (seed, draw index).
+/// Every stream of requests — type mix, partition choice, row offsets — is
+/// reproducible bit-for-bit, which is what makes whole HTAP experiments
+/// replayable under a fixed seed.
+class TxnMix {
+ public:
+  /// `new_order_fraction` of draws are NewOrder, the rest Payment.
+  TxnMix(uint64_t seed, int num_partitions, double new_order_fraction)
+      : rng_(seed),
+        num_partitions_(num_partitions),
+        new_order_fraction_(new_order_fraction) {}
+
+  TxnRequest Next() {
+    TxnRequest request;
+    request.id = next_id_++;
+    request.type = rng_.NextDouble() < new_order_fraction_
+                       ? TxnType::kNewOrder
+                       : TxnType::kPayment;
+    request.partition =
+        static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(num_partitions_)));
+    request.customer_offset = rng_.NextDouble();
+    request.stock_offset = rng_.NextDouble();
+    return request;
+  }
+
+  int num_partitions() const { return num_partitions_; }
+
+ private:
+  simcore::Rng rng_;
+  int num_partitions_;
+  double new_order_fraction_;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace elastic::oltp
+
+#endif  // ELASTICORE_OLTP_TXN_H_

@@ -1,0 +1,175 @@
+#include "oltp/txn_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/check.h"
+
+namespace elastic::oltp {
+
+const char* TxnTypeName(TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrder: return "new_order";
+    case TxnType::kPayment: return "payment";
+  }
+  return "?";
+}
+
+TxnEngine::TxnEngine(ossim::Machine* machine,
+                     const exec::BaseCatalog* catalog,
+                     const TxnEngineOptions& options)
+    : machine_(machine), catalog_(catalog), options_(options) {
+  ELASTIC_CHECK(options_.num_partitions >= 1, "need at least one partition");
+  ELASTIC_CHECK(options_.log_pages_per_partition >= 2,
+                "log slab needs >= 2 pages per partition");
+  const int pool = options_.pool_size > 0
+                       ? options_.pool_size
+                       : machine_->topology().total_cores();
+  ELASTIC_CHECK(pool >= 1, "worker pool must not be empty");
+
+  log_buffer_ = machine_->page_table().CreateBuffer(
+      static_cast<int64_t>(options_.num_partitions) *
+          options_.log_pages_per_partition,
+      "oltp.log");
+  log_cursor_.assign(static_cast<size_t>(options_.num_partitions), 0);
+  latch_busy_.assign(static_cast<size_t>(options_.num_partitions), false);
+  latch_queue_.resize(static_cast<size_t>(options_.num_partitions));
+
+  auto on_job_done = [this](ossim::ThreadId worker) { OnJobDone(worker); };
+  for (int w = 0; w < pool; ++w) {
+    const ossim::ThreadId id = machine_->scheduler().SpawnWorker(
+        std::nullopt, on_job_done, options_.cpuset);
+    workers_.push_back(id);
+    idle_workers_.push_back(id);
+  }
+}
+
+ossim::PageRange TxnEngine::BaseRange(const std::string& table_column,
+                                      int partition, double offset,
+                                      int64_t rows) const {
+  const int64_t total_rows = catalog_->RowsOf(table_column);
+  const int64_t total_pages = catalog_->PagesOf(table_column);
+  const int64_t part_rows =
+      std::max<int64_t>(1, total_rows / options_.num_partitions);
+  const int64_t row_begin =
+      partition * part_rows +
+      static_cast<int64_t>(offset * static_cast<double>(part_rows));
+  const int64_t rows_per_page = std::max<int64_t>(
+      1, total_rows / std::max<int64_t>(1, total_pages));
+  ossim::PageRange range;
+  range.buffer = catalog_->BufferOf(table_column);
+  range.begin = std::min(row_begin / rows_per_page, total_pages - 1);
+  range.end = std::min(range.begin + std::max<int64_t>(1, rows / rows_per_page + 1),
+                       total_pages);
+  return range;
+}
+
+ossim::Job TxnEngine::JobFor(const TxnRequest& request) {
+  ossim::Job job;
+  const int p = request.partition;
+  const int64_t slab_base =
+      static_cast<int64_t>(p) * options_.log_pages_per_partition;
+  auto log_range = [&](int64_t pages) {
+    // Append-style cycling cursor inside the partition's slab; a write that
+    // would run past the slab end wraps to the start instead (every
+    // transaction profile appends its full page count).
+    int64_t& cursor = log_cursor_[static_cast<size_t>(p)];
+    if (cursor + pages > options_.log_pages_per_partition) cursor = 0;
+    ossim::PageRange range;
+    range.buffer = log_buffer_;
+    range.begin = slab_base + cursor;
+    range.end = range.begin + pages;
+    range.write = true;
+    cursor = (cursor + pages) % options_.log_pages_per_partition;
+    return range;
+  };
+
+  switch (request.type) {
+    case TxnType::kNewOrder:
+      // Stock check over a partsupp neighbourhood, customer read, then the
+      // order + line append (two log pages).
+      job.ranges.push_back(BaseRange("partsupp.ps_availqty", p,
+                                     request.stock_offset,
+                                     options_.neworder_stock_rows));
+      job.ranges.push_back(BaseRange("customer.c_acctbal", p,
+                                     request.customer_offset,
+                                     options_.customer_rows));
+      job.ranges.push_back(log_range(2));
+      break;
+    case TxnType::kPayment:
+      // Balance read + rewrite of one customer neighbourhood page.
+      job.ranges.push_back(BaseRange("customer.c_acctbal", p,
+                                     request.customer_offset,
+                                     options_.customer_rows));
+      job.ranges.push_back(log_range(1));
+      break;
+  }
+  job.cpu_cycles_per_page = options_.cpu_cycles_per_page;
+  return job;
+}
+
+void TxnEngine::Submit(const TxnRequest& request,
+                       std::function<void()> on_complete) {
+  ELASTIC_CHECK(request.partition >= 0 &&
+                    request.partition < options_.num_partitions,
+                "partition out of range");
+  active_++;
+  PendingTxn txn;
+  txn.request = request;
+  txn.on_complete = std::move(on_complete);
+  const auto p = static_cast<size_t>(request.partition);
+  if (latch_busy_[p]) {
+    latch_waits_++;
+    latch_queue_[p].push_back(std::move(txn));
+    return;
+  }
+  latch_busy_[p] = true;
+  Dispatch(std::move(txn));
+}
+
+void TxnEngine::Dispatch(PendingTxn txn) {
+  if (idle_workers_.empty()) {
+    runnable_.push_back(std::move(txn));
+    return;
+  }
+  const ossim::ThreadId worker = idle_workers_.front();
+  idle_workers_.pop_front();
+  ossim::Job job = JobFor(txn.request);
+  running_.emplace(worker, std::move(txn));
+  machine_->scheduler().AssignJob(worker, std::move(job));
+}
+
+void TxnEngine::OnJobDone(ossim::ThreadId worker) {
+  auto it = running_.find(worker);
+  ELASTIC_CHECK(it != running_.end(), "completion from unknown worker");
+  PendingTxn done = std::move(it->second);
+  running_.erase(it);
+  idle_workers_.push_back(worker);
+
+  completed_++;
+  active_--;
+
+  // Release the partition latch; the next waiter (if any) takes it
+  // immediately and becomes runnable.
+  const auto p = static_cast<size_t>(done.request.partition);
+  ELASTIC_CHECK(latch_busy_[p], "completion on an unlatched partition");
+  if (latch_queue_[p].empty()) {
+    latch_busy_[p] = false;
+  } else {
+    PendingTxn next = std::move(latch_queue_[p].front());
+    latch_queue_[p].pop_front();
+    runnable_.push_back(std::move(next));
+  }
+
+  // Drain runnable transactions onto idle workers (the just-freed worker
+  // plus any others parked while latches were busy).
+  while (!runnable_.empty() && !idle_workers_.empty()) {
+    PendingTxn next = std::move(runnable_.front());
+    runnable_.pop_front();
+    Dispatch(std::move(next));
+  }
+
+  if (done.on_complete) done.on_complete();
+}
+
+}  // namespace elastic::oltp

@@ -1,0 +1,121 @@
+#ifndef ELASTICORE_OLTP_TXN_ENGINE_H_
+#define ELASTICORE_OLTP_TXN_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/base_catalog.h"
+#include "oltp/txn.h"
+#include "ossim/machine.h"
+
+namespace elastic::oltp {
+
+struct TxnEngineOptions {
+  /// Horizontal partitions over the customer/partsupp/orders row ranges.
+  /// One latch per partition: two transactions on the same partition
+  /// serialize, transactions on different partitions run concurrently —
+  /// the per-partition discipline of H-Store-style engines, and the source
+  /// of the contention ceiling under skewed mixes.
+  int num_partitions = 16;
+  /// Worker pool size; -1 = one worker per machine core (like DbmsEngine).
+  int pool_size = -1;
+  /// Cpuset group the workers are confined to (a CoreArbiter tenant cpuset
+  /// in HTAP deployments; the arbiter resizes it underneath the engine).
+  ossim::CpusetId cpuset = ossim::kGlobalCpuset;
+  /// Pure compute charged per page a transaction touches (index lookups,
+  /// logging, latching overhead). OLTP burns far more cycles per page than
+  /// a scan: it chases pointers instead of streaming. Keep this below the
+  /// scheduler's per-tick cycle budget — a page is the simulator's smallest
+  /// work unit, so cost beyond one quantum per page is dropped, and
+  /// transaction weight should be scaled via the row-neighbourhood knobs
+  /// below instead.
+  int64_t cpu_cycles_per_page = 600'000;
+  /// Rows of the partsupp neighbourhood a NewOrder stock-checks, and of the
+  /// customer neighbourhood both profiles read. These set the page counts —
+  /// and so the service time — of the two transaction profiles.
+  int64_t neworder_stock_rows = 256;
+  int64_t customer_rows = 64;
+  /// Pages of the engine-owned write area each partition appends order and
+  /// line rows into (cycled deterministically, modelling a redo log slab).
+  int64_t log_pages_per_partition = 32;
+};
+
+/// A lightweight partition-latched transaction engine over the TPC-H-derived
+/// base tables — the OLTP half of the HTAP scenario.
+///
+/// Transactions arrive as TxnRequests. Each resolves to one short ossim::Job
+/// touching a few pages: NewOrder reads a customer neighbourhood and a
+/// partsupp ("stock") neighbourhood of its partition and appends two pages
+/// to the partition's log slab; Payment reads one customer neighbourhood and
+/// rewrites one page of it (balance update, modelled in the write area).
+/// The partition latch is held for the whole transaction; queued
+/// transactions behind a busy latch count as latch waits. Like DbmsEngine,
+/// the engine is oblivious to the elastic mechanism — cores come and go
+/// underneath its cpuset.
+class TxnEngine {
+ public:
+  TxnEngine(ossim::Machine* machine, const exec::BaseCatalog* catalog,
+            const TxnEngineOptions& options);
+
+  TxnEngine(const TxnEngine&) = delete;
+  TxnEngine& operator=(const TxnEngine&) = delete;
+
+  /// Starts (or enqueues, when the partition latch is busy) one transaction.
+  /// `on_complete` fires when its job finishes and the latch is released.
+  void Submit(const TxnRequest& request, std::function<void()> on_complete);
+
+  int64_t completed_txns() const { return completed_; }
+  /// Transactions that had to queue behind a busy partition latch.
+  int64_t latch_waits() const { return latch_waits_; }
+  /// Transactions currently executing or queued (on a latch or for a worker).
+  int64_t active_txns() const { return active_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  const TxnEngineOptions& options() const { return options_; }
+
+ private:
+  struct PendingTxn {
+    TxnRequest request;
+    std::function<void()> on_complete;
+  };
+
+  /// Builds the page-access job for one transaction.
+  ossim::Job JobFor(const TxnRequest& request);
+  /// Hands the transaction to an idle worker or queues it for one.
+  void Dispatch(PendingTxn txn);
+  void OnJobDone(ossim::ThreadId worker);
+
+  /// Page range of `rows` rows around `offset` within the partition's slice
+  /// of a base column.
+  ossim::PageRange BaseRange(const std::string& table_column, int partition,
+                             double offset, int64_t rows) const;
+
+  ossim::Machine* machine_;
+  const exec::BaseCatalog* catalog_;
+  TxnEngineOptions options_;
+
+  /// Engine-owned write area: num_partitions * log_pages_per_partition pages.
+  numasim::BufferId log_buffer_ = 0;
+  /// Per-partition append cursor into the log slab.
+  std::vector<int64_t> log_cursor_;
+
+  /// Per-partition latch: the in-flight transaction (if any) plus waiters.
+  std::vector<bool> latch_busy_;
+  std::vector<std::deque<PendingTxn>> latch_queue_;
+
+  std::vector<ossim::ThreadId> workers_;
+  std::deque<ossim::ThreadId> idle_workers_;
+  /// Latched transactions waiting for a free worker.
+  std::deque<PendingTxn> runnable_;
+  /// In-flight bookkeeping, keyed by worker.
+  std::unordered_map<ossim::ThreadId, PendingTxn> running_;
+
+  int64_t completed_ = 0;
+  int64_t latch_waits_ = 0;
+  int64_t active_ = 0;
+};
+
+}  // namespace elastic::oltp
+
+#endif  // ELASTICORE_OLTP_TXN_ENGINE_H_

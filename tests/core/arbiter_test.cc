@@ -290,9 +290,136 @@ TEST(ArbiterTest, JainIndexBounds) {
 TEST(ArbiterTest, PolicyNamesRoundTrip) {
   for (ArbitrationPolicy policy :
        {ArbitrationPolicy::kFairShare, ArbitrationPolicy::kPriorityWeighted,
-        ArbitrationPolicy::kDemandProportional}) {
+        ArbitrationPolicy::kDemandProportional,
+        ArbitrationPolicy::kSloAware}) {
     EXPECT_EQ(ArbitrationPolicyFromName(ArbitrationPolicyName(policy)), policy);
   }
+}
+
+/// An SLO tenant whose probe returns a controllable p99.
+ArbiterTenantConfig SloTenant(const std::string& name, int initial_cores,
+                              double slo_s, const double* probe_value) {
+  ArbiterTenantConfig config = Tenant(name, initial_cores);
+  config.slo_p99_s = slo_s;
+  config.tail_latency_probe = [probe_value](simcore::Tick) {
+    return *probe_value;
+  };
+  return config;
+}
+
+TEST(ArbiterTest, SloAwareViolationPreemptsOverloadedBestEffortTenant) {
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99 = -1.0;  // no signal while the OLAP tenant grows
+  arbiter.AddTenant(SloTenant("oltp", 1, /*slo_s=*/0.050, &p99));
+  arbiter.AddTenant(Tenant("olap", 1));
+  arbiter.Install();
+
+  // Let the scan tenant absorb the whole free pool first.
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  ASSERT_EQ(arbiter.nalloc(1), 3);
+  ASSERT_EQ(arbiter.FreePool().Count(), 0);
+
+  // Both tenants are overloaded (the OLAP scan tenant always is) and the
+  // OLTP tenant's p99 sits 4x above its 50 ms target. Under every other
+  // policy the overloaded OLAP tenant could never be a victim; under
+  // slo_aware the violating SLO tenant takes one core from it.
+  p99 = 0.200;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+  EXPECT_EQ(arbiter.nalloc(1), 2);
+  EXPECT_EQ(arbiter.preemptions(), 1);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, SloAwarePreemptionStillRespectsFloor) {
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99 = 0.200;
+  arbiter.AddTenant(SloTenant("oltp", 1, 0.050, &p99));
+  // The best-effort tenant's floor covers its whole holding.
+  arbiter.AddTenant(Tenant("olap", 3));
+  arbiter.Install();
+
+  // First violation round moves one core (floor 3 -> olap still above it?
+  // no: olap starts at 3 = its floor, so nothing may move).
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 50.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  EXPECT_EQ(arbiter.nalloc(1), 3) << "preemption went below the floor";
+  EXPECT_EQ(arbiter.preemptions(), 0);
+  EXPECT_EQ(arbiter.starved_rounds(), 1);
+}
+
+TEST(ArbiterTest, SloAwareSatisfiedTenantShedsSlackToBestEffort) {
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99 = 0.005;  // far below the 50 ms target: plenty of slack
+  arbiter.AddTenant(SloTenant("oltp", 1, 0.050, &p99));
+  arbiter.AddTenant(Tenant("olap", 1));
+  arbiter.Install();
+
+  // Grow the SLO tenant to 3 cores first (violating + overloaded).
+  p99 = 0.200;
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  ASSERT_EQ(arbiter.nalloc(0), 3);
+
+  // Now the SLO is comfortably met and the OLTP tenant goes idle: it
+  // releases a core per round, which the (still overloaded) OLAP tenant
+  // absorbs — "OLAP absorbs slack cores".
+  p99 = 0.005;
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 2.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  EXPECT_EQ(arbiter.nalloc(0), 1);
+  EXPECT_EQ(arbiter.nalloc(1), 3);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, SloAwareHoldsWithoutSignal) {
+  // Before the first completion the probe has no data (< 0): entitlements
+  // hold and nothing moves on SLO grounds.
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99 = -1.0;
+  arbiter.AddTenant(SloTenant("oltp", 2, 0.050, &p99));
+  arbiter.AddTenant(Tenant("olap", 2));
+  arbiter.Install();
+
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 50.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+  EXPECT_EQ(arbiter.nalloc(1), 2);
+  EXPECT_EQ(arbiter.preemptions(), 0);
 }
 
 TEST(ArbiterTest, InstalledHookPollsOnPeriod) {

@@ -1,0 +1,127 @@
+#include "exec/htap_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "db/queries.h"
+#include "tests/db/test_db.h"
+
+namespace elastic::exec {
+namespace {
+
+const db::PlanTrace& Q6() {
+  static const db::PlanTrace* kTrace =
+      new db::PlanTrace(db::RunTpchQuery(testutil::TestDb(), 6).trace);
+  return *kTrace;
+}
+
+HtapOltpTenant SmallOltp() {
+  HtapOltpTenant oltp;
+  oltp.mechanism.initial_cores = 2;
+  oltp.slo_p99_s = 0.050;
+  oltp.engine.num_partitions = 8;
+  oltp.engine.pool_size = 4;
+  // Several ticks of service per transaction: latencies stay measurable at
+  // the 1 ms tick granularity even on the tiny test database.
+  oltp.engine.cpu_cycles_per_page = 3'000'000;
+  oltp.workload.total_txns = 200;
+  oltp.workload.arrival_interval_ticks = 4;
+  return oltp;
+}
+
+HtapOlapTenant SmallOlap() {
+  HtapOlapTenant olap;
+  olap.mechanism.initial_cores = 2;
+  olap.workload.mode = WorkloadMode::kFixedQuery;
+  olap.workload.traces = {&Q6()};
+  olap.workload.queries_per_client = 3;
+  olap.num_clients = 4;
+  return olap;
+}
+
+TEST(HtapExperimentTest, RunsBothTenantsToCompletionUnderArbiter) {
+  HtapOptions options;
+  options.policy = core::ArbitrationPolicy::kSloAware;
+  HtapExperiment experiment(&testutil::TestDb(), options, SmallOltp(),
+                            SmallOlap());
+  experiment.Start();
+  experiment.RunUntilDone(1'000'000);
+
+  EXPECT_EQ(experiment.oltp_client().completed(), 200);
+  EXPECT_EQ(experiment.olap_driver().completed(), 12);
+  EXPECT_GT(experiment.oltp_client().latencies().PercentileTicks(0.99), 0);
+  EXPECT_GE(experiment.oltp_finished_tick(), 0);
+  EXPECT_GE(experiment.olap_finished_tick(), 0);
+
+  // The arbiter ran rounds and kept the two masks disjoint and non-empty.
+  ASSERT_NE(experiment.arbiter(), nullptr);
+  core::CoreArbiter& arbiter = *experiment.arbiter();
+  EXPECT_GT(arbiter.log().size(), 0u);
+  EXPECT_EQ(arbiter.tenant_mask(0).bits() & arbiter.tenant_mask(1).bits(), 0u);
+  EXPECT_GE(experiment.oltp_cores(), 1);
+  EXPECT_GE(experiment.olap_cores(), 1);
+}
+
+TEST(HtapExperimentTest, StaticSplitKeepsFixedCpusets) {
+  HtapOptions options;
+  options.static_split = true;
+  HtapOltpTenant oltp = SmallOltp();
+  oltp.mechanism.initial_cores = 4;
+  HtapExperiment experiment(&testutil::TestDb(), options, oltp, SmallOlap());
+  EXPECT_EQ(experiment.arbiter(), nullptr);
+  EXPECT_EQ(experiment.oltp_cores(), 4);
+  EXPECT_EQ(experiment.olap_cores(), 12);
+  experiment.Start();
+  experiment.RunUntilDone(1'000'000);
+  // No arbitration: the split never moved.
+  EXPECT_EQ(experiment.oltp_cores(), 4);
+  EXPECT_EQ(experiment.olap_cores(), 12);
+  EXPECT_EQ(experiment.oltp_client().completed(), 200);
+  EXPECT_EQ(experiment.olap_driver().completed(), 12);
+}
+
+TEST(HtapExperimentTest, DeterministicUnderFixedSeed) {
+  auto run = [] {
+    HtapOptions options;
+    options.seed = 2024;
+    options.policy = core::ArbitrationPolicy::kSloAware;
+    HtapExperiment experiment(&testutil::TestDb(), options, SmallOltp(),
+                              SmallOlap());
+    experiment.Start();
+    const int64_t ticks = experiment.RunUntilDone(1'000'000);
+    return std::make_tuple(
+        ticks, experiment.oltp_finished_tick(),
+        experiment.olap_finished_tick(),
+        experiment.oltp_client().latencies().PercentileTicks(0.99),
+        experiment.oltp_client().latencies().PercentileTicks(0.50),
+        experiment.oltp_engine().latch_waits(),
+        experiment.arbiter()->core_handoffs(),
+        experiment.arbiter()->tenant_mask(0).bits(),
+        experiment.arbiter()->tenant_mask(1).bits(),
+        experiment.machine().counters().ht_bytes_total);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(HtapExperimentTest, SloProbeFeedsArbiterRounds) {
+  // With an aggressive arrival rate and a tight SLO the OLTP tenant must
+  // grow beyond its initial cores at some point in the run.
+  HtapOptions options;
+  options.policy = core::ArbitrationPolicy::kSloAware;
+  HtapOltpTenant oltp = SmallOltp();
+  oltp.mechanism.initial_cores = 1;
+  oltp.workload.arrival_interval_ticks = 2;
+  oltp.workload.total_txns = 400;
+  HtapExperiment experiment(&testutil::TestDb(), options, oltp, SmallOlap());
+  experiment.Start();
+  experiment.RunUntilDone(1'000'000);
+  int max_oltp_cores = 0;
+  for (const core::ArbiterRound& round : experiment.arbiter()->log()) {
+    max_oltp_cores = std::max(max_oltp_cores, round.tenants[0].granted);
+  }
+  EXPECT_GT(max_oltp_cores, 1);
+}
+
+}  // namespace
+}  // namespace elastic::exec

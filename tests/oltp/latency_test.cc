@@ -1,0 +1,80 @@
+#include "oltp/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::oltp {
+namespace {
+
+/// 1..100 in scrambled insertion order: nearest-rank percentiles have
+/// closed-form expectations (pXX = XX for a 1..100 population).
+LatencyRecorder Known100() {
+  LatencyRecorder recorder;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t latency = (i * 37) % 100 + 1;  // permutation of 1..100
+    recorder.Record(/*completed=*/i * 10, latency);
+  }
+  return recorder;
+}
+
+TEST(LatencyRecorderTest, NearestRankPercentilesOnKnownSequence) {
+  const LatencyRecorder recorder = Known100();
+  ASSERT_EQ(recorder.count(), 100);
+  EXPECT_EQ(recorder.PercentileTicks(0.50), 50);
+  EXPECT_EQ(recorder.PercentileTicks(0.95), 95);
+  EXPECT_EQ(recorder.PercentileTicks(0.99), 99);
+  EXPECT_EQ(recorder.PercentileTicks(1.00), 100);
+  // Rank ceil(0.001 * 100) = 1 -> the minimum.
+  EXPECT_EQ(recorder.PercentileTicks(0.001), 1);
+  EXPECT_DOUBLE_EQ(recorder.MeanSeconds(),
+                   50.5 * simcore::Clock::kSecondsPerTick);
+}
+
+TEST(LatencyRecorderTest, SmallPopulations) {
+  LatencyRecorder recorder;
+  recorder.Record(0, 7);
+  // A single sample is every percentile.
+  EXPECT_EQ(recorder.PercentileTicks(0.50), 7);
+  EXPECT_EQ(recorder.PercentileTicks(0.99), 7);
+  recorder.Record(1, 3);
+  // n=2: p50 -> rank 1 (the smaller), p99 -> rank 2 (the larger).
+  EXPECT_EQ(recorder.PercentileTicks(0.50), 3);
+  EXPECT_EQ(recorder.PercentileTicks(0.99), 7);
+}
+
+TEST(LatencyRecorderTest, EmptyAndInvalidReturnMinusOne) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.PercentileTicks(0.99), -1);
+  EXPECT_DOUBLE_EQ(recorder.PercentileSeconds(0.99), -1.0);
+  EXPECT_DOUBLE_EQ(recorder.MeanSeconds(), -1.0);
+  recorder.Record(0, 5);
+  EXPECT_EQ(recorder.PercentileTicks(0.0), -1);  // p must be > 0
+  EXPECT_EQ(recorder.PercentileTicks(2.0), 5);   // p clamps to 1
+}
+
+TEST(LatencyRecorderTest, WindowPercentileSeesOnlyRecentCompletions) {
+  LatencyRecorder recorder;
+  // Old burst of slow transactions, then a calm recent period.
+  for (int i = 0; i < 50; ++i) recorder.Record(/*completed=*/i, 1000);
+  for (int i = 0; i < 50; ++i) recorder.Record(/*completed=*/500 + i, 10);
+  // Full-run p99 is dominated by the burst...
+  EXPECT_EQ(recorder.PercentileTicks(0.99), 1000);
+  // ...but a window covering only (349, 549] sees just the calm samples.
+  EXPECT_EQ(recorder.WindowPercentileTicks(0.99, /*now=*/549, /*window=*/200),
+            10);
+  // A window reaching back into the burst sees it again.
+  EXPECT_EQ(recorder.WindowPercentileTicks(0.99, 549, 540), 1000);
+  // An empty window has no signal.
+  EXPECT_EQ(recorder.WindowPercentileTicks(0.99, 2000, 100), -1);
+}
+
+TEST(LatencyRecorderTest, WindowExcludesFutureSamples) {
+  LatencyRecorder recorder;
+  recorder.Record(100, 5);
+  recorder.Record(200, 50);
+  // As of tick 150 only the first completion exists.
+  EXPECT_EQ(recorder.WindowPercentileTicks(0.99, /*now=*/150, /*window=*/100),
+            5);
+}
+
+}  // namespace
+}  // namespace elastic::oltp

@@ -1,0 +1,142 @@
+#include "oltp/txn_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "oltp/oltp_client.h"
+#include "tests/db/test_db.h"
+
+namespace elastic::oltp {
+namespace {
+
+struct Stack {
+  std::unique_ptr<ossim::Machine> machine;
+  std::unique_ptr<exec::BaseCatalog> catalog;
+  std::unique_ptr<TxnEngine> engine;
+};
+
+Stack MakeStack(TxnEngineOptions options = {}) {
+  Stack stack;
+  stack.machine = std::make_unique<ossim::Machine>(ossim::MachineOptions{});
+  stack.catalog = std::make_unique<exec::BaseCatalog>(
+      &stack.machine->page_table(), testutil::TestDb(),
+      exec::BasePlacement::kChunkedRoundRobin, /*page_bytes=*/4096);
+  stack.engine = std::make_unique<TxnEngine>(stack.machine.get(),
+                                             stack.catalog.get(), options);
+  return stack;
+}
+
+TxnRequest Request(int64_t id, TxnType type, int partition) {
+  TxnRequest request;
+  request.id = id;
+  request.type = type;
+  request.partition = partition;
+  request.customer_offset = 0.25;
+  request.stock_offset = 0.5;
+  return request;
+}
+
+TEST(TxnEngineTest, RunsBothProfilesToCompletion) {
+  Stack stack = MakeStack();
+  int completions = 0;
+  stack.engine->Submit(Request(0, TxnType::kNewOrder, 0),
+                       [&] { completions++; });
+  stack.engine->Submit(Request(1, TxnType::kPayment, 1),
+                       [&] { completions++; });
+  EXPECT_EQ(stack.engine->active_txns(), 2);
+  stack.machine->RunUntilIdle(100'000);
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(stack.engine->completed_txns(), 2);
+  EXPECT_EQ(stack.engine->active_txns(), 0);
+  EXPECT_EQ(stack.engine->latch_waits(), 0);
+}
+
+TEST(TxnEngineTest, PartitionLatchSerializesSamePartition) {
+  Stack stack = MakeStack();
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    stack.engine->Submit(Request(i, TxnType::kPayment, /*partition=*/2),
+                         [&order, i] { order.push_back(i); });
+  }
+  // Two of the three queued behind the latch.
+  EXPECT_EQ(stack.engine->latch_waits(), 2);
+  stack.machine->RunUntilIdle(100'000);
+  // The latch hands over in FIFO order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TxnEngineTest, DifferentPartitionsDoNotLatchWait) {
+  Stack stack = MakeStack();
+  int completions = 0;
+  for (int i = 0; i < 8; ++i) {
+    stack.engine->Submit(Request(i, TxnType::kPayment, /*partition=*/i),
+                         [&] { completions++; });
+  }
+  EXPECT_EQ(stack.engine->latch_waits(), 0);
+  stack.machine->RunUntilIdle(100'000);
+  EXPECT_EQ(completions, 8);
+}
+
+TEST(TxnEngineTest, SamePartitionStreamTakesLongerThanSpreadStream) {
+  // 16 transactions on one partition serialize on the latch; the same 16
+  // spread over 16 partitions run in parallel on the pool.
+  auto run = [](bool spread) {
+    Stack stack = MakeStack();
+    for (int i = 0; i < 16; ++i) {
+      stack.engine->Submit(
+          Request(i, TxnType::kNewOrder, spread ? i : 3), [] {});
+    }
+    return stack.machine->RunUntilIdle(1'000'000);
+  };
+  EXPECT_GT(run(/*spread=*/false), 2 * run(/*spread=*/true));
+}
+
+TEST(TxnEngineTest, OpenLoopClientDeterministicUnderFixedSeed) {
+  auto run = [] {
+    Stack stack = MakeStack();
+    OltpWorkload workload;
+    workload.total_txns = 64;
+    workload.arrival_interval_ticks = 3;
+    OltpClient client(stack.machine.get(), stack.engine.get(), workload,
+                      /*seed=*/777);
+    client.Start();
+    int64_t ticks = 0;
+    while (!client.AllDone() && ticks < 200'000) {
+      stack.machine->Step();
+      ticks++;
+    }
+    EXPECT_TRUE(client.AllDone());
+    return std::make_tuple(ticks, client.latencies().PercentileTicks(0.99),
+                           client.latencies().PercentileTicks(0.50),
+                           stack.engine->latch_waits(),
+                           stack.machine->counters().ht_bytes_total);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TxnEngineTest, OpenLoopArrivalsDoNotWaitForCompletions) {
+  // One worker on one partition: the engine drains slowly, but the open
+  // loop keeps submitting on schedule, so active transactions pile up.
+  TxnEngineOptions options;
+  options.pool_size = 1;
+  options.num_partitions = 1;
+  options.cpu_cycles_per_page = 5'000'000;  // several ticks per transaction
+  Stack stack = MakeStack(options);
+  OltpWorkload workload;
+  workload.total_txns = 32;
+  workload.arrival_interval_ticks = 1;
+  OltpClient client(stack.machine.get(), stack.engine.get(), workload, 5);
+  client.Start();
+  for (int i = 0; i < 40; ++i) stack.machine->Step();
+  EXPECT_EQ(client.submitted(), 32);
+  EXPECT_GT(stack.engine->active_txns(), 0);
+  EXPECT_GT(stack.engine->latch_waits(), 0);
+  stack.machine->RunUntilIdle(1'000'000);
+  EXPECT_TRUE(client.AllDone());
+  EXPECT_EQ(client.completed(), 32);
+}
+
+}  // namespace
+}  // namespace elastic::oltp

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checker (the CI docs job).
 
-Two classes of rot this catches:
+Four classes of rot this catches:
   1. Relative markdown links whose target file no longer exists.
   2. Build commands quoted in the docs (`./build/<target>` and the tier-1
      cmake/ctest lines) that no longer match a real CMake target. Target
@@ -9,6 +9,11 @@ Two classes of rot this catches:
      derives them (bench/*.cc and examples/*.cpp -> one binary each,
      tests/**/*_test.cc -> <dir>_<file>), so the check needs no configured
      build tree.
+  3. BENCH_*.json result files at the repo root that docs/FIGURES.md never
+     mentions — every bench that emits a trajectory file must have a row in
+     the figure map.
+  4. Binaries named in docs/FIGURES.md table rows that are not real CMake
+     targets.
 
 Run from anywhere: `python3 tools/check_docs.py`. Exits non-zero with one
 line per problem.
@@ -84,10 +89,39 @@ def check_build_commands(errors):
                 f"README.md: missing tier-1 build command `{snippet}`")
 
 
+def check_bench_json_files(errors):
+    """Every BENCH_*.json at the repo root must be referenced in FIGURES.md.
+
+    The files themselves are run artifacts (not committed), so a fresh
+    checkout passes trivially; after running benches locally this catches a
+    harness whose output file the figure map forgot.
+    """
+    figures = (REPO / "docs" / "FIGURES.md").read_text()
+    for path in sorted(REPO.glob("BENCH_*.json")):
+        if path.name not in figures:
+            errors.append(
+                f"{path.name}: bench output not referenced in "
+                f"docs/FIGURES.md")
+
+
+def check_figures_binaries(errors):
+    """Every binary listed in a FIGURES.md table row must be a real target."""
+    targets = cmake_targets()
+    figures = REPO / "docs" / "FIGURES.md"
+    for line_no, line in enumerate(figures.read_text().splitlines(), start=1):
+        match = re.match(r"\|\s*`([A-Za-z0-9_]+)`\s*\|", line)
+        if match and match.group(1) not in targets:
+            errors.append(
+                f"docs/FIGURES.md:{line_no}: `{match.group(1)}` is not a "
+                f"CMake target")
+
+
 def main():
     errors = []
     check_links(errors)
     check_build_commands(errors)
+    check_bench_json_files(errors)
+    check_figures_binaries(errors)
     for error in errors:
         print(error)
     if errors:
