@@ -14,6 +14,20 @@ namespace elastic::core {
 /// hold in between.
 constexpr double kSloBoostRatio = 0.75;
 constexpr double kSloShedRatio = 0.5;
+/// Ratio a shedding tenant (below its cap) is lifted to: rejected work is
+/// invisible to the admitted-only p99, so active shedding is read as a
+/// just-past-target violation even when the measured tail looks healthy.
+constexpr double kShedViolationRatio = 1.01;
+/// Ratio a shedding tenant *at* its cap is clamped to: mid hold-band. More
+/// cores are impossible, admission is the active lever, and the tenant must
+/// not read as violating (no boost, no preemption on its behalf).
+constexpr double kShedHoldRatio = (kSloBoostRatio + kSloShedRatio) / 2.0;
+/// SLO-vs-SLO preemption margin: an SLO grower in actual violation
+/// (ratio > 1) may take a core from another SLO tenant only when it is
+/// suffering at least this factor more, proportionally (p99/target vs
+/// p99/target). Equal suffering moves nothing — without the margin two
+/// tenants would trade the same core back and forth every round.
+constexpr double kSloTieBreakMargin = 1.25;
 
 const char* ArbitrationPolicyName(ArbitrationPolicy policy) {
   switch (policy) {
@@ -150,16 +164,47 @@ void CoreArbiter::Install() {
   });
 }
 
-std::vector<double> CoreArbiter::SloRatios(simcore::Tick now) const {
-  std::vector<double> ratios(static_cast<size_t>(num_tenants()), -1.0);
-  if (config_.policy != ArbitrationPolicy::kSloAware) return ratios;
+std::vector<double> CoreArbiter::ShedRates(simcore::Tick now) const {
+  std::vector<double> rates(static_cast<size_t>(num_tenants()), 0.0);
+  if (config_.policy != ArbitrationPolicy::kSloAware) return rates;
   for (int i = 0; i < num_tenants(); ++i) {
     const ArbiterTenantConfig& config = tenants_[static_cast<size_t>(i)].config;
+    if (config.shed_rate_probe) {
+      rates[static_cast<size_t>(i)] = config.shed_rate_probe(now);
+    }
+  }
+  return rates;
+}
+
+std::vector<double> CoreArbiter::SloRatios(
+    simcore::Tick now, const std::vector<double>& shed_rates) const {
+  std::vector<double> ratios(static_cast<size_t>(num_tenants()), -1.0);
+  if (config_.policy != ArbitrationPolicy::kSloAware) return ratios;
+  const double total = static_cast<double>(machine_->topology().total_cores());
+  for (int i = 0; i < num_tenants(); ++i) {
+    const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    const ArbiterTenantConfig& config = tenant.config;
     if (config.slo_p99_s < 0.0 || !config.tail_latency_probe) continue;
     const double p99 = config.tail_latency_probe(now);
-    if (p99 < 0.0) continue;  // no completions in the window yet
-    ratios[static_cast<size_t>(i)] =
-        p99 / std::max(config.slo_p99_s, 1e-12);
+    double ratio = p99 < 0.0 ? -1.0 : p99 / std::max(config.slo_p99_s, 1e-12);
+    // Shed feedback: rejected arrivals never reach the completed-latency
+    // percentiles, so a tenant actively shedding is under more pressure
+    // than its p99 admits — unless it already holds its cap, where extra
+    // cores are unobtainable and reading the shedding as a violation would
+    // only burn preemptions on demands that cannot be granted.
+    const double shed_rate = shed_rates[static_cast<size_t>(i)];
+    if (shed_rate > 0.0) {
+      const double cap = config.mechanism.max_cores > 0
+                             ? config.mechanism.max_cores
+                             : total;
+      if (tenant.mask.Count() >= cap) {
+        ratio = kShedHoldRatio;
+      } else {
+        ratio = std::max(ratio, kShedViolationRatio);
+      }
+    }
+    if (ratio < 0.0) continue;  // no signal from either probe yet
+    ratios[static_cast<size_t>(i)] = ratio;
   }
   return ratios;
 }
@@ -289,7 +334,8 @@ void CoreArbiter::Poll(simcore::Tick now) {
   }
 
   // Phase 2: grant grows from the pool, most-entitled-deficit first.
-  const std::vector<double> slo_ratios = SloRatios(now);
+  const std::vector<double> shed_rates = ShedRates(now);
+  const std::vector<double> slo_ratios = SloRatios(now, shed_rates);
   const std::vector<double> entitlements = Entitlements(decisions, slo_ratios);
   std::vector<int> growers;
   for (int i = 0; i < count; ++i) {
@@ -356,6 +402,41 @@ void CoreArbiter::Poll(simcore::Tick now) {
       if (victim < 0 || excess > worst_excess) {
         victim = v;
         worst_excess = excess;
+      }
+    }
+    // SLO-vs-SLO tie-break: when the grower is an SLO tenant in actual
+    // violation (ratio > 1, not merely boosted) and no ordinary victim
+    // exists (two violating SLO tenants boost each other's entitlements
+    // past their holdings, so neither ever shows "excess" — the
+    // starvation deadlock), the tenant suffering proportionally more may
+    // take one core from the one suffering less, margin
+    // kSloTieBreakMargin, floors absolute. Shedding tenants are never
+    // tie-break victims: active shedding proves unmet demand regardless
+    // of what their (possibly clamped) ratio reads, and raiding a
+    // shedding-at-cap tenant would ping-pong the same core every round as
+    // the victim drops below its cap, reads as violating, and raids
+    // right back. Preferring the *least* violating victim spreads the
+    // pain instead of compounding the worst.
+    if (victim < 0 && config_.policy == ArbitrationPolicy::kSloAware &&
+        slo_ratios[static_cast<size_t>(grower)] > 1.0) {
+      const double grower_ratio = slo_ratios[static_cast<size_t>(grower)];
+      double best_victim_ratio = 0.0;
+      for (int v = 0; v < count; ++v) {
+        if (v == grower) continue;
+        const Tenant& candidate = tenants_[static_cast<size_t>(v)];
+        if (candidate.config.slo_p99_s < 0.0) continue;  // best-effort: pass 1
+        if (shed_rates[static_cast<size_t>(v)] > 0.0) continue;
+        const double victim_ratio = slo_ratios[static_cast<size_t>(v)];
+        if (victim_ratio < 0.0) continue;  // no signal: hold untouched
+        if (grower_ratio <= victim_ratio * kSloTieBreakMargin) continue;
+        if (candidate.mask.Count() <=
+            std::max(1, candidate.config.mechanism.initial_cores)) {
+          continue;
+        }
+        if (victim < 0 || victim_ratio < best_victim_ratio) {
+          victim = v;
+          best_victim_ratio = victim_ratio;
+        }
       }
     }
     if (victim < 0) {

@@ -35,7 +35,11 @@ enum class ArbitrationPolicy {
   /// An SLO tenant past the boost threshold (recent p99 above 3/4 of its
   /// target) may preempt a best-effort tenant even if that tenant is
   /// overloaded (the one policy that relaxes never-preempt-overloaded —
-  /// see docs/POLICIES.md).
+  /// see docs/POLICIES.md). SLO-vs-SLO contention breaks ties by
+  /// proportional violation magnitude: a tenant in actual violation
+  /// (ratio > 1) may take one core from an SLO tenant suffering
+  /// proportionally less, so two violating tenants no longer starve each
+  /// other forever.
   kSloAware,
 };
 
@@ -64,6 +68,15 @@ struct ArbiterTenantConfig {
   /// seconds; return < 0 while no completions exist in the window. Required
   /// for SLO tenants under kSloAware.
   std::function<double(simcore::Tick now)> tail_latency_probe;
+  /// Optional: recent shed rate of the tenant's admission controller
+  /// (rejections per simulated second; <= 0 = not shedding / no admission
+  /// gate). Shedding reshapes the kSloAware latency signal in two ways:
+  /// below max_cores it counts as a violation even when the admitted-only
+  /// p99 looks fine (shed work is invisible to completed-latency
+  /// percentiles), and at max_cores it switches the tenant to *hold* —
+  /// cores can no longer help, admission is the active lever, and the
+  /// tenant stops demanding growth it could not be granted.
+  std::function<double(simcore::Tick now)> shed_rate_probe;
 };
 
 struct ArbiterConfig {
@@ -178,9 +191,18 @@ class CoreArbiter {
       const std::vector<ElasticMechanism::Decision>& decisions,
       const std::vector<double>& slo_ratios) const;
 
-  /// Recent-p99 / target ratio per tenant under kSloAware (probes fire
-  /// here); < 0 for best-effort tenants and SLO tenants without a signal.
-  std::vector<double> SloRatios(simcore::Tick now) const;
+  /// Recent shed rate per tenant under kSloAware (shed probes fire here);
+  /// 0 for tenants without an admission gate, and everywhere outside
+  /// kSloAware.
+  std::vector<double> ShedRates(simcore::Tick now) const;
+
+  /// Recent-p99 / target ratio per tenant under kSloAware (tail probes
+  /// fire here); < 0 for best-effort tenants and SLO tenants without a
+  /// signal. `shed_rates` reshapes the ratio: a shedding tenant below its
+  /// max_cores reads as violating, a shedding tenant at max_cores as
+  /// holding (see ArbiterTenantConfig::shed_rate_probe).
+  std::vector<double> SloRatios(simcore::Tick now,
+                                const std::vector<double>& shed_rates) const;
 
   /// NUMA-aware pick of a free-pool core for a tenant: prefer the node where
   /// the tenant already holds the most cores, then the node with the most

@@ -60,13 +60,16 @@ HtapExperiment::HtapExperiment(const db::Database* database,
       // only after it is already history).
       oltp_tenant.tail_latency_probe = [this, window](simcore::Tick now) {
         if (!oltp_client_) return -1.0;
-        const double completed_p99 =
-            oltp_client_->latencies().WindowPercentileSeconds(0.99, now,
-                                                              window);
-        const double in_flight_age =
-            oltp_client_->OldestInFlightAgeSeconds(now);
-        return std::max(completed_p99, in_flight_age);
+        return oltp_client_->TailSignalSeconds(now, window);
       };
+      // Close the overload-control loop: shedding reported back into the
+      // entitlement decisions (see ArbiterTenantConfig::shed_rate_probe).
+      if (oltp_spec_.admission.policy != oltp::AdmissionPolicy::kNone) {
+        oltp_tenant.shed_rate_probe = [this, window](simcore::Tick now) {
+          if (!oltp_client_) return 0.0;
+          return oltp_client_->RecentShedRate(now, window);
+        };
+      }
     }
     oltp_arbiter_index_ = arbiter_->AddTenant(oltp_tenant);
 
@@ -100,9 +103,18 @@ void HtapExperiment::Start() {
   started_ = true;
   if (arbiter_) arbiter_->Install();
 
+  // One budget, one signal: an adaptive admission gate under an SLO tenant
+  // defends the tenant's SLO through the same probe window the arbiter
+  // watches (see HtapOltpTenant::admission).
+  oltp::AdmissionConfig admission = oltp_spec_.admission;
+  if (admission.policy == oltp::AdmissionPolicy::kAdaptive &&
+      oltp_spec_.slo_p99_s >= 0.0) {
+    admission.target_tail_s = oltp_spec_.slo_p99_s;
+    admission.probe_window_ticks = oltp_spec_.probe_window_ticks;
+  }
   oltp_client_ = std::make_unique<oltp::OltpClient>(
       machine_.get(), oltp_engine_.get(), oltp_spec_.workload,
-      options_.seed ^ 0x0117);
+      options_.seed ^ 0x0117, admission);
   olap_driver_ = std::make_unique<ClientDriver>(
       machine_.get(), olap_engine_.get(), olap_spec_.workload,
       olap_spec_.num_clients, options_.seed ^ 0x01A9);

@@ -29,6 +29,13 @@ struct HtapOltpTenant {
   /// recent p99.
   int64_t probe_window_ticks = 2000;
 
+  /// Admission gate in front of the transaction engine (default: admit
+  /// everything). Under kAdaptive with an SLO configured, target_tail_s and
+  /// probe_window_ticks are synced to slo_p99_s / probe_window_ticks above,
+  /// so the admission controller and the arbiter defend the same budget
+  /// from the same signal.
+  oltp::AdmissionConfig admission;
+
   oltp::TxnEngineOptions engine;
   oltp::OltpWorkload workload;
 };

@@ -28,6 +28,19 @@ class LatencyRecorder {
   int64_t count() const { return static_cast<int64_t>(samples_.size()); }
   const std::vector<Sample>& samples() const { return samples_; }
 
+  /// Completions whose latency stayed within `budget_s` — the *goodput*
+  /// numerator of the overload-control literature: under load shedding the
+  /// interesting count is not how many transactions finished but how many
+  /// finished inside their latency budget (a completion that blew the SLO
+  /// delivered no value to its caller).
+  int64_t CountWithinSeconds(double budget_s) const {
+    int64_t within = 0;
+    for (const Sample& s : samples_) {
+      if (simcore::Clock::ToSeconds(s.latency_ticks) <= budget_s) within++;
+    }
+    return within;
+  }
+
   double MeanSeconds() const {
     if (samples_.empty()) return -1.0;
     int64_t total = 0;

@@ -1,9 +1,11 @@
 #ifndef ELASTICORE_OLTP_OLTP_CLIENT_H_
 #define ELASTICORE_OLTP_OLTP_CLIENT_H_
 
+#include <deque>
 #include <set>
 #include <vector>
 
+#include "oltp/admission.h"
 #include "oltp/latency.h"
 #include "oltp/txn.h"
 #include "oltp/txn_engine.h"
@@ -26,23 +28,33 @@ struct OltpWorkload {
 
   /// Optional periodic bursts: during the LAST `burst_length_ticks` of every
   /// `burst_period_ticks` window, arrivals speed up to
-  /// `burst_interval_ticks`. 0 disables bursts. Bursts are what force the
-  /// arbiter to *react* — a static split sized for the average rate drowns
-  /// during them — and they sit at the window's end so the first one only
-  /// fires after the co-located tenants have settled into steady state.
+  /// `burst_interval_ticks`. `burst_period_ticks` 0 disables bursts. Bursts
+  /// are what force the arbiter to *react* — a static split sized for the
+  /// average rate drowns during them — and they sit at the window's end so
+  /// the first one only fires after the co-located tenants have settled into
+  /// steady state. `burst_interval_ticks` 0 is the past-saturation extreme:
+  /// ~2 arrivals per tick, an offered load no max_cores allocation can serve
+  /// — the regime where admission control, not core motion, must protect
+  /// the tail.
   int64_t burst_period_ticks = 0;
   int64_t burst_length_ticks = 0;
   int64_t burst_interval_ticks = 1;
 };
 
-/// Open-loop transaction submitter with per-transaction latency recording.
-/// The full arrival schedule and the request stream are precomputed from the
-/// seed, so two runs with equal seeds submit byte-identical workloads at
-/// identical ticks regardless of how the engine behaves in between.
+/// Open-loop transaction submitter with per-transaction latency recording and
+/// an admission gate. The full arrival schedule and the request stream are
+/// precomputed from the seed, so two runs with equal seeds offer byte-
+/// identical workloads at identical ticks regardless of how the engine
+/// behaves in between. Every arrival passes through the AdmissionController
+/// before touching the engine; a rejected arrival either retries after a
+/// backoff or counts as failed (AdmissionConfig::retry_rejected), so shed
+/// work is first-class in the accounting: offered = completed + failed +
+/// still-pending, and goodput is the completed count.
 class OltpClient {
  public:
   OltpClient(ossim::Machine* machine, TxnEngine* engine,
-             const OltpWorkload& workload, uint64_t seed);
+             const OltpWorkload& workload, uint64_t seed,
+             const AdmissionConfig& admission = AdmissionConfig{});
 
   OltpClient(const OltpClient&) = delete;
   OltpClient& operator=(const OltpClient&) = delete;
@@ -50,15 +62,30 @@ class OltpClient {
   /// Registers the arrival tick hook. Call once before stepping the machine.
   void Start();
 
-  /// True when every transaction has been submitted and completed.
+  /// True when every transaction has been accounted for: completed or
+  /// (shed with retries exhausted) failed, with no retry still pending.
   bool AllDone() const {
-    return submitted_ == workload_.total_txns &&
-           latencies_.count() == workload_.total_txns;
+    return arrived_ == workload_.total_txns && retry_queue_.empty() &&
+           latencies_.count() + failed_ == workload_.total_txns;
   }
 
   const LatencyRecorder& latencies() const { return latencies_; }
+  const AdmissionController& admission() const { return admission_; }
+  /// Arrivals drawn from the schedule so far (admitted or not).
+  int64_t arrived() const { return arrived_; }
+  /// Transactions handed to the engine (admitted arrivals + admitted
+  /// retries).
   int64_t submitted() const { return submitted_; }
   int64_t completed() const { return latencies_.count(); }
+  /// Transactions dropped after exhausting their retries (or immediately,
+  /// when retry_rejected is off). completed() + failed() converges on
+  /// total_txns; goodput is completed() over the run time.
+  int64_t failed() const { return failed_; }
+  /// Shed *events* (one arrival shed n times counts n; the admission
+  /// controller's view of how often the gate closed).
+  int64_t shed_events() const { return admission_.shed(); }
+  /// Rejected arrivals that re-entered the schedule after backoff.
+  int64_t retries() const { return retries_; }
   /// Tick of the last completion (-1 before the first).
   simcore::Tick last_completion_tick() const { return last_completion_; }
 
@@ -73,21 +100,52 @@ class OltpClient {
     return simcore::Clock::ToSeconds(now - *in_flight_.begin());
   }
 
+  /// The tail signal admission and arbitration both feed on: the worse of
+  /// the recent completed p99 and the oldest in-flight age.
+  double TailSignalSeconds(simcore::Tick now, simcore::Tick window) const {
+    return std::max(latencies_.WindowPercentileSeconds(0.99, now, window),
+                    OldestInFlightAgeSeconds(now));
+  }
+
+  /// Sheds per simulated second over the trailing window (see
+  /// AdmissionController::RecentShedRate); the slo_aware arbiter's
+  /// shed_rate_probe.
+  double RecentShedRate(simcore::Tick now, simcore::Tick window_ticks) const {
+    return admission_.RecentShedRate(now, window_ticks);
+  }
+
  private:
+  struct RetryEntry {
+    simcore::Tick due = 0;
+    TxnRequest request;
+    int attempts = 1;  // shed count so far for this transaction
+  };
+
   void PumpArrivals(simcore::Tick now);
+  /// Admission decision + submit/retry/fail bookkeeping for one request.
+  void Offer(simcore::Tick now, const TxnRequest& request, int attempts);
+  void SubmitToEngine(simcore::Tick now, const TxnRequest& request);
 
   ossim::Machine* machine_;
   TxnEngine* engine_;
   OltpWorkload workload_;
   TxnMix mix_;
   simcore::Rng arrival_rng_;
+  AdmissionController admission_;
 
   /// Precomputed arrival schedule (ascending ticks), one per transaction.
   std::vector<simcore::Tick> arrivals_;
+  /// Rejected arrivals waiting out their backoff (ascending due ticks:
+  /// retries are appended with a fixed backoff, so later rejections are due
+  /// later).
+  std::deque<RetryEntry> retry_queue_;
   /// Submit ticks of in-flight transactions (multiset: several can share a
   /// tick).
   std::multiset<simcore::Tick> in_flight_;
+  int64_t arrived_ = 0;
   int64_t submitted_ = 0;
+  int64_t failed_ = 0;
+  int64_t retries_ = 0;
   simcore::Tick started_at_ = 0;
   simcore::Tick last_completion_ = -1;
   LatencyRecorder latencies_;

@@ -422,6 +422,299 @@ TEST(ArbiterTest, SloAwareHoldsWithoutSignal) {
   EXPECT_EQ(arbiter.preemptions(), 0);
 }
 
+TEST(ArbiterTest, SloVsSloTieBreaksByProportionalViolation) {
+  // Two SLO tenants, both overloaded and both violating: before the
+  // proportional tie-break neither could ever preempt the other (the
+  // starvation deadlock noted in ROADMAP.md). Now the tenant suffering
+  // proportionally more takes one core from the one suffering less.
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99_a = -1.0;
+  double p99_b = -1.0;
+  arbiter.AddTenant(SloTenant("worse", 1, /*slo_s=*/0.050, &p99_a));
+  arbiter.AddTenant(SloTenant("better", 1, /*slo_s=*/0.050, &p99_b));
+  arbiter.Install();
+
+  // Let tenant b grab the two free cores first (it violates, a has no
+  // signal yet).
+  p99_b = 0.200;
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  ASSERT_EQ(arbiter.nalloc(1), 3);
+  ASSERT_EQ(arbiter.FreePool().Count(), 0);
+
+  // Both violate, a 4x over target, b only 1.2x: a's violation is
+  // proportionally worse by more than the tie-break margin, so a takes one
+  // core from b even though b is overloaded and above no entitlement.
+  p99_a = 0.200;
+  p99_b = 0.060;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+  EXPECT_EQ(arbiter.nalloc(1), 2);
+  EXPECT_EQ(arbiter.preemptions(), 1);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, SloVsSloEqualViolationHoldsInsteadOfPingPong) {
+  // Equal violation ratios sit inside the tie-break margin: nothing moves,
+  // the grower is starved — trading the same core back and forth every
+  // round would thrash both tails for no net gain.
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99_a = -1.0;
+  double p99_b = -1.0;
+  arbiter.AddTenant(SloTenant("a", 1, 0.050, &p99_a));
+  arbiter.AddTenant(SloTenant("b", 1, 0.050, &p99_b));
+  arbiter.Install();
+
+  p99_b = 0.200;
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  ASSERT_EQ(arbiter.nalloc(1), 3);
+
+  p99_a = 0.200;
+  p99_b = 0.200;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  EXPECT_EQ(arbiter.nalloc(0), 1);
+  EXPECT_EQ(arbiter.nalloc(1), 3);
+  EXPECT_EQ(arbiter.preemptions(), 0);
+  EXPECT_EQ(arbiter.starved_rounds(), 1);
+}
+
+TEST(ArbiterTest, SloVsSloTieBreakRespectsFloor) {
+  // The less-violating tenant sits at its initial_cores floor: even a 4x
+  // violation on the other side may not take its provisioned cores.
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99_a = 0.200;
+  double p99_b = 0.055;
+  arbiter.AddTenant(SloTenant("worse", 1, 0.050, &p99_a));
+  arbiter.AddTenant(SloTenant("floored", 3, 0.050, &p99_b));
+  arbiter.Install();
+
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  EXPECT_EQ(arbiter.nalloc(1), 3) << "tie-break went below the floor";
+  EXPECT_EQ(arbiter.preemptions(), 0);
+}
+
+TEST(ArbiterTest, SloVsSloBoostedButMeetingCannotRaid) {
+  // A grower past the boost threshold but still *meeting* its SLO
+  // (ratio 0.8 < 1) gets headroom from the free pool and from best-effort
+  // tenants only — the tie-break needs an actual violation, otherwise two
+  // comfortable tenants would churn cores inside their hold bands.
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99_a = -1.0;
+  double p99_b = -1.0;
+  arbiter.AddTenant(SloTenant("boosted", 1, 0.050, &p99_a));
+  arbiter.AddTenant(SloTenant("holding", 1, 0.050, &p99_b));
+  arbiter.Install();
+
+  p99_b = 0.200;
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  ASSERT_EQ(arbiter.nalloc(1), 3);
+
+  // Grower at 0.8x of target (boosted band), victim at 0.55x (hold band):
+  // 0.8 > 0.55 * 1.25 would pass the margin, but the grower is not in
+  // violation, so nothing moves.
+  p99_a = 0.040;
+  p99_b = 0.0275;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  EXPECT_EQ(arbiter.nalloc(0), 1);
+  EXPECT_EQ(arbiter.nalloc(1), 3);
+  EXPECT_EQ(arbiter.preemptions(), 0);
+}
+
+/// An SLO tenant with controllable tail and shed-rate probes.
+ArbiterTenantConfig SheddingSloTenant(const std::string& name,
+                                      int initial_cores, double slo_s,
+                                      const double* p99,
+                                      const double* shed_rate) {
+  ArbiterTenantConfig config = SloTenant(name, initial_cores, slo_s, p99);
+  config.shed_rate_probe = [shed_rate](simcore::Tick) { return *shed_rate; };
+  return config;
+}
+
+TEST(ArbiterTest, SheddingBelowCapReadsAsViolation) {
+  // The admitted-only p99 looks healthy (admission keeps it healthy by
+  // refusing work), but a positive shed rate means unmet demand: the
+  // tenant is treated as violating and may preempt the overloaded
+  // best-effort scan tenant it otherwise could not touch.
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99 = 0.030;  // 0.6x of target: hold band on its own
+  double shed_rate = 0.0;
+  arbiter.AddTenant(SheddingSloTenant("oltp", 1, 0.050, &p99, &shed_rate));
+  arbiter.AddTenant(Tenant("olap", 1));
+  arbiter.Install();
+
+  // The scan tenant absorbs the free pool.
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  ASSERT_EQ(arbiter.nalloc(1), 3);
+  ASSERT_EQ(arbiter.FreePool().Count(), 0);
+
+  // Not shedding: a healthy-looking p99 cannot preempt the overloaded
+  // scan tenant — the demand is starved.
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+  EXPECT_EQ(arbiter.preemptions(), 0);
+  EXPECT_EQ(arbiter.starved_rounds(), 1);
+
+  // Shedding: same p99, but now the gate is refusing work — the tenant
+  // reads as violating and takes a core.
+  shed_rate = 25.0;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+  EXPECT_EQ(arbiter.preemptions(), 1);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, SheddingAtCapHoldsInsteadOfSheddingSlack) {
+  // A tenant at max_cores whose admitted p99 looks comfortable *because*
+  // admission is refusing work must not read as having slack: without the
+  // at-cap clamp its entitlement would drop below its holding and the
+  // best-effort tenant could preempt the very cores the shedding proves
+  // are needed.
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99 = 0.010;  // 0.2x of target: shed band on its own
+  double shed_rate = 25.0;
+  ArbiterTenantConfig oltp =
+      SheddingSloTenant("oltp", 1, 0.050, &p99, &shed_rate);
+  oltp.mechanism.max_cores = 2;
+  arbiter.AddTenant(oltp);
+  arbiter.AddTenant(Tenant("olap", 1));
+  arbiter.Install();
+
+  // Grow the SLO tenant to its 2-core cap (violating while it gets there).
+  p99 = 0.200;
+  shed_rate = 0.0;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 50.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+  ASSERT_EQ(arbiter.nalloc(0), 2);
+
+  // Let the scan tenant drain the pool, then demand more while the capped
+  // tenant sheds with a healthy-looking p99: the clamp holds its
+  // entitlement at its holding, so there is no "excess" to preempt.
+  p99 = 0.010;
+  shed_rate = 25.0;
+  // (oltp sits at a stable 50% — the point is that the *entitlement* clamp
+  // protects it, not the never-preempt-overloaded rule.)
+  for (int round = 0; round < 3; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  EXPECT_EQ(arbiter.nalloc(0), 2) << "at-cap shedding tenant lost a core";
+  EXPECT_EQ(arbiter.preemptions(), 0);
+}
+
+TEST(ArbiterTest, SheddingAtCapIsNotATieBreakVictim) {
+  // The at-cap clamp reads a shedding tenant as mid hold-band (0.625),
+  // which a violating neighbour could nominally out-suffer — but raiding
+  // it would drop it below its cap, flip it to read as violating, and
+  // ping-pong the core back every round. Shedding tenants are therefore
+  // excluded from tie-break victimhood outright.
+  auto machine = SmallMachine();
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kSloAware;
+  CoreArbiter arbiter(machine.get(), config);
+  double p99_a = -1.0;
+  double shed_a = 0.0;
+  double p99_b = -1.0;
+  ArbiterTenantConfig capped =
+      SheddingSloTenant("capped", 1, 0.050, &p99_a, &shed_a);
+  capped.mechanism.max_cores = 2;
+  arbiter.AddTenant(capped);
+  arbiter.AddTenant(SloTenant("violating", 1, 0.050, &p99_b));
+  arbiter.Install();
+
+  // Grow the capped tenant to its 2-core cap.
+  p99_a = 0.200;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 50.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+  ASSERT_EQ(arbiter.nalloc(0), 2);
+
+  // Let the other tenant absorb the remaining pool, then violate at 1.3x
+  // while the capped tenant sheds: 1.3 > 0.625 * 1.25 passes the margin,
+  // but the shedding exclusion keeps the capped tenant whole.
+  p99_b = 0.200;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+  ASSERT_EQ(arbiter.nalloc(1), 2);
+  ASSERT_EQ(arbiter.FreePool().Count(), 0);
+
+  p99_a = 0.010;
+  shed_a = 25.0;
+  p99_b = 0.065;
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 50.0, 20);
+  FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+
+  EXPECT_EQ(arbiter.nalloc(0), 2) << "shedding-at-cap tenant was raided";
+  EXPECT_EQ(arbiter.preemptions(), 0);
+  EXPECT_EQ(arbiter.starved_rounds(), 1);
+}
+
 TEST(ArbiterTest, InstalledHookPollsOnPeriod) {
   auto machine = SmallMachine();
   ArbiterConfig config;

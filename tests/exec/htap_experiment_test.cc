@@ -123,5 +123,39 @@ TEST(HtapExperimentTest, SloProbeFeedsArbiterRounds) {
   EXPECT_GT(max_oltp_cores, 1);
 }
 
+TEST(HtapExperimentTest, AdaptiveAdmissionShedsUnderSaturatingBurst) {
+  // A past-saturation burst (burst_interval_ticks = 0, ~2 arrivals/tick)
+  // with a capped OLTP tenant: cores run out, so the adaptive gate must
+  // engage. Every transaction is still accounted for, the admission config
+  // is synced to the SLO, and the whole thing is replay-deterministic.
+  auto run = [] {
+    HtapOptions options;
+    options.policy = core::ArbitrationPolicy::kSloAware;
+    HtapOltpTenant oltp = SmallOltp();
+    oltp.mechanism.max_cores = 4;
+    oltp.workload.total_txns = 400;
+    oltp.workload.burst_period_ticks = 400;
+    oltp.workload.burst_length_ticks = 150;
+    oltp.workload.burst_interval_ticks = 0;
+    oltp.admission.policy = oltp::AdmissionPolicy::kAdaptive;
+    oltp.admission.retry_backoff_ticks = 60;
+    HtapExperiment experiment(&testutil::TestDb(), options, oltp, SmallOlap());
+    experiment.Start();
+    experiment.RunUntilDone(1'000'000);
+
+    const oltp::OltpClient& client = experiment.oltp_client();
+    EXPECT_EQ(client.completed() + client.failed(), 400);
+    EXPECT_GT(client.shed_events(), 0);
+    // HtapExperiment synced the gate's budget to the tenant's SLO.
+    EXPECT_DOUBLE_EQ(client.admission().config().target_tail_s, 0.050);
+    return std::make_tuple(client.completed(), client.failed(),
+                           client.shed_events(), client.retries(),
+                           client.latencies().PercentileTicks(0.99),
+                           experiment.arbiter()->core_handoffs(),
+                           experiment.arbiter()->preemptions());
+  };
+  EXPECT_EQ(run(), run());
+}
+
 }  // namespace
 }  // namespace elastic::exec

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Bench trajectory gate (the CI bench-trajectory step).
+
+Compares the BENCH_*.json files of the current build against the ones the
+previous successful CI run uploaded as its `bench-json` artifact. The
+simulation is deterministic, so two runs of the same code produce identical
+files; differences therefore mean the *code* changed, and the gate sorts
+them into:
+
+  FAIL (regression) — a boolean verdict flipped from true to false (an SLO
+      that was met is now missed, an acceptance flag dropped), or a field
+      whose name contains "checksum" changed (golden outputs must only
+      change deliberately, with the reference data).
+  WARN (drift)      — any other value changed, or keys appeared/vanished
+      (schema evolution). Drift is reported for the PR author to eyeball,
+      not blocked on: performance trajectories are allowed to move.
+
+Usage:
+  check_bench.py --prev <dir-or-file> --curr <dir-or-file>
+  check_bench.py --self-test
+
+Directories are matched by BENCH_*.json filename; only files present on
+both sides are compared (a brand-new bench has no trajectory yet). Exits
+non-zero only on FAIL findings.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Relative tolerance for float comparison: simulation outputs are exact, but
+# printf round-tripping is not.
+REL_TOL = 1e-9
+
+
+def numbers_differ(a, b):
+    if a == b:
+        return False
+    scale = max(abs(a), abs(b))
+    return abs(a - b) > REL_TOL * scale
+
+
+def compare_values(path, prev, curr, findings):
+    """Walks two JSON values in parallel, appending (level, message)."""
+    if type(prev) is not type(curr) and not (
+            isinstance(prev, (int, float)) and isinstance(curr, (int, float))):
+        findings.append(("WARN", f"{path}: type changed "
+                         f"{type(prev).__name__} -> {type(curr).__name__}"))
+        return
+    if isinstance(prev, dict):
+        for key in sorted(prev.keys() | curr.keys()):
+            child = f"{path}.{key}"
+            if key not in curr:
+                findings.append(("WARN", f"{child}: key vanished"))
+            elif key not in prev:
+                findings.append(("WARN", f"{child}: new key"))
+            else:
+                compare_values(child, prev[key], curr[key], findings)
+    elif isinstance(prev, list):
+        if len(prev) != len(curr):
+            findings.append(
+                ("WARN", f"{path}: length {len(prev)} -> {len(curr)}"))
+        for i, (p, c) in enumerate(zip(prev, curr)):
+            compare_values(f"{path}[{i}]", p, c, findings)
+    elif isinstance(prev, bool):
+        if prev and not curr:
+            findings.append(("FAIL", f"{path}: verdict regressed true -> false"))
+        elif curr and not prev:
+            findings.append(("WARN", f"{path}: verdict improved false -> true"))
+    elif isinstance(prev, (int, float)):
+        if numbers_differ(float(prev), float(curr)):
+            leaf = path.rsplit(".", 1)[-1]
+            level = "FAIL" if "checksum" in leaf.lower() else "WARN"
+            findings.append((level, f"{path}: {prev} -> {curr}"))
+    elif prev != curr:
+        findings.append(("WARN", f"{path}: {prev!r} -> {curr!r}"))
+
+
+def bench_files(root):
+    root = Path(root)
+    if root.is_file():
+        return {root.name: root}
+    return {p.name: p for p in sorted(root.glob("BENCH_*.json"))}
+
+
+def compare_trees(prev_root, curr_root):
+    prev_files = bench_files(prev_root)
+    curr_files = bench_files(curr_root)
+    findings = []
+    if not prev_files:
+        findings.append(("WARN", f"{prev_root}: no BENCH_*.json to compare"))
+    for name in sorted(prev_files.keys() | curr_files.keys()):
+        if name not in curr_files:
+            findings.append(("WARN", f"{name}: bench output vanished"))
+            continue
+        if name not in prev_files:
+            print(f"NOTE {name}: new bench, no trajectory yet")
+            continue
+        try:
+            prev = json.loads(prev_files[name].read_text())
+            curr = json.loads(curr_files[name].read_text())
+        except json.JSONDecodeError as error:
+            findings.append(("FAIL", f"{name}: unparseable JSON ({error})"))
+            continue
+        compare_values(name, prev, curr, findings)
+    return findings
+
+
+def report(findings):
+    failures = 0
+    for level, message in findings:
+        print(f"{level} {message}")
+        if level == "FAIL":
+            failures += 1
+    if failures:
+        print(f"check_bench: {failures} regression(s)")
+        return 1
+    print(f"check_bench: OK ({len(findings)} drift warning(s))"
+          if findings else "check_bench: OK (no drift)")
+    return 0
+
+
+def self_test():
+    """Embedded cases so ctest exercises the gate without artifacts."""
+    prev = {
+        "bench": "x", "slo_met": True, "missed": False, "qps": 10.0,
+        "count": 5, "checksum": 42,
+        "configs": {"a": {"slo_met": True, "p99_ms": 12.0}},
+    }
+
+    def diff(mutate):
+        curr = json.loads(json.dumps(prev))
+        mutate(curr)
+        findings = []
+        compare_values("t", prev, curr, findings)
+        return findings
+
+    cases = [
+        # Identical trees: silent.
+        (lambda c: None, []),
+        # Float drift: warn, not fail.
+        (lambda c: c.update(qps=11.0), [("WARN", "t.qps")]),
+        # Verdict regression: fail.
+        (lambda c: c["configs"]["a"].update(slo_met=False),
+         [("FAIL", "t.configs.a.slo_met")]),
+        # Verdict improvement: warn only.
+        (lambda c: c.update(missed=True), [("WARN", "t.missed")]),
+        # Checksum change: fail.
+        (lambda c: c.update(checksum=43), [("FAIL", "t.checksum")]),
+        # Schema evolution: warn.
+        (lambda c: c.update(new_field=1), [("WARN", "t.new_field")]),
+        (lambda c: c.pop("count"), [("WARN", "t.count")]),
+    ]
+    for i, (mutate, expected) in enumerate(cases):
+        got = [(level, message.split(":")[0]) for level, message in diff(mutate)]
+        if got != expected:
+            print(f"self-test case {i}: expected {expected}, got {got}")
+            return 1
+    print("check_bench: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--prev", help="previous bench dir or file")
+    parser.add_argument("--curr", help="current bench dir or file")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.prev or not args.curr:
+        parser.error("--prev and --curr are required (or --self-test)")
+    return report(compare_trees(args.prev, args.curr))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
