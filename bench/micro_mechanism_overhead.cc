@@ -10,16 +10,18 @@
 #include "core/node_priority_queue.h"
 #include "ossim/machine.h"
 #include "petri/net.h"
+#include "platform/sim_platform.h"
 
 namespace elastic {
 namespace {
 
 void BM_TokenFlowPerMode(benchmark::State& state, const std::string& mode) {
   ossim::Machine machine{ossim::MachineOptions{}};
+  platform::SimPlatform platform(&machine);
   core::MechanismConfig config;
   config.initial_cores = 4;
   core::ElasticMechanism mechanism(
-      &machine, core::MakeMode(mode, &machine.topology()), config);
+      &platform, core::MakeMode(mode, &machine.topology()), config);
   mechanism.Install();
   int64_t tick = 1;
   for (auto _ : state) {

@@ -17,6 +17,7 @@
 #include "exec/client_driver.h"
 #include "exec/dbms_engine.h"
 #include "ossim/machine.h"
+#include "platform/sim_platform.h"
 #include "tpch/dbgen.h"
 
 namespace {
@@ -97,8 +98,9 @@ int main() {
   config.thmin = 20.0;
   config.thmax = 60.0;
   config.monitor_period_ticks = 5;
+  platform::SimPlatform platform(&machine);
   core::ElasticMechanism mechanism(
-      &machine, std::make_unique<LeastMissesMode>(&machine.topology()), config);
+      &platform, std::make_unique<LeastMissesMode>(&machine.topology()), config);
   mechanism.Install();
 
   exec::ClientWorkload workload;

@@ -8,7 +8,7 @@ namespace {
 
 /// First core of `order` not yet in the mask.
 numasim::CoreId FirstNotIn(const std::vector<numasim::CoreId>& order,
-                           const ossim::CpuMask& mask) {
+                           const platform::CpuMask& mask) {
   for (numasim::CoreId core : order) {
     if (!mask.Has(core)) return core;
   }
@@ -18,7 +18,7 @@ numasim::CoreId FirstNotIn(const std::vector<numasim::CoreId>& order,
 /// Last core of `order` that is in the mask (LIFO release keeps the masks of
 /// the static modes contiguous in allocation order).
 numasim::CoreId LastIn(const std::vector<numasim::CoreId>& order,
-                       const ossim::CpuMask& mask) {
+                       const platform::CpuMask& mask) {
   if (mask.Count() <= 1) return numasim::kInvalidCore;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if (mask.Has(*it)) return *it;
@@ -41,11 +41,11 @@ SparseMode::SparseMode(const numasim::Topology* topology) {
   }
 }
 
-numasim::CoreId SparseMode::NextToAllocate(const ossim::CpuMask& current) {
+numasim::CoreId SparseMode::NextToAllocate(const platform::CpuMask& current) {
   return FirstNotIn(order_, current);
 }
 
-numasim::CoreId SparseMode::NextToRelease(const ossim::CpuMask& current) {
+numasim::CoreId SparseMode::NextToRelease(const platform::CpuMask& current) {
   return LastIn(order_, current);
 }
 
@@ -60,11 +60,11 @@ DenseMode::DenseMode(const numasim::Topology* topology) {
   }
 }
 
-numasim::CoreId DenseMode::NextToAllocate(const ossim::CpuMask& current) {
+numasim::CoreId DenseMode::NextToAllocate(const platform::CpuMask& current) {
   return FirstNotIn(order_, current);
 }
 
-numasim::CoreId DenseMode::NextToRelease(const ossim::CpuMask& current) {
+numasim::CoreId DenseMode::NextToRelease(const platform::CpuMask& current) {
   return LastIn(order_, current);
 }
 
@@ -76,7 +76,7 @@ void AdaptivePriorityMode::Observe(const perf::WindowStats& window) {
   queue_.Update(window.node_access_pages);
 }
 
-numasim::CoreId AdaptivePriorityMode::NextToAllocate(const ossim::CpuMask& current) {
+numasim::CoreId AdaptivePriorityMode::NextToAllocate(const platform::CpuMask& current) {
   // Highest-priority node that still has a free core; inside a node, lowest
   // core id first.
   for (numasim::NodeId node : queue_.ByPriorityDescending()) {
@@ -87,7 +87,7 @@ numasim::CoreId AdaptivePriorityMode::NextToAllocate(const ossim::CpuMask& curre
   return numasim::kInvalidCore;
 }
 
-numasim::CoreId AdaptivePriorityMode::NextToRelease(const ossim::CpuMask& current) {
+numasim::CoreId AdaptivePriorityMode::NextToRelease(const platform::CpuMask& current) {
   if (current.Count() <= 1) return numasim::kInvalidCore;
   // Lowest-priority node that has an allocated core; release the highest
   // core id there (mirror of allocation order).

@@ -7,7 +7,7 @@
 
 #include "core/node_priority_queue.h"
 #include "numasim/topology.h"
-#include "ossim/cpu_mask.h"
+#include "platform/cpu_mask.h"
 #include "perf/sampler.h"
 
 namespace elastic::core {
@@ -22,11 +22,11 @@ class AllocationMode {
 
   /// Next core to hand to the OS, given the currently allocated mask.
   /// Returns kInvalidCore when every core is already allocated.
-  virtual numasim::CoreId NextToAllocate(const ossim::CpuMask& current) = 0;
+  virtual numasim::CoreId NextToAllocate(const platform::CpuMask& current) = 0;
 
   /// Core to take back from the OS. Returns kInvalidCore when the mask
   /// holds at most one core (the mechanism never empties the cpuset).
-  virtual numasim::CoreId NextToRelease(const ossim::CpuMask& current) = 0;
+  virtual numasim::CoreId NextToRelease(const platform::CpuMask& current) = 0;
 
   /// Feeds one monitoring window to the mode (the adaptive mode tracks the
   /// per-node memory usage history here; static modes ignore it).
@@ -40,8 +40,8 @@ class SparseMode : public AllocationMode {
  public:
   explicit SparseMode(const numasim::Topology* topology);
   const std::string& name() const override { return name_; }
-  numasim::CoreId NextToAllocate(const ossim::CpuMask& current) override;
-  numasim::CoreId NextToRelease(const ossim::CpuMask& current) override;
+  numasim::CoreId NextToAllocate(const platform::CpuMask& current) override;
+  numasim::CoreId NextToRelease(const platform::CpuMask& current) override;
 
  private:
   std::string name_ = "sparse";
@@ -54,8 +54,8 @@ class DenseMode : public AllocationMode {
  public:
   explicit DenseMode(const numasim::Topology* topology);
   const std::string& name() const override { return name_; }
-  numasim::CoreId NextToAllocate(const ossim::CpuMask& current) override;
-  numasim::CoreId NextToRelease(const ossim::CpuMask& current) override;
+  numasim::CoreId NextToAllocate(const platform::CpuMask& current) override;
+  numasim::CoreId NextToRelease(const platform::CpuMask& current) override;
 
  private:
   std::string name_ = "dense";
@@ -70,8 +70,8 @@ class AdaptivePriorityMode : public AllocationMode {
  public:
   AdaptivePriorityMode(const numasim::Topology* topology, double decay = 0.5);
   const std::string& name() const override { return name_; }
-  numasim::CoreId NextToAllocate(const ossim::CpuMask& current) override;
-  numasim::CoreId NextToRelease(const ossim::CpuMask& current) override;
+  numasim::CoreId NextToAllocate(const platform::CpuMask& current) override;
+  numasim::CoreId NextToRelease(const platform::CpuMask& current) override;
   void Observe(const perf::WindowStats& window) override;
 
   const NodePriorityQueue& queue() const { return queue_; }

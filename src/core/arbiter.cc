@@ -56,8 +56,9 @@ ArbitrationPolicy ArbitrationPolicyFromName(const std::string& name) {
   return ArbitrationPolicy::kFairShare;
 }
 
-CoreArbiter::CoreArbiter(ossim::Machine* machine, const ArbiterConfig& config)
-    : machine_(machine), config_(config) {
+CoreArbiter::CoreArbiter(platform::Platform* platform,
+                         const ArbiterConfig& config)
+    : platform_(platform), config_(config) {
   ELASTIC_CHECK(config_.monitor_period_ticks >= 1, "monitoring period >= 1");
 }
 
@@ -67,10 +68,11 @@ int CoreArbiter::AddTenant(const ArbiterTenantConfig& config) {
   Tenant tenant;
   tenant.config = config;
   tenant.mechanism = std::make_unique<ElasticMechanism>(
-      machine_, MakeMode(config.mode, &machine_->topology()), config.mechanism);
+      platform_, MakeMode(config.mode, &platform_->topology()),
+      config.mechanism);
   // Placeholder mask; Install() narrows it to the tenant's initial cores.
-  tenant.cpuset = machine_->scheduler().CreateCpuset(
-      ossim::CpuMask::AllOf(machine_->topology()));
+  tenant.cpuset = platform_->CreateCpuset(
+      config.name, platform::CpuMask::AllOf(platform_->topology()));
   tenants_.push_back(std::move(tenant));
   return num_tenants() - 1;
 }
@@ -83,11 +85,11 @@ ElasticMechanism& CoreArbiter::mechanism(int tenant) {
   return *tenants_[static_cast<size_t>(tenant)].mechanism;
 }
 
-ossim::CpusetId CoreArbiter::tenant_cpuset(int tenant) const {
+platform::CpusetId CoreArbiter::tenant_cpuset(int tenant) const {
   return tenants_[static_cast<size_t>(tenant)].cpuset;
 }
 
-const ossim::CpuMask& CoreArbiter::tenant_mask(int tenant) const {
+const platform::CpuMask& CoreArbiter::tenant_mask(int tenant) const {
   return tenants_[static_cast<size_t>(tenant)].mask;
 }
 
@@ -95,16 +97,17 @@ int CoreArbiter::nalloc(int tenant) const {
   return tenants_[static_cast<size_t>(tenant)].mask.Count();
 }
 
-ossim::CpuMask CoreArbiter::FreePool() const {
-  ossim::CpuMask owned;
+platform::CpuMask CoreArbiter::FreePool() const {
+  platform::CpuMask owned;
   for (const Tenant& tenant : tenants_) owned = owned.Union(tenant.mask);
-  const ossim::CpuMask all = ossim::CpuMask::AllOf(machine_->topology());
-  return ossim::CpuMask(all.bits() & ~owned.bits());
+  const platform::CpuMask all =
+      platform::CpuMask::AllOf(platform_->topology());
+  return platform::CpuMask(all.bits() & ~owned.bits());
 }
 
 numasim::CoreId CoreArbiter::PickCoreFor(const Tenant& tenant,
-                                         const ossim::CpuMask& pool) const {
-  const numasim::Topology& topo = machine_->topology();
+                                         const platform::CpuMask& pool) const {
+  const numasim::Topology& topo = platform_->topology();
   // Reuse the NodePriorityQueue as the NUMA-aware handout order: a node's
   // score is dominated by how many cores the tenant already holds there
   // (cluster the cpuset), with free capacity as the tie breaker. Ties in
@@ -141,13 +144,13 @@ void CoreArbiter::Install() {
                     "SLO tenant needs a tail_latency_probe under slo_aware");
     }
   }
-  ELASTIC_CHECK(initial_total <= machine_->topology().total_cores(),
+  ELASTIC_CHECK(initial_total <= platform_->topology().total_cores(),
                 "initial cores of all tenants exceed the machine");
   installed_ = true;
 
   // Hand out the initial disjoint masks; PickCoreFor naturally spreads
   // fresh tenants across sockets (a new tenant prefers the emptiest node).
-  ossim::CpuMask pool = ossim::CpuMask::AllOf(machine_->topology());
+  platform::CpuMask pool = platform::CpuMask::AllOf(platform_->topology());
   for (Tenant& tenant : tenants_) {
     for (int i = 0; i < tenant.config.mechanism.initial_cores; ++i) {
       const numasim::CoreId core = PickCoreFor(tenant, pool);
@@ -155,11 +158,11 @@ void CoreArbiter::Install() {
       tenant.mask.Set(core);
       pool.Clear(core);
     }
-    machine_->scheduler().SetCpusetMask(tenant.cpuset, tenant.mask);
+    platform_->SetCpusetMask(tenant.cpuset, tenant.mask);
     tenant.mechanism->InstallManaged(tenant.mask);
   }
 
-  machine_->AddTickHook([this](simcore::Tick now) {
+  platform_->AddTickHook([this](simcore::Tick now) {
     if (now % config_.monitor_period_ticks == 0 && now > 0) Poll(now);
   });
 }
@@ -180,7 +183,8 @@ std::vector<double> CoreArbiter::SloRatios(
     simcore::Tick now, const std::vector<double>& shed_rates) const {
   std::vector<double> ratios(static_cast<size_t>(num_tenants()), -1.0);
   if (config_.policy != ArbitrationPolicy::kSloAware) return ratios;
-  const double total = static_cast<double>(machine_->topology().total_cores());
+  const double total =
+      static_cast<double>(platform_->topology().total_cores());
   for (int i = 0; i < num_tenants(); ++i) {
     const Tenant& tenant = tenants_[static_cast<size_t>(i)];
     const ArbiterTenantConfig& config = tenant.config;
@@ -213,7 +217,8 @@ std::vector<double> CoreArbiter::Entitlements(
     const std::vector<ElasticMechanism::Decision>& decisions,
     const std::vector<double>& slo_ratios) const {
   const int count = num_tenants();
-  const double total = static_cast<double>(machine_->topology().total_cores());
+  const double total =
+      static_cast<double>(platform_->topology().total_cores());
   std::vector<double> entitlements(static_cast<size_t>(count), 0.0);
   switch (config_.policy) {
     case ArbitrationPolicy::kFairShare: {
@@ -356,7 +361,7 @@ void CoreArbiter::Poll(simcore::Tick now) {
     return a < b;
   });
 
-  ossim::CpuMask pool = FreePool();
+  platform::CpuMask pool = FreePool();
   std::vector<int> unmet;
   for (int grower : growers) {
     Tenant& tenant = tenants_[static_cast<size_t>(grower)];
@@ -456,7 +461,7 @@ void CoreArbiter::Poll(simcore::Tick now) {
   // tenants' nets so next round's t4..t7 guards see the real counts.
   for (int i = 0; i < count; ++i) {
     Tenant& tenant = tenants_[static_cast<size_t>(i)];
-    machine_->scheduler().SetCpusetMask(tenant.cpuset, tenant.mask);
+    platform_->SetCpusetMask(tenant.cpuset, tenant.mask);
     tenant.mechanism->CommitGrant(tenant.mask, now,
                                   decisions[static_cast<size_t>(i)]);
     TenantRound& tr = round.tenants[static_cast<size_t>(i)];

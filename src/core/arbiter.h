@@ -9,7 +9,7 @@
 #include "core/allocation_mode.h"
 #include "core/mechanism.h"
 #include "core/node_priority_queue.h"
-#include "ossim/machine.h"
+#include "platform/platform.h"
 
 namespace elastic::core {
 
@@ -126,18 +126,19 @@ struct ArbiterRound {
 ///   4. unmet grows may preempt one core from the tenant furthest above its
 ///      entitlement, provided that tenant is not itself overloaded and
 ///      stays at or above its initial_cores floor;
-///   5. the resulting masks are installed as scheduler cpusets and
-///      committed back into each tenant's net.
+///   5. the resulting masks are installed as platform cpusets (simulated
+///      scheduler groups or real cgroups) and committed back into each
+///      tenant's net.
 ///
 /// Tenant masks are always pairwise disjoint and never empty.
 class CoreArbiter {
  public:
-  CoreArbiter(ossim::Machine* machine, const ArbiterConfig& config);
+  CoreArbiter(platform::Platform* platform, const ArbiterConfig& config);
 
   CoreArbiter(const CoreArbiter&) = delete;
   CoreArbiter& operator=(const CoreArbiter&) = delete;
 
-  /// Registers a tenant (before Install) and creates its scheduler cpuset.
+  /// Registers a tenant (before Install) and creates its platform cpuset.
   /// Returns the tenant index. The cpuset starts as the whole machine and
   /// is narrowed to the tenant's initial mask at Install().
   int AddTenant(const ArbiterTenantConfig& config);
@@ -154,12 +155,12 @@ class CoreArbiter {
   int num_tenants() const { return static_cast<int>(tenants_.size()); }
   const std::string& tenant_name(int tenant) const;
   ElasticMechanism& mechanism(int tenant);
-  ossim::CpusetId tenant_cpuset(int tenant) const;
-  const ossim::CpuMask& tenant_mask(int tenant) const;
+  platform::CpusetId tenant_cpuset(int tenant) const;
+  const platform::CpuMask& tenant_mask(int tenant) const;
   int nalloc(int tenant) const;
 
   /// Cores not owned by any tenant.
-  ossim::CpuMask FreePool() const;
+  platform::CpuMask FreePool() const;
 
   int64_t core_handoffs() const { return handoffs_; }
   int64_t preemptions() const { return preemptions_; }
@@ -179,8 +180,8 @@ class CoreArbiter {
   struct Tenant {
     ArbiterTenantConfig config;
     std::unique_ptr<ElasticMechanism> mechanism;
-    ossim::CpusetId cpuset = ossim::kGlobalCpuset;
-    ossim::CpuMask mask;
+    platform::CpusetId cpuset = platform::kNoCpuset;
+    platform::CpuMask mask;
   };
 
   /// Entitlements of every tenant under the configured policy; `decisions`
@@ -208,9 +209,9 @@ class CoreArbiter {
   /// the tenant already holds the most cores, then the node with the most
   /// free cores, then the lowest node id; lowest core id within the node.
   numasim::CoreId PickCoreFor(const Tenant& tenant,
-                              const ossim::CpuMask& pool) const;
+                              const platform::CpuMask& pool) const;
 
-  ossim::Machine* machine_;
+  platform::Platform* platform_;
   ArbiterConfig config_;
   std::vector<Tenant> tenants_;
   bool installed_ = false;

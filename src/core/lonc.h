@@ -19,11 +19,15 @@ class LoncTracker {
 
   /// Records one monitoring round's measurement and allocation.
   void Record(double u, int nalloc) {
+    // The first round seeds the minimum directly: a zero sentinel would
+    // make a genuine zero-core round (a fully preempted tenant between
+    // grants) indistinguishable from "no rounds yet" and wedge the minimum
+    // at whatever came after it.
+    min_alloc_ = (rounds_ == 0) ? nalloc : std::min(min_alloc_, nalloc);
     rounds_++;
     if (u > thmin_ && u < thmax_) stable_rounds_++;
     sum_alloc_ += nalloc;
     max_alloc_ = std::max(max_alloc_, nalloc);
-    min_alloc_ = (min_alloc_ == 0) ? nalloc : std::min(min_alloc_, nalloc);
   }
 
   int64_t rounds() const { return rounds_; }

@@ -25,19 +25,19 @@ MechanismConfig DefaultConfigFor(TransitionStrategy strategy) {
   return config;
 }
 
-ElasticMechanism::ElasticMechanism(ossim::Machine* machine,
+ElasticMechanism::ElasticMechanism(platform::Platform* platform,
                                    std::unique_ptr<AllocationMode> mode,
                                    const MechanismConfig& config)
-    : machine_(machine),
+    : platform_(platform),
       mode_(std::move(mode)),
       config_(config),
-      sampler_(&machine->counters(), &machine->clock()) {
+      sampler_(platform->CreateSampler()) {
   ELASTIC_CHECK(config_.thmin < config_.thmax, "thmin must be below thmax");
   ELASTIC_CHECK(config_.monitor_period_ticks >= 1, "monitoring period >= 1");
   ELASTIC_CHECK(config_.initial_cores >= 1, "must start with at least one core");
-  ELASTIC_CHECK(config_.initial_cores <= machine->topology().total_cores(),
+  ELASTIC_CHECK(config_.initial_cores <= platform->topology().total_cores(),
                 "initial cores exceed machine");
-  const int total = machine->topology().total_cores();
+  const int total = platform->topology().total_cores();
   if (config_.max_cores <= 0 || config_.max_cores > total) {
     config_.max_cores = total;
   }
@@ -133,23 +133,23 @@ void ElasticMechanism::Install() {
   installed_ = true;
 
   // Build the initial mask by asking the mode for the first allocations.
-  ossim::CpuMask mask;
+  platform::CpuMask mask;
   for (int i = 0; i < config_.initial_cores; ++i) {
     const numasim::CoreId core = mode_->NextToAllocate(mask);
     ELASTIC_CHECK(core != numasim::kInvalidCore, "mode failed initial allocation");
     mask.Set(core);
   }
   allocated_ = mask;
-  machine_->scheduler().SetAllowedMask(allocated_);
+  platform_->SetAllowedMask(allocated_);
   net_.SetSingleToken(p_provision_, static_cast<double>(allocated_.Count()));
-  sampler_.Reset();
+  sampler_->Reset();
 
-  machine_->AddTickHook([this](simcore::Tick now) {
+  platform_->AddTickHook([this](simcore::Tick now) {
     if (now % config_.monitor_period_ticks == 0 && now > 0) Poll(now);
   });
 }
 
-void ElasticMechanism::InstallManaged(const ossim::CpuMask& initial) {
+void ElasticMechanism::InstallManaged(const platform::CpuMask& initial) {
   ELASTIC_CHECK(!installed_, "mechanism installed twice");
   ELASTIC_CHECK(!initial.Empty(), "managed install needs at least one core");
   ELASTIC_CHECK(initial.Count() <= config_.max_cores,
@@ -157,14 +157,13 @@ void ElasticMechanism::InstallManaged(const ossim::CpuMask& initial) {
   installed_ = true;
   allocated_ = initial;
   net_.SetSingleToken(p_provision_, static_cast<double>(initial.Count()));
-  sampler_.Reset();
+  sampler_->Reset();
 }
 
 double ElasticMechanism::Measure(const perf::WindowStats& window) const {
   switch (config_.strategy) {
     case TransitionStrategy::kCpuLoad:
-      return window.CpuLoadPercent(allocated_,
-                                   machine_->scheduler().cycles_per_tick());
+      return window.CpuLoadPercent(allocated_, platform_->cycles_per_tick());
     case TransitionStrategy::kHtImcRatio:
       return window.HtImcRatio();
   }
@@ -174,7 +173,7 @@ double ElasticMechanism::Measure(const perf::WindowStats& window) const {
 ElasticMechanism::Decision ElasticMechanism::Decide(simcore::Tick now) {
   (void)now;
   ELASTIC_CHECK(installed_, "Decide before Install/InstallManaged");
-  const perf::WindowStats window = sampler_.Sample();
+  const perf::WindowStats window = sampler_->Sample();
   const double u = Measure(window);
   last_u_ = u;
   mode_->Observe(window);
@@ -209,7 +208,8 @@ ElasticMechanism::Decision ElasticMechanism::Decide(simcore::Tick now) {
   return decision;
 }
 
-void ElasticMechanism::CommitGrant(const ossim::CpuMask& mask, simcore::Tick now,
+void ElasticMechanism::CommitGrant(const platform::CpuMask& mask,
+                                   simcore::Tick now,
                                    const Decision& decision) {
   ELASTIC_CHECK(!mask.Empty(), "grant must keep at least one core");
   ELASTIC_CHECK(mask.Count() <= config_.max_cores, "grant exceeds max_cores");
@@ -224,7 +224,7 @@ void ElasticMechanism::CommitGrant(const ossim::CpuMask& mask, simcore::Tick now
     event.u = decision.u;
     event.nalloc = allocated_.Count();
     log_.push_back(event);
-    machine_->trace().Add(now, "transition", allocated_.Count(),
+    platform_->trace()->Add(now, "transition", allocated_.Count(),
                           static_cast<int64_t>(decision.u * 100.0),
                           log_.back().label);
   }
@@ -232,7 +232,7 @@ void ElasticMechanism::CommitGrant(const ossim::CpuMask& mask, simcore::Tick now
 
 void ElasticMechanism::Poll(simcore::Tick now) {
   const Decision decision = Decide(now);
-  ossim::CpuMask mask = allocated_;
+  platform::CpuMask mask = allocated_;
   if (decision.desired > decision.current) {
     const numasim::CoreId core = mode_->NextToAllocate(mask);
     ELASTIC_CHECK(core != numasim::kInvalidCore,
@@ -243,7 +243,7 @@ void ElasticMechanism::Poll(simcore::Tick now) {
     ELASTIC_CHECK(core != numasim::kInvalidCore, "net released the last core");
     mask.Clear(core);
   }
-  machine_->scheduler().SetAllowedMask(mask);
+  platform_->SetAllowedMask(mask);
   CommitGrant(mask, now, decision);
 }
 

@@ -6,9 +6,9 @@
 #include <vector>
 
 #include "core/allocation_mode.h"
-#include "ossim/machine.h"
 #include "perf/sampler.h"
 #include "petri/net.h"
+#include "platform/platform.h"
 #include "simcore/clock.h"
 
 namespace elastic::core {
@@ -79,24 +79,26 @@ struct StateTransitionEvent {
 ///
 /// The *location* of each allocation/release is delegated to the configured
 /// AllocationMode (sparse / dense / adaptive priority). The resulting core
-/// set is installed into the OS through the scheduler's cpuset mask, which
-/// is exactly how the prototype drives cgroups.
+/// set is installed into the OS through the platform's cpuset seam — the
+/// simulated scheduler mask in tests, a real cgroup cpuset under the Linux
+/// backend, which is exactly how the paper's prototype drives cgroups.
 class ElasticMechanism {
  public:
-  ElasticMechanism(ossim::Machine* machine, std::unique_ptr<AllocationMode> mode,
+  ElasticMechanism(platform::Platform* platform,
+                   std::unique_ptr<AllocationMode> mode,
                    const MechanismConfig& config);
 
   ElasticMechanism(const ElasticMechanism&) = delete;
   ElasticMechanism& operator=(const ElasticMechanism&) = delete;
 
   /// Applies the initial core allocation and registers the monitoring hook
-  /// on the machine. Call once before running the workload.
+  /// on the platform. Call once before running the workload.
   void Install();
 
   /// Managed install, used by the multi-tenant CoreArbiter: primes the
   /// mechanism with an externally chosen initial mask, registers no tick
-  /// hook and never touches the scheduler — the arbiter owns both.
-  void InstallManaged(const ossim::CpuMask& initial);
+  /// hook and never touches the platform cpusets — the arbiter owns both.
+  void InstallManaged(const platform::CpuMask& initial);
 
   /// One rule-condition-action round: sample counters, update the net,
   /// fire transitions, apply the allocation decision. Runs automatically
@@ -123,13 +125,13 @@ class ElasticMechanism {
   /// Records the allocation actually granted after a Decide() round: sets
   /// the mask, rewrites the net's Provision token (the net may have asked
   /// for a different count than was granted) and appends to the transition
-  /// log. Does not touch the scheduler.
-  void CommitGrant(const ossim::CpuMask& mask, simcore::Tick now,
+  /// log. Does not touch the platform cpusets.
+  void CommitGrant(const platform::CpuMask& mask, simcore::Tick now,
                    const Decision& decision);
 
   /// Number of cores currently handed to the OS.
   int nalloc() const { return allocated_.Count(); }
-  const ossim::CpuMask& allocated_mask() const { return allocated_; }
+  const platform::CpuMask& allocated_mask() const { return allocated_; }
 
   /// Resource value measured in the last round.
   double last_u() const { return last_u_; }
@@ -144,10 +146,10 @@ class ElasticMechanism {
   void BuildNet();
   double Measure(const perf::WindowStats& window) const;
 
-  ossim::Machine* machine_;
+  platform::Platform* platform_;
   std::unique_ptr<AllocationMode> mode_;
   MechanismConfig config_;
-  perf::Sampler sampler_;
+  std::unique_ptr<perf::UtilizationSampler> sampler_;
   petri::Net net_;
 
   petri::PlaceId p_checks_ = -1;
@@ -159,7 +161,7 @@ class ElasticMechanism {
   petri::PlaceId p_over_n_ = -1;
   petri::TransitionId t_[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
 
-  ossim::CpuMask allocated_;
+  platform::CpuMask allocated_;
   double last_u_ = 0.0;
   PerfState last_state_ = PerfState::kStable;
   std::vector<StateTransitionEvent> log_;

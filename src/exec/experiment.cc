@@ -1,6 +1,7 @@
 #include "exec/experiment.h"
 
 #include "core/allocation_mode.h"
+#include "exec/tenant_wiring.h"
 #include "simcore/check.h"
 
 namespace elastic::exec {
@@ -13,6 +14,7 @@ Experiment::Experiment(const db::Database* database,
   machine_options.scheduler = options.scheduler;
   machine_options.seed = options.seed;
   machine_ = std::make_unique<ossim::Machine>(machine_options);
+  platform_ = std::make_unique<platform::SimPlatform>(machine_.get());
 
   catalog_ = std::make_unique<BaseCatalog>(&machine_->page_table(), *database,
                                            options.placement,
@@ -32,8 +34,8 @@ Experiment::Experiment(const db::Database* database,
     if (options.thmin_override >= 0.0) config.thmin = options.thmin_override;
     if (options.thmax_override >= 0.0) config.thmax = options.thmax_override;
     mechanism_ = std::make_unique<core::ElasticMechanism>(
-        machine_.get(), core::MakeMode(options.policy, &machine_->topology()),
-        config);
+        platform_.get(),
+        core::MakeMode(options.policy, &machine_->topology()), config);
     mechanism_->Install();
   }
 }
@@ -70,6 +72,7 @@ MultiTenantExperiment::MultiTenantExperiment(const db::Database* database,
   machine_options.scheduler = options.scheduler;
   machine_options.seed = options.seed;
   machine_ = std::make_unique<ossim::Machine>(machine_options);
+  platform_ = std::make_unique<platform::SimPlatform>(machine_.get());
 
   catalog_ = std::make_unique<BaseCatalog>(&machine_->page_table(), *database,
                                            options.placement,
@@ -79,7 +82,8 @@ MultiTenantExperiment::MultiTenantExperiment(const db::Database* database,
   arbiter_config.policy = options.policy;
   arbiter_config.monitor_period_ticks = options.monitor_period_ticks;
   arbiter_config.log_rounds = options.log_rounds;
-  arbiter_ = std::make_unique<core::CoreArbiter>(machine_.get(), arbiter_config);
+  arbiter_ =
+      std::make_unique<core::CoreArbiter>(platform_.get(), arbiter_config);
 }
 
 int MultiTenantExperiment::AddTenant(const TenantSpec& spec) {
@@ -87,20 +91,13 @@ int MultiTenantExperiment::AddTenant(const TenantSpec& spec) {
   Tenant tenant;
   tenant.spec = spec;
 
-  core::ArbiterTenantConfig arbiter_tenant;
-  arbiter_tenant.name = spec.name;
-  arbiter_tenant.mechanism = spec.mechanism;
-  arbiter_tenant.mode = spec.mode;
-  arbiter_tenant.weight = spec.weight;
-  tenant.arbiter_index = arbiter_->AddTenant(arbiter_tenant);
-
-  EngineOptions engine_options;
-  engine_options.model = spec.engine_model;
-  engine_options.pool_size = spec.pool_size;
-  engine_options.task_graph = spec.task_graph;
-  engine_options.cpuset = arbiter_->tenant_cpuset(tenant.arbiter_index);
-  tenant.engine = std::make_unique<DbmsEngine>(machine_.get(), catalog_.get(),
-                                               engine_options);
+  tenant.arbiter_index = arbiter_->AddTenant(
+      MakeArbiterTenant(spec.name, spec.mechanism, spec.mode, spec.weight));
+  tenant.engine = std::make_unique<DbmsEngine>(
+      machine_.get(), catalog_.get(),
+      MakeTenantEngineOptions(spec.engine_model, spec.pool_size,
+                              spec.task_graph,
+                              arbiter_->tenant_cpuset(tenant.arbiter_index)));
 
   tenants_.push_back(std::move(tenant));
   return num_tenants() - 1;

@@ -12,6 +12,7 @@
 #include "exec/client_driver.h"
 #include "exec/dbms_engine.h"
 #include "ossim/machine.h"
+#include "platform/sim_platform.h"
 
 namespace elastic::exec {
 
@@ -52,6 +53,7 @@ class Experiment {
   Experiment& operator=(const Experiment&) = delete;
 
   ossim::Machine& machine() { return *machine_; }
+  platform::SimPlatform& platform() { return *platform_; }
   BaseCatalog& catalog() { return *catalog_; }
   DbmsEngine& engine() { return *engine_; }
   /// Null under the "os" policy.
@@ -69,6 +71,7 @@ class Experiment {
  private:
   ExperimentOptions options_;
   std::unique_ptr<ossim::Machine> machine_;
+  std::unique_ptr<platform::SimPlatform> platform_;
   std::unique_ptr<BaseCatalog> catalog_;
   std::unique_ptr<DbmsEngine> engine_;
   std::unique_ptr<core::ElasticMechanism> mechanism_;
@@ -135,6 +138,7 @@ class MultiTenantExperiment {
 
   int num_tenants() const { return static_cast<int>(tenants_.size()); }
   ossim::Machine& machine() { return *machine_; }
+  platform::SimPlatform& platform() { return *platform_; }
   core::CoreArbiter& arbiter() { return *arbiter_; }
   DbmsEngine& engine(int tenant) { return *tenants_[static_cast<size_t>(tenant)].engine; }
   ClientDriver& driver(int tenant) { return *tenants_[static_cast<size_t>(tenant)].driver; }
@@ -153,6 +157,7 @@ class MultiTenantExperiment {
 
   MultiTenantOptions options_;
   std::unique_ptr<ossim::Machine> machine_;
+  std::unique_ptr<platform::SimPlatform> platform_;
   std::unique_ptr<BaseCatalog> catalog_;
   std::unique_ptr<core::CoreArbiter> arbiter_;
   std::vector<Tenant> tenants_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/tenant_wiring.h"
 #include "simcore/check.h"
 
 namespace elastic::exec {
@@ -16,13 +17,14 @@ HtapExperiment::HtapExperiment(const db::Database* database,
   machine_options.scheduler = options.scheduler;
   machine_options.seed = options.seed;
   machine_ = std::make_unique<ossim::Machine>(machine_options);
+  platform_ = std::make_unique<platform::SimPlatform>(machine_.get());
 
   catalog_ = std::make_unique<BaseCatalog>(&machine_->page_table(), *database,
                                            options.placement,
                                            options.machine_config.page_bytes);
 
-  ossim::CpusetId oltp_cpuset;
-  ossim::CpusetId olap_cpuset;
+  platform::CpusetId oltp_cpuset;
+  platform::CpusetId olap_cpuset;
   if (options_.static_split) {
     // OS-style fixed partitioning: OLTP takes its initial_cores clustered
     // from core 0 upwards (dense on the first socket(s)), OLAP the rest.
@@ -30,11 +32,12 @@ HtapExperiment::HtapExperiment(const db::Database* database,
     const int oltp_n = oltp_spec_.mechanism.initial_cores;
     ELASTIC_CHECK(oltp_n >= 1 && oltp_n < total,
                   "static split needs 1 <= oltp initial_cores < machine");
-    const ossim::CpuMask oltp_mask = ossim::CpuMask::FirstN(oltp_n);
-    const ossim::CpuMask olap_mask(
-        ossim::CpuMask::AllOf(machine_->topology()).bits() & ~oltp_mask.bits());
-    static_oltp_cpuset_ = machine_->scheduler().CreateCpuset(oltp_mask);
-    static_olap_cpuset_ = machine_->scheduler().CreateCpuset(olap_mask);
+    const platform::CpuMask oltp_mask = platform::CpuMask::FirstN(oltp_n);
+    const platform::CpuMask olap_mask(
+        platform::CpuMask::AllOf(machine_->topology()).bits() &
+        ~oltp_mask.bits());
+    static_oltp_cpuset_ = platform_->CreateCpuset(oltp_spec_.name, oltp_mask);
+    static_olap_cpuset_ = platform_->CreateCpuset(olap_spec_.name, olap_mask);
     oltp_cpuset = static_oltp_cpuset_;
     olap_cpuset = static_olap_cpuset_;
   } else {
@@ -43,13 +46,11 @@ HtapExperiment::HtapExperiment(const db::Database* database,
     arbiter_config.monitor_period_ticks = options_.monitor_period_ticks;
     arbiter_config.log_rounds = options_.log_rounds;
     arbiter_ =
-        std::make_unique<core::CoreArbiter>(machine_.get(), arbiter_config);
+        std::make_unique<core::CoreArbiter>(platform_.get(), arbiter_config);
 
-    core::ArbiterTenantConfig oltp_tenant;
-    oltp_tenant.name = oltp_spec_.name;
-    oltp_tenant.mechanism = oltp_spec_.mechanism;
-    oltp_tenant.mode = oltp_spec_.mode;
-    oltp_tenant.weight = oltp_spec_.weight;
+    core::ArbiterTenantConfig oltp_tenant = MakeArbiterTenant(
+        oltp_spec_.name, oltp_spec_.mechanism, oltp_spec_.mode,
+        oltp_spec_.weight);
     oltp_tenant.slo_p99_s = oltp_spec_.slo_p99_s;
     if (oltp_spec_.slo_p99_s >= 0.0) {
       const int64_t window = oltp_spec_.probe_window_ticks;
@@ -73,12 +74,9 @@ HtapExperiment::HtapExperiment(const db::Database* database,
     }
     oltp_arbiter_index_ = arbiter_->AddTenant(oltp_tenant);
 
-    core::ArbiterTenantConfig olap_tenant;
-    olap_tenant.name = olap_spec_.name;
-    olap_tenant.mechanism = olap_spec_.mechanism;
-    olap_tenant.mode = olap_spec_.mode;
-    olap_tenant.weight = olap_spec_.weight;
-    olap_arbiter_index_ = arbiter_->AddTenant(olap_tenant);
+    olap_arbiter_index_ = arbiter_->AddTenant(
+        MakeArbiterTenant(olap_spec_.name, olap_spec_.mechanism,
+                          olap_spec_.mode, olap_spec_.weight));
 
     oltp_cpuset = arbiter_->tenant_cpuset(oltp_arbiter_index_);
     olap_cpuset = arbiter_->tenant_cpuset(olap_arbiter_index_);
@@ -89,13 +87,10 @@ HtapExperiment::HtapExperiment(const db::Database* database,
   oltp_engine_ = std::make_unique<oltp::TxnEngine>(
       machine_.get(), catalog_.get(), oltp_engine_options);
 
-  EngineOptions olap_engine_options;
-  olap_engine_options.model = olap_spec_.engine_model;
-  olap_engine_options.pool_size = olap_spec_.pool_size;
-  olap_engine_options.task_graph = olap_spec_.task_graph;
-  olap_engine_options.cpuset = olap_cpuset;
-  olap_engine_ = std::make_unique<DbmsEngine>(machine_.get(), catalog_.get(),
-                                              olap_engine_options);
+  olap_engine_ = std::make_unique<DbmsEngine>(
+      machine_.get(), catalog_.get(),
+      MakeTenantEngineOptions(olap_spec_.engine_model, olap_spec_.pool_size,
+                              olap_spec_.task_graph, olap_cpuset));
 }
 
 void HtapExperiment::Start() {
@@ -145,12 +140,12 @@ int64_t HtapExperiment::RunUntilDone(int64_t max_ticks) {
 
 int HtapExperiment::oltp_cores() const {
   if (arbiter_) return arbiter_->nalloc(oltp_arbiter_index_);
-  return machine_->scheduler().cpuset_mask(static_oltp_cpuset_).Count();
+  return platform_->cpuset_mask(static_oltp_cpuset_).Count();
 }
 
 int HtapExperiment::olap_cores() const {
   if (arbiter_) return arbiter_->nalloc(olap_arbiter_index_);
-  return machine_->scheduler().cpuset_mask(static_olap_cpuset_).Count();
+  return platform_->cpuset_mask(static_olap_cpuset_).Count();
 }
 
 }  // namespace elastic::exec

@@ -10,6 +10,7 @@
 #include "exec/experiment.h"
 #include "oltp/oltp_client.h"
 #include "oltp/txn_engine.h"
+#include "platform/sim_platform.h"
 
 namespace elastic::exec {
 
@@ -92,6 +93,7 @@ class HtapExperiment {
   int64_t RunUntilDone(int64_t max_ticks);
 
   ossim::Machine& machine() { return *machine_; }
+  platform::SimPlatform& platform() { return *platform_; }
   /// Null under static_split.
   core::CoreArbiter* arbiter() { return arbiter_.get(); }
   oltp::TxnEngine& oltp_engine() { return *oltp_engine_; }
@@ -117,12 +119,13 @@ class HtapExperiment {
   HtapOlapTenant olap_spec_;
 
   std::unique_ptr<ossim::Machine> machine_;
+  std::unique_ptr<platform::SimPlatform> platform_;
   std::unique_ptr<BaseCatalog> catalog_;
   std::unique_ptr<core::CoreArbiter> arbiter_;
 
   /// Static-split cpusets (unused under arbitration).
-  ossim::CpusetId static_oltp_cpuset_ = ossim::kGlobalCpuset;
-  ossim::CpusetId static_olap_cpuset_ = ossim::kGlobalCpuset;
+  platform::CpusetId static_oltp_cpuset_ = platform::kNoCpuset;
+  platform::CpusetId static_olap_cpuset_ = platform::kNoCpuset;
   int oltp_arbiter_index_ = -1;
   int olap_arbiter_index_ = -1;
 

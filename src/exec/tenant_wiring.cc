@@ -1,0 +1,27 @@
+#include "exec/tenant_wiring.h"
+
+namespace elastic::exec {
+
+core::ArbiterTenantConfig MakeArbiterTenant(
+    const std::string& name, const core::MechanismConfig& mechanism,
+    const std::string& mode, double weight) {
+  core::ArbiterTenantConfig config;
+  config.name = name;
+  config.mechanism = mechanism;
+  config.mode = mode;
+  config.weight = weight;
+  return config;
+}
+
+EngineOptions MakeTenantEngineOptions(ThreadModel model, int pool_size,
+                                      const TaskGraphOptions& task_graph,
+                                      platform::CpusetId cpuset) {
+  EngineOptions options;
+  options.model = model;
+  options.pool_size = pool_size;
+  options.task_graph = task_graph;
+  options.cpuset = cpuset;
+  return options;
+}
+
+}  // namespace elastic::exec

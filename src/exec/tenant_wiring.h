@@ -1,0 +1,27 @@
+#ifndef ELASTICORE_EXEC_TENANT_WIRING_H_
+#define ELASTICORE_EXEC_TENANT_WIRING_H_
+
+#include <string>
+
+#include "core/arbiter.h"
+#include "exec/dbms_engine.h"
+
+namespace elastic::exec {
+
+/// Shared per-tenant wiring of the multi-tenant experiments. Every tenant
+/// kind (generic OLAP tenant, HTAP OLTP tenant, HTAP OLAP tenant) carries
+/// the same four arbiter-facing fields and binds its engine to the cpuset
+/// the arbiter hands back; this helper is the single place that mapping
+/// lives so the experiment constructors cannot drift apart.
+core::ArbiterTenantConfig MakeArbiterTenant(
+    const std::string& name, const core::MechanismConfig& mechanism,
+    const std::string& mode, double weight);
+
+/// OLAP engine options bound to a tenant's platform cpuset.
+EngineOptions MakeTenantEngineOptions(ThreadModel model, int pool_size,
+                                      const TaskGraphOptions& task_graph,
+                                      platform::CpusetId cpuset);
+
+}  // namespace elastic::exec
+
+#endif  // ELASTICORE_EXEC_TENANT_WIRING_H_

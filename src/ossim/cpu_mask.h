@@ -1,63 +1,15 @@
 #ifndef ELASTICORE_OSSIM_CPU_MASK_H_
 #define ELASTICORE_OSSIM_CPU_MASK_H_
 
-#include <cstdint>
-#include <string>
-#include <vector>
+// CpuMask moved to the platform layer (src/platform/cpu_mask.h) so the
+// elastic core can trade in masks without depending on the OS simulator.
+// This alias keeps the simulator-side spelling working.
 
-#include "numasim/topology.h"
+#include "platform/cpu_mask.h"
 
 namespace elastic::ossim {
 
-/// Set of processing cores, the simulated equivalent of a cgroup cpuset /
-/// pthread affinity mask. Supports up to 64 cores, which covers the paper's
-/// 16-core machine with room to spare.
-class CpuMask {
- public:
-  CpuMask() = default;
-  explicit CpuMask(uint64_t bits) : bits_(bits) {}
-
-  static CpuMask None() { return CpuMask(0); }
-
-  /// Mask containing cores [0, n).
-  static CpuMask FirstN(int n);
-
-  /// Mask containing exactly the listed cores.
-  static CpuMask Of(const std::vector<numasim::CoreId>& cores);
-
-  /// Mask of every core in the machine.
-  static CpuMask AllOf(const numasim::Topology& topology);
-
-  /// Mask of all cores belonging to one node.
-  static CpuMask NodeCores(const numasim::Topology& topology, numasim::NodeId node);
-
-  void Set(numasim::CoreId core) { bits_ |= (uint64_t{1} << core); }
-  void Clear(numasim::CoreId core) { bits_ &= ~(uint64_t{1} << core); }
-  bool Has(numasim::CoreId core) const { return (bits_ >> core) & 1; }
-
-  int Count() const { return __builtin_popcountll(bits_); }
-  bool Empty() const { return bits_ == 0; }
-  uint64_t bits() const { return bits_; }
-
-  CpuMask Intersect(CpuMask other) const { return CpuMask(bits_ & other.bits_); }
-  CpuMask Union(CpuMask other) const { return CpuMask(bits_ | other.bits_); }
-  bool IsSubsetOf(CpuMask other) const { return (bits_ & ~other.bits_) == 0; }
-
-  /// Cores in ascending id order.
-  std::vector<numasim::CoreId> ToCores() const;
-
-  /// Lowest core id in the mask (kInvalidCore when empty).
-  numasim::CoreId First() const;
-
-  /// Human-readable form, e.g. "{0,1,4}".
-  std::string ToString() const;
-
-  friend bool operator==(CpuMask a, CpuMask b) { return a.bits_ == b.bits_; }
-  friend bool operator!=(CpuMask a, CpuMask b) { return a.bits_ != b.bits_; }
-
- private:
-  uint64_t bits_ = 0;
-};
+using CpuMask = platform::CpuMask;
 
 }  // namespace elastic::ossim
 

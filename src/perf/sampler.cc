@@ -4,7 +4,7 @@
 
 namespace elastic::perf {
 
-double WindowStats::CpuLoadPercent(const ossim::CpuMask& mask,
+double WindowStats::CpuLoadPercent(const platform::CpuMask& mask,
                                    int64_t cycles_per_tick) const {
   if (ticks <= 0 || mask.Empty()) return 0.0;
   int64_t busy = 0;

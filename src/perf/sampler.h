@@ -4,8 +4,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "ossim/cpu_mask.h"
 #include "perf/counters.h"
+#include "platform/cpu_mask.h"
 #include "simcore/clock.h"
 
 namespace elastic::perf {
@@ -31,7 +31,7 @@ struct WindowStats {
 
   /// Average CPU load (0..100) over the cores of `mask` during the window.
   /// `cycles_per_tick` is the per-core cycle budget of one tick.
-  double CpuLoadPercent(const ossim::CpuMask& mask, int64_t cycles_per_tick) const;
+  double CpuLoadPercent(const platform::CpuMask& mask, int64_t cycles_per_tick) const;
 
   /// Ratio of interconnect traffic to memory-controller traffic; the
   /// NUMA-friendliness metric of Section V-B (smaller is better).
@@ -47,17 +47,29 @@ struct WindowStats {
   int64_t TotalImcBytes() const;
 };
 
-/// Takes periodic snapshots of a CounterSet and yields deltas.
-class Sampler {
+/// Windowed utilization source, the measurement half of the platform seam:
+/// the elastic mechanism calls Sample() once per monitoring round and never
+/// cares whether the deltas came from simulated counters or /proc.
+class UtilizationSampler {
  public:
-  Sampler(const CounterSet* counters, const simcore::Clock* clock);
+  virtual ~UtilizationSampler() = default;
 
   /// Returns the deltas accumulated since the previous Sample() (or since
   /// construction) and re-baselines.
-  WindowStats Sample();
+  virtual WindowStats Sample() = 0;
 
   /// Re-baselines without producing stats.
-  void Reset();
+  virtual void Reset() = 0;
+};
+
+/// Takes periodic snapshots of a CounterSet and yields deltas (the
+/// simulator-backed UtilizationSampler).
+class Sampler : public UtilizationSampler {
+ public:
+  Sampler(const CounterSet* counters, const simcore::Clock* clock);
+
+  WindowStats Sample() override;
+  void Reset() override;
 
  private:
   const CounterSet* counters_;

@@ -1,8 +1,10 @@
-#include "ossim/cpu_mask.h"
+#include "platform/cpu_mask.h"
+
+#include <cstdlib>
 
 #include "simcore/check.h"
 
-namespace elastic::ossim {
+namespace elastic::platform {
 
 CpuMask CpuMask::FirstN(int n) {
   ELASTIC_CHECK(n >= 0 && n <= 64, "mask supports up to 64 cores");
@@ -25,6 +27,28 @@ CpuMask CpuMask::AllOf(const numasim::Topology& topology) {
 
 CpuMask CpuMask::NodeCores(const numasim::Topology& topology, numasim::NodeId node) {
   return Of(topology.CoresOfNode(node));
+}
+
+CpuMask CpuMask::FromCpuList(const std::string& list) {
+  CpuMask mask;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long first = std::strtol(p, &end, 10);
+    ELASTIC_CHECK(end != p && first >= 0 && first < 64, "malformed cpulist");
+    long last = first;
+    p = end;
+    if (*p == '-') {
+      last = std::strtol(p + 1, &end, 10);
+      ELASTIC_CHECK(end != p + 1 && last >= first && last < 64,
+                    "malformed cpulist range");
+      p = end;
+    }
+    for (long c = first; c <= last; ++c) mask.Set(static_cast<int>(c));
+    if (*p == ',') p++;
+    else ELASTIC_CHECK(*p == '\0', "malformed cpulist separator");
+  }
+  return mask;
 }
 
 std::vector<numasim::CoreId> CpuMask::ToCores() const {
@@ -55,4 +79,19 @@ std::string CpuMask::ToString() const {
   return out;
 }
 
-}  // namespace elastic::ossim
+std::string CpuMask::ToCpuList() const {
+  std::string out;
+  const std::vector<numasim::CoreId> cores = ToCores();
+  size_t i = 0;
+  while (i < cores.size()) {
+    size_t j = i;
+    while (j + 1 < cores.size() && cores[j + 1] == cores[j] + 1) j++;
+    if (!out.empty()) out += ",";
+    out += std::to_string(cores[i]);
+    if (j > i) out += "-" + std::to_string(cores[j]);
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace elastic::platform

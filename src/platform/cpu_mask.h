@@ -1,0 +1,75 @@
+#ifndef ELASTICORE_PLATFORM_CPU_MASK_H_
+#define ELASTICORE_PLATFORM_CPU_MASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numasim/topology.h"
+
+namespace elastic::platform {
+
+/// Set of processing cores — the platform-neutral form of a cgroup cpuset /
+/// pthread affinity mask. Supports up to 64 cores, which covers the paper's
+/// 16-core machine with room to spare.
+///
+/// Lives in the platform layer (not the OS simulator) because it is the
+/// currency every backend trades in: the simulated scheduler confines
+/// threads to it, and the Linux backend serialises it into cpuset.cpus.
+class CpuMask {
+ public:
+  CpuMask() = default;
+  explicit CpuMask(uint64_t bits) : bits_(bits) {}
+
+  static CpuMask None() { return CpuMask(0); }
+
+  /// Mask containing cores [0, n).
+  static CpuMask FirstN(int n);
+
+  /// Mask containing exactly the listed cores.
+  static CpuMask Of(const std::vector<numasim::CoreId>& cores);
+
+  /// Mask of every core in the machine.
+  static CpuMask AllOf(const numasim::Topology& topology);
+
+  /// Mask of all cores belonging to one node.
+  static CpuMask NodeCores(const numasim::Topology& topology, numasim::NodeId node);
+
+  /// Parses a Linux cpulist ("0-3,8,10-11"); CHECK-fails on malformed input.
+  static CpuMask FromCpuList(const std::string& list);
+
+  void Set(numasim::CoreId core) { bits_ |= (uint64_t{1} << core); }
+  void Clear(numasim::CoreId core) { bits_ &= ~(uint64_t{1} << core); }
+  bool Has(numasim::CoreId core) const { return (bits_ >> core) & 1; }
+
+  int Count() const { return __builtin_popcountll(bits_); }
+  bool Empty() const { return bits_ == 0; }
+  uint64_t bits() const { return bits_; }
+
+  CpuMask Intersect(CpuMask other) const { return CpuMask(bits_ & other.bits_); }
+  CpuMask Union(CpuMask other) const { return CpuMask(bits_ | other.bits_); }
+  bool IsSubsetOf(CpuMask other) const { return (bits_ & ~other.bits_) == 0; }
+
+  /// Cores in ascending id order.
+  std::vector<numasim::CoreId> ToCores() const;
+
+  /// Lowest core id in the mask (kInvalidCore when empty).
+  numasim::CoreId First() const;
+
+  /// Human-readable form, e.g. "{0,1,4}".
+  std::string ToString() const;
+
+  /// Linux cpulist form as written to cpuset.cpus, e.g. "0-1,4"; empty
+  /// string for the empty mask.
+  std::string ToCpuList() const;
+
+  friend bool operator==(CpuMask a, CpuMask b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(CpuMask a, CpuMask b) { return a.bits_ != b.bits_; }
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace elastic::platform
+
+#endif  // ELASTICORE_PLATFORM_CPU_MASK_H_

@@ -1,0 +1,390 @@
+#include "platform/linux_platform.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "simcore/check.h"
+
+namespace elastic::platform {
+
+namespace {
+
+/// Reads a whole small file; empty string when unreadable.
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string FirstLine(const std::string& text) {
+  const size_t nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+/// Number of CPUs a cpulist ("0-3,8") names; -1 on a parse error. Counts
+/// without building a CpuMask so >64-CPU hosts do not trip the mask bound
+/// during discovery.
+int CountCpuList(const std::string& list) {
+  int count = 0;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long first = std::strtol(p, &end, 10);
+    if (end == p || first < 0) return -1;
+    long last = first;
+    p = end;
+    if (*p == '-') {
+      last = std::strtol(p + 1, &end, 10);
+      if (end == p + 1 || last < first) return -1;
+      p = end;
+    }
+    count += static_cast<int>(last - first + 1);
+    if (*p == ',') p++;
+    else if (*p != '\0') return -1;
+  }
+  return count;
+}
+
+/// Discovers the NUMA layout from sysfs: one node per
+/// /sys/devices/system/node/node<i> directory, cores from its cpulist.
+/// Falls back to one flat node of min(online, 64) CPUs when the node tree
+/// is absent (non-NUMA machines, containers without sysfs), nodes are
+/// heterogeneous, or the grid exceeds the 64-core mask bound.
+numasim::MachineConfig DiscoverTopology(const LinuxPlatformOptions& options) {
+  numasim::MachineConfig config;
+  int nodes = 0;
+  int cores = 0;
+  for (int node = 0; node < 64; ++node) {
+    const std::string cpulist = FirstLine(ReadFileOrEmpty(
+        options.sysfs_node_root + "/node" + std::to_string(node) +
+        "/cpulist"));
+    if (cpulist.empty()) break;
+    const int count = CountCpuList(cpulist);
+    if (count < 1) {
+      nodes = 0;
+      break;
+    }
+    if (nodes == 0) {
+      cores = count;
+    } else if (count != cores) {
+      // Heterogeneous nodes do not fit the uniform core grid the allocation
+      // modes index by; treat the machine as one flat node.
+      nodes = 0;
+      break;
+    }
+    nodes++;
+  }
+  if (nodes >= 1 && cores >= 1 && nodes * cores <= 64) {
+    config.num_nodes = nodes;
+    config.cores_per_node = cores;
+    return config;
+  }
+  long online = sysconf(_SC_NPROCESSORS_ONLN);
+  if (online < 1) online = 1;
+  if (online > 64) online = 64;
+  config.num_nodes = 1;
+  config.cores_per_node = static_cast<int>(online);
+  return config;
+}
+
+/// Deterministic zero-utilization source for dry runs: window lengths come
+/// from the platform clock, every counter delta is zero.
+class ZeroSampler : public perf::UtilizationSampler {
+ public:
+  ZeroSampler(const Platform* platform, double seconds_per_tick)
+      : platform_(platform),
+        seconds_per_tick_(seconds_per_tick),
+        baseline_(platform->Now()) {}
+
+  perf::WindowStats Sample() override {
+    perf::WindowStats stats;
+    const int nodes = platform_->topology().num_nodes();
+    const int cores = platform_->topology().total_cores();
+    stats.ticks = platform_->Now() - baseline_;
+    stats.seconds = static_cast<double>(stats.ticks) * seconds_per_tick_;
+    stats.l3_hits.assign(static_cast<size_t>(nodes), 0);
+    stats.l3_misses.assign(static_cast<size_t>(nodes), 0);
+    stats.imc_bytes.assign(static_cast<size_t>(nodes), 0);
+    stats.node_access_pages.assign(static_cast<size_t>(nodes), 0);
+    stats.core_busy_cycles.assign(static_cast<size_t>(cores), 0);
+    Reset();
+    return stats;
+  }
+
+  void Reset() override { baseline_ = platform_->Now(); }
+
+ private:
+  const Platform* platform_;
+  double seconds_per_tick_;
+  simcore::Tick baseline_;
+};
+
+/// /proc/stat-backed utilization: per-cpu busy jiffies (everything but
+/// idle+iowait) land in core_busy_cycles, the real-hardware equivalent of
+/// the simulator's cycle counters. The other counter groups have no cheap
+/// unprivileged source and stay zero — the kCpuLoad strategy (the paper's
+/// default on real hardware) never reads them.
+class ProcStatSampler : public perf::UtilizationSampler {
+ public:
+  ProcStatSampler(const Platform* platform, const std::string& proc_root,
+                  double seconds_per_tick)
+      : platform_(platform),
+        proc_root_(proc_root),
+        seconds_per_tick_(seconds_per_tick) {
+    Reset();
+  }
+
+  perf::WindowStats Sample() override {
+    const std::vector<int64_t> now_busy = ReadBusyJiffies();
+    const simcore::Tick now_tick = platform_->Now();
+    perf::WindowStats stats;
+    const int nodes = platform_->topology().num_nodes();
+    stats.ticks = now_tick - baseline_tick_;
+    stats.seconds = static_cast<double>(stats.ticks) * seconds_per_tick_;
+    stats.l3_hits.assign(static_cast<size_t>(nodes), 0);
+    stats.l3_misses.assign(static_cast<size_t>(nodes), 0);
+    stats.imc_bytes.assign(static_cast<size_t>(nodes), 0);
+    stats.node_access_pages.assign(static_cast<size_t>(nodes), 0);
+    stats.core_busy_cycles.resize(now_busy.size());
+    for (size_t i = 0; i < now_busy.size(); ++i) {
+      stats.core_busy_cycles[i] =
+          i < baseline_busy_.size() ? now_busy[i] - baseline_busy_[i] : 0;
+    }
+    baseline_busy_ = now_busy;
+    baseline_tick_ = now_tick;
+    return stats;
+  }
+
+  void Reset() override {
+    baseline_busy_ = ReadBusyJiffies();
+    baseline_tick_ = platform_->Now();
+  }
+
+ private:
+  std::vector<int64_t> ReadBusyJiffies() const {
+    const int cores = platform_->topology().total_cores();
+    std::vector<int64_t> busy(static_cast<size_t>(cores), 0);
+    std::ifstream in(proc_root_ + "/stat");
+    std::string line;
+    while (std::getline(in, line)) {
+      // Per-cpu lines only: the aggregate "cpu  ..." line would otherwise
+      // match too (%d skips the whitespace) and field-shift its totals
+      // into a bogus per-cpu entry.
+      if (line.size() < 4 || line.compare(0, 3, "cpu") != 0 ||
+          line[3] < '0' || line[3] > '9') {
+        continue;
+      }
+      int cpu = -1;
+      long long user = 0, nice = 0, system = 0, idle = 0, iowait = 0;
+      long long irq = 0, softirq = 0, steal = 0;
+      if (std::sscanf(line.c_str(),
+                      "cpu%d %lld %lld %lld %lld %lld %lld %lld %lld", &cpu,
+                      &user, &nice, &system, &idle, &iowait, &irq, &softirq,
+                      &steal) >= 5 &&
+          cpu >= 0 && cpu < cores) {
+        busy[static_cast<size_t>(cpu)] =
+            user + nice + system + irq + softirq + steal;
+      }
+    }
+    return busy;
+  }
+
+  const Platform* platform_;
+  std::string proc_root_;
+  double seconds_per_tick_;
+  std::vector<int64_t> baseline_busy_;
+  simcore::Tick baseline_tick_ = 0;
+};
+
+}  // namespace
+
+LinuxPlatform::LinuxPlatform(const LinuxPlatformOptions& options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  ELASTIC_CHECK(options_.seconds_per_tick > 0.0,
+                "seconds_per_tick must be positive");
+  numasim::MachineConfig config;
+  if (options_.num_nodes > 0 && options_.cores_per_node > 0) {
+    config.num_nodes = options_.num_nodes;
+    config.cores_per_node = options_.cores_per_node;
+  } else {
+    config = DiscoverTopology(options_);
+  }
+  ELASTIC_CHECK(config.total_cores() <= 64, "mask supports up to 64 cores");
+  topology_ = std::make_unique<numasim::Topology>(config);
+  const long tck = sysconf(_SC_CLK_TCK);
+  if (tck > 0) clk_tck_ = tck;
+}
+
+simcore::Tick LinuxPlatform::Now() const {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - epoch_;
+  return static_cast<simcore::Tick>(elapsed.count() /
+                                    options_.seconds_per_tick);
+}
+
+int64_t LinuxPlatform::cycles_per_tick() const {
+  // Jiffies one core accrues per platform tick: the capacity denominator of
+  // WindowStats::CpuLoadPercent against /proc/stat busy jiffies.
+  const int64_t cycles = static_cast<int64_t>(
+      static_cast<double>(clk_tck_) * options_.seconds_per_tick);
+  return cycles > 0 ? cycles : 1;
+}
+
+void LinuxPlatform::RecordOp(std::string op) {
+  // Bound the audit trail: a run-forever daemon whose masks move most
+  // rounds would otherwise accumulate strings without limit. The front
+  // half is dropped in one batch; recent history is what an operator
+  // inspects anyway.
+  if (op_log_.size() >= kMaxOpLog) {
+    op_log_.erase(op_log_.begin(),
+                  op_log_.begin() + static_cast<long>(kMaxOpLog / 2));
+  }
+  op_log_.push_back(std::move(op));
+}
+
+void LinuxPlatform::OpMkdir(const std::string& dir) {
+  RecordOp("mkdir " + dir);
+  if (options_.dry_run) return;
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "elasticore: mkdir %s: %s\n", dir.c_str(),
+                 std::strerror(errno));
+  }
+}
+
+bool LinuxPlatform::OpWrite(const std::string& file, const std::string& value) {
+  RecordOp("write " + file + " = " + value);
+  if (options_.dry_run) return true;
+  std::ofstream out(file);
+  out << value;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "elasticore: write %s: failed\n", file.c_str());
+    return false;
+  }
+  return true;
+}
+
+void LinuxPlatform::EnsureParent() {
+  if (parent_ready_) return;
+  parent_ready_ = true;
+  const std::string parent_dir = options_.cgroup_root + "/" + options_.parent;
+  OpMkdir(parent_dir);
+  // Delegate the cpuset controller down to the tenant groups (cgroup-v2
+  // "no internal processes" rule: controllers are enabled on the parents).
+  OpWrite(options_.cgroup_root + "/cgroup.subtree_control", "+cpuset");
+  OpWrite(parent_dir + "/cgroup.subtree_control", "+cpuset");
+}
+
+std::string LinuxPlatform::CpusetDirName(const std::string& name) const {
+  std::string dir;
+  for (char c : name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    dir += safe ? c : '_';
+  }
+  if (dir.empty()) dir = "cpuset";
+  const std::string parent_dir =
+      options_.cgroup_root + "/" + options_.parent + "/";
+  const auto taken = [&](const std::string& candidate) {
+    for (const Cpuset& existing : cpusets_) {
+      if (existing.path == parent_dir + candidate) return true;
+    }
+    return false;
+  };
+  std::string candidate = dir;
+  for (int suffix = 1; taken(candidate); ++suffix) {
+    candidate = dir + "-" + std::to_string(suffix);
+  }
+  return candidate;
+}
+
+CpusetId LinuxPlatform::CreateCpuset(const std::string& name,
+                                     const CpuMask& mask) {
+  EnsureParent();
+  Cpuset cpuset;
+  cpuset.path = options_.cgroup_root + "/" + options_.parent + "/" +
+                CpusetDirName(name);
+  cpuset.mask = mask;
+  OpMkdir(cpuset.path);
+  cpuset.synced = OpWrite(cpuset.path + "/cpuset.cpus", mask.ToCpuList());
+  cpusets_.push_back(cpuset);
+  return static_cast<CpusetId>(cpusets_.size()) - 1;
+}
+
+void LinuxPlatform::SetCpusetMask(CpusetId cpuset, const CpuMask& mask) {
+  ELASTIC_CHECK(cpuset >= 0 && cpuset < static_cast<int>(cpusets_.size()),
+                "unknown cpuset");
+  Cpuset& entry = cpusets_[static_cast<size_t>(cpuset)];
+  // The arbiter re-installs every tenant mask each round; only changed
+  // masks are worth a syscall (and an audit line) — unless the last write
+  // failed, in which case the mask is not actually on disk and every round
+  // is a retry until it lands.
+  if (entry.synced && entry.mask == mask) return;
+  entry.mask = mask;
+  entry.synced = OpWrite(entry.path + "/cpuset.cpus", mask.ToCpuList());
+}
+
+CpuMask LinuxPlatform::cpuset_mask(CpusetId cpuset) const {
+  ELASTIC_CHECK(cpuset >= 0 && cpuset < static_cast<int>(cpusets_.size()),
+                "unknown cpuset");
+  return cpusets_[static_cast<size_t>(cpuset)].mask;
+}
+
+void LinuxPlatform::SetAllowedMask(const CpuMask& mask) {
+  // The standalone (single-DBMS) mechanism manages one implicit group.
+  if (allowed_cpuset_ == kNoCpuset) {
+    allowed_cpuset_ = CreateCpuset("all", mask);
+    return;
+  }
+  SetCpusetMask(allowed_cpuset_, mask);
+}
+
+std::unique_ptr<perf::UtilizationSampler> LinuxPlatform::CreateSampler() {
+  if (options_.dry_run) {
+    return std::make_unique<ZeroSampler>(this, options_.seconds_per_tick);
+  }
+  return std::make_unique<ProcStatSampler>(this, options_.proc_root,
+                                           options_.seconds_per_tick);
+}
+
+void LinuxPlatform::AddTickHook(std::function<void(simcore::Tick)> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void LinuxPlatform::FireTickHooks(simcore::Tick now) {
+  for (const auto& hook : hooks_) hook(now);
+}
+
+bool LinuxPlatform::AttachPid(CpusetId cpuset, long pid) {
+  ELASTIC_CHECK(cpuset >= 0 && cpuset < static_cast<int>(cpusets_.size()),
+                "unknown cpuset");
+  const std::string file =
+      cpusets_[static_cast<size_t>(cpuset)].path + "/cgroup.procs";
+  RecordOp("write " + file + " = " + std::to_string(pid));
+  if (options_.dry_run) return true;
+  std::ofstream out(file);
+  out << pid;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "elasticore: attach pid %ld to %s: failed\n", pid,
+                 file.c_str());
+    return false;
+  }
+  return true;
+}
+
+const std::string& LinuxPlatform::cpuset_path(CpusetId cpuset) const {
+  ELASTIC_CHECK(cpuset >= 0 && cpuset < static_cast<int>(cpusets_.size()),
+                "unknown cpuset");
+  return cpusets_[static_cast<size_t>(cpuset)].path;
+}
+
+}  // namespace elastic::platform

@@ -5,7 +5,7 @@
 namespace elastic::core {
 namespace {
 
-using ossim::CpuMask;
+using platform::CpuMask;
 
 class ModeTest : public ::testing::Test {
  protected:

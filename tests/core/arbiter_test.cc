@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ossim/machine.h"
+#include "platform/sim_platform.h"
 #include "simcore/rng.h"
 
 namespace elastic::core {
@@ -50,7 +51,8 @@ void ExpectDisjointCover(const CoreArbiter& arbiter, int total_cores) {
 
 TEST(ArbiterTest, InstallAssignsDisjointSpreadMasks) {
   auto machine = SmallMachine();
-  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, ArbiterConfig{});
   arbiter.AddTenant(Tenant("a", 2));
   arbiter.AddTenant(Tenant("b", 1));
   arbiter.Install();
@@ -69,7 +71,8 @@ TEST(ArbiterTest, InstallAssignsDisjointSpreadMasks) {
 
 TEST(ArbiterTest, BothOverloadedOneFreeCoreFairShare) {
   auto machine = SmallMachine();
-  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, ArbiterConfig{});
   arbiter.AddTenant(Tenant("a", 2));
   arbiter.AddTenant(Tenant("b", 1));
   arbiter.Install();
@@ -98,7 +101,8 @@ TEST(ArbiterTest, BothOverloadedPriorityWeightedPrefersHeavyTenant) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kPriorityWeighted;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   arbiter.AddTenant(Tenant("heavy", 2, /*weight=*/3.0));
   arbiter.AddTenant(Tenant("light", 1, /*weight=*/1.0));
   arbiter.Install();
@@ -119,7 +123,8 @@ TEST(ArbiterTest, DemandProportionalFollowsBusyCoreEquivalents) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kDemandProportional;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   arbiter.AddTenant(Tenant("a", 2));
   arbiter.AddTenant(Tenant("b", 1));
   arbiter.Install();
@@ -138,7 +143,8 @@ TEST(ArbiterTest, DemandProportionalFollowsBusyCoreEquivalents) {
 
 TEST(ArbiterTest, ShrinkReleasesCoreAnotherTenantClaims) {
   auto machine = SmallMachine();
-  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, ArbiterConfig{});
   arbiter.AddTenant(Tenant("idle", 3));
   arbiter.AddTenant(Tenant("busy", 1));
   arbiter.Install();
@@ -160,7 +166,8 @@ TEST(ArbiterTest, ShrinkReleasesCoreAnotherTenantClaims) {
 
 TEST(ArbiterTest, PreemptionTakesFromOverEntitledStableTenant) {
   auto machine = SmallMachine();
-  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, ArbiterConfig{});
   arbiter.AddTenant(Tenant("hog", 1));
   arbiter.AddTenant(Tenant("starved", 1));
   arbiter.Install();
@@ -192,7 +199,8 @@ TEST(ArbiterTest, PreemptionTakesFromOverEntitledStableTenant) {
 
 TEST(ArbiterTest, PreemptionRespectsInitialCoresFloor) {
   auto machine = SmallMachine();
-  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, ArbiterConfig{});
   // The "protected" tenant's floor is its whole holding: 2 initial cores.
   arbiter.AddTenant(Tenant("protected", 2));
   arbiter.AddTenant(Tenant("grower", 2));
@@ -221,7 +229,8 @@ TEST(ArbiterTest, PolicyDeterminismUnderFixedRngSeed) {
       auto machine = SmallMachine();
       ArbiterConfig config;
       config.policy = policy;
-      CoreArbiter arbiter(machine.get(), config);
+      platform::SimPlatform platform(machine.get());
+      CoreArbiter arbiter(&platform, config);
       arbiter.AddTenant(Tenant("a", 1, 2.0));
       arbiter.AddTenant(Tenant("b", 1, 1.0));
       arbiter.Install();
@@ -247,7 +256,8 @@ TEST(ArbiterTest, MasksStayDisjointUnderRandomLoads) {
   auto machine = std::make_unique<ossim::Machine>(ossim::MachineOptions{});
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kDemandProportional;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   arbiter.AddTenant(Tenant("a", 1));
   arbiter.AddTenant(Tenant("b", 2));
   arbiter.AddTenant(Tenant("c", 1));
@@ -266,7 +276,8 @@ TEST(ArbiterTest, MasksStayDisjointUnderRandomLoads) {
 
 TEST(ArbiterTest, MaxCoresCapsTenantGrowth) {
   auto machine = SmallMachine();
-  CoreArbiter arbiter(machine.get(), ArbiterConfig{});
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, ArbiterConfig{});
   ArbiterTenantConfig capped = Tenant("capped", 1);
   capped.mechanism.max_cores = 2;
   arbiter.AddTenant(capped);
@@ -311,7 +322,8 @@ TEST(ArbiterTest, SloAwareViolationPreemptsOverloadedBestEffortTenant) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99 = -1.0;  // no signal while the OLAP tenant grows
   arbiter.AddTenant(SloTenant("oltp", 1, /*slo_s=*/0.050, &p99));
   arbiter.AddTenant(Tenant("olap", 1));
@@ -347,7 +359,8 @@ TEST(ArbiterTest, SloAwarePreemptionStillRespectsFloor) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99 = 0.200;
   arbiter.AddTenant(SloTenant("oltp", 1, 0.050, &p99));
   // The best-effort tenant's floor covers its whole holding.
@@ -370,7 +383,8 @@ TEST(ArbiterTest, SloAwareSatisfiedTenantShedsSlackToBestEffort) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99 = 0.005;  // far below the 50 ms target: plenty of slack
   arbiter.AddTenant(SloTenant("oltp", 1, 0.050, &p99));
   arbiter.AddTenant(Tenant("olap", 1));
@@ -407,7 +421,8 @@ TEST(ArbiterTest, SloAwareHoldsWithoutSignal) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99 = -1.0;
   arbiter.AddTenant(SloTenant("oltp", 2, 0.050, &p99));
   arbiter.AddTenant(Tenant("olap", 2));
@@ -430,7 +445,8 @@ TEST(ArbiterTest, SloVsSloTieBreaksByProportionalViolation) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99_a = -1.0;
   double p99_b = -1.0;
   arbiter.AddTenant(SloTenant("worse", 1, /*slo_s=*/0.050, &p99_a));
@@ -472,7 +488,8 @@ TEST(ArbiterTest, SloVsSloEqualViolationHoldsInsteadOfPingPong) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99_a = -1.0;
   double p99_b = -1.0;
   arbiter.AddTenant(SloTenant("a", 1, 0.050, &p99_a));
@@ -507,7 +524,8 @@ TEST(ArbiterTest, SloVsSloTieBreakRespectsFloor) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99_a = 0.200;
   double p99_b = 0.055;
   arbiter.AddTenant(SloTenant("worse", 1, 0.050, &p99_a));
@@ -531,7 +549,8 @@ TEST(ArbiterTest, SloVsSloBoostedButMeetingCannotRaid) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99_a = -1.0;
   double p99_b = -1.0;
   arbiter.AddTenant(SloTenant("boosted", 1, 0.050, &p99_a));
@@ -580,7 +599,8 @@ TEST(ArbiterTest, SheddingBelowCapReadsAsViolation) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99 = 0.030;  // 0.6x of target: hold band on its own
   double shed_rate = 0.0;
   arbiter.AddTenant(SheddingSloTenant("oltp", 1, 0.050, &p99, &shed_rate));
@@ -627,7 +647,8 @@ TEST(ArbiterTest, SheddingAtCapHoldsInsteadOfSheddingSlack) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99 = 0.010;  // 0.2x of target: shed band on its own
   double shed_rate = 25.0;
   ArbiterTenantConfig oltp =
@@ -672,7 +693,8 @@ TEST(ArbiterTest, SheddingAtCapIsNotATieBreakVictim) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.policy = ArbitrationPolicy::kSloAware;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   double p99_a = -1.0;
   double shed_a = 0.0;
   double p99_b = -1.0;
@@ -719,7 +741,8 @@ TEST(ArbiterTest, InstalledHookPollsOnPeriod) {
   auto machine = SmallMachine();
   ArbiterConfig config;
   config.monitor_period_ticks = 5;
-  CoreArbiter arbiter(machine.get(), config);
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
   arbiter.AddTenant(Tenant("a", 1));
   arbiter.Install();
   machine->RunFor(11);  // polls at ticks 5 and 10

@@ -39,5 +39,27 @@ TEST(LoncTrackerTest, AllocationStats) {
   EXPECT_EQ(tracker.MinAllocated(), 2);
 }
 
+TEST(LoncTrackerTest, ZeroCoreRoundIsAGenuineMinimum) {
+  // Regression: min_alloc_ == 0 used to double as the "no rounds yet"
+  // sentinel, so a real zero-core round was overwritten by the next
+  // non-zero allocation.
+  LoncTracker tracker(10, 70);
+  tracker.Record(50, 3);
+  tracker.Record(50, 0);  // fully preempted between grants
+  tracker.Record(50, 4);
+  EXPECT_EQ(tracker.MinAllocated(), 0);
+}
+
+TEST(LoncTrackerTest, FirstRoundSeedsMinimum) {
+  LoncTracker tracker(10, 70);
+  tracker.Record(50, 0);
+  tracker.Record(50, 5);
+  EXPECT_EQ(tracker.MinAllocated(), 0);
+
+  LoncTracker high(10, 70);
+  high.Record(50, 7);
+  EXPECT_EQ(high.MinAllocated(), 7);
+}
+
 }  // namespace
 }  // namespace elastic::core

@@ -4,6 +4,7 @@
 
 #include "core/allocation_mode.h"
 #include "ossim/machine.h"
+#include "platform/sim_platform.h"
 
 namespace elastic::core {
 namespace {
@@ -12,11 +13,20 @@ std::unique_ptr<ossim::Machine> MakeMachine() {
   return std::make_unique<ossim::Machine>(ossim::MachineOptions{});
 }
 
-std::unique_ptr<ElasticMechanism> MakeMechanism(ossim::Machine* machine,
-                                                const std::string& mode,
-                                                MechanismConfig config) {
-  return std::make_unique<ElasticMechanism>(
-      machine, MakeMode(mode, &machine->topology()), config);
+/// Test rig bundling the mechanism with the SimPlatform seam it runs on.
+struct RiggedMechanism {
+  std::unique_ptr<platform::SimPlatform> platform;
+  std::unique_ptr<ElasticMechanism> mechanism;
+  ElasticMechanism* operator->() { return mechanism.get(); }
+};
+
+RiggedMechanism MakeMechanism(ossim::Machine* machine, const std::string& mode,
+                              MechanismConfig config) {
+  RiggedMechanism rig;
+  rig.platform = std::make_unique<platform::SimPlatform>(machine);
+  rig.mechanism = std::make_unique<ElasticMechanism>(
+      rig.platform.get(), MakeMode(mode, &machine->topology()), config);
+  return rig;
 }
 
 /// Makes the allocated cores look `percent` busy over `ticks` ticks by

@@ -47,9 +47,9 @@ TEST(SamplerTest, CpuLoadPercentOverMask) {
   counters.core_busy_cycles[0] = 10 * cycles_per_tick;
   clock.Advance(10);
   const WindowStats stats = sampler.Sample();
-  const ossim::CpuMask both = ossim::CpuMask::Of({0, 1});
+  const platform::CpuMask both = platform::CpuMask::Of({0, 1});
   EXPECT_NEAR(stats.CpuLoadPercent(both, cycles_per_tick), 50.0, 1e-9);
-  const ossim::CpuMask only0 = ossim::CpuMask::Of({0});
+  const platform::CpuMask only0 = platform::CpuMask::Of({0});
   EXPECT_NEAR(stats.CpuLoadPercent(only0, cycles_per_tick), 100.0, 1e-9);
 }
 

@@ -15,8 +15,16 @@ them into:
       (schema evolution). Drift is reported for the PR author to eyeball,
       not blocked on: performance trajectories are allowed to move.
 
+Files named with --strict-files are held to a stronger invariant: *any*
+difference, including drift, is a FAIL. The arbiter-path benches
+(multi_tenant_arbiter, htap_slo, htap_slo_sweep) run entirely through the
+deterministic SimPlatform backend, so their output is contractually
+byte-identical across refactors of the platform seam — drift there means
+arbitration decisions changed, which must never happen by accident.
+
 Usage:
   check_bench.py --prev <dir-or-file> --curr <dir-or-file>
+      [--strict-files NAME ...]
   check_bench.py --self-test
 
 Directories are matched by BENCH_*.json filename; only files present on
@@ -84,26 +92,34 @@ def bench_files(root):
     return {p.name: p for p in sorted(root.glob("BENCH_*.json"))}
 
 
-def compare_trees(prev_root, curr_root):
+def compare_trees(prev_root, curr_root, strict_files=()):
     prev_files = bench_files(prev_root)
     curr_files = bench_files(curr_root)
+    strict = set(strict_files)
     findings = []
     if not prev_files:
         findings.append(("WARN", f"{prev_root}: no BENCH_*.json to compare"))
     for name in sorted(prev_files.keys() | curr_files.keys()):
+        file_findings = []
         if name not in curr_files:
-            findings.append(("WARN", f"{name}: bench output vanished"))
-            continue
-        if name not in prev_files:
+            file_findings.append(("WARN", f"{name}: bench output vanished"))
+        elif name not in prev_files:
             print(f"NOTE {name}: new bench, no trajectory yet")
-            continue
-        try:
-            prev = json.loads(prev_files[name].read_text())
-            curr = json.loads(curr_files[name].read_text())
-        except json.JSONDecodeError as error:
-            findings.append(("FAIL", f"{name}: unparseable JSON ({error})"))
-            continue
-        compare_values(name, prev, curr, findings)
+        else:
+            try:
+                prev = json.loads(prev_files[name].read_text())
+                curr = json.loads(curr_files[name].read_text())
+            except json.JSONDecodeError as error:
+                file_findings.append(
+                    ("FAIL", f"{name}: unparseable JSON ({error})"))
+            else:
+                compare_values(name, prev, curr, file_findings)
+        if name in strict:
+            # Byte-identical contract: drift in a strict file is a failure.
+            file_findings = [
+                ("FAIL", f"{message} [strict]" if level == "WARN" else message)
+                for level, message in file_findings]
+        findings.extend(file_findings)
     return findings
 
 
@@ -136,6 +152,32 @@ def self_test():
         compare_values("t", prev, curr, findings)
         return findings
 
+    # Strict escalation: identical trees stay silent, any drift fails.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        prev_dir = Path(tmp) / "prev"
+        curr_dir = Path(tmp) / "curr"
+        prev_dir.mkdir()
+        curr_dir.mkdir()
+        (prev_dir / "BENCH_a.json").write_text(json.dumps(prev))
+        (curr_dir / "BENCH_a.json").write_text(json.dumps(prev))
+        got = compare_trees(prev_dir, curr_dir, strict_files=["BENCH_a.json"])
+        if got:
+            print(f"self-test strict-identical: expected [], got {got}")
+            return 1
+        drifted = dict(prev, qps=11.0)
+        (curr_dir / "BENCH_a.json").write_text(json.dumps(drifted))
+        got = compare_trees(prev_dir, curr_dir, strict_files=["BENCH_a.json"])
+        if [(level, message.split(":")[0]) for level, message in got] != [
+                ("FAIL", "BENCH_a.json.qps")]:
+            print(f"self-test strict-drift: expected FAIL, got {got}")
+            return 1
+        got = compare_trees(prev_dir, curr_dir)
+        if [(level, message.split(":")[0]) for level, message in got] != [
+                ("WARN", "BENCH_a.json.qps")]:
+            print(f"self-test non-strict-drift: expected WARN, got {got}")
+            return 1
+
     cases = [
         # Identical trees: silent.
         (lambda c: None, []),
@@ -165,13 +207,16 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--prev", help="previous bench dir or file")
     parser.add_argument("--curr", help="current bench dir or file")
+    parser.add_argument(
+        "--strict-files", nargs="*", default=[],
+        help="BENCH filenames where any difference (drift included) fails")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
     if args.self_test:
         return self_test()
     if not args.prev or not args.curr:
         parser.error("--prev and --curr are required (or --self-test)")
-    return report(compare_trees(args.prev, args.curr))
+    return report(compare_trees(args.prev, args.curr, args.strict_files))
 
 
 if __name__ == "__main__":

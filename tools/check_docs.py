@@ -49,6 +49,8 @@ def cmake_targets():
     targets = {"elasticore"}
     for src in REPO.glob("bench/*.cc"):
         targets.add(src.stem)
+    for src in REPO.glob("tools/*.cc"):
+        targets.add(src.stem)
     for src in REPO.glob("examples/*.cpp"):
         targets.add(src.stem)
     for src in REPO.glob("tests/**/*_test.cc"):

@@ -1,0 +1,198 @@
+// elasticored — attach the elastic core arbiter to real processes.
+//
+// The daemon half of the platform abstraction: builds a LinuxPlatform
+// (cgroup-v2 cpusets + /proc/stat utilization), registers one arbiter
+// tenant per --tenant flag, moves the named PIDs into the tenant cgroups,
+// and then runs the monitoring loop the simulator's tick hook runs
+// virtually — one CoreArbiter::Poll per period. The arbiter code is the
+// exact object the benches and tests exercise; only the Platform backend
+// differs.
+//
+//   # two MonetDB instances sharing a box, demand-proportional arbitration
+//   sudo ./build/elasticored --policy demand_proportional --period-ms 1000 \
+//       --tenant name=tpch,pid=4242,initial=2,max=12 \
+//       --tenant name=etl,pid=4343,initial=1,weight=0.5
+//
+//   # CI smoke: no privileges, no writes, deterministic topology
+//   ./build/elasticored --dry-run --nodes 2 --cores-per-node 4 --rounds 3 \
+//       --tenant name=a,initial=2 --tenant name=b,initial=1 --print-ops
+//
+// See docs/DEPLOY.md for cgroup-v2 prerequisites.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/arbiter.h"
+#include "platform/linux_platform.h"
+
+namespace {
+
+using namespace elastic;
+
+struct TenantFlag {
+  std::string name = "tenant";
+  long pid = -1;
+  int initial = 1;
+  int max = -1;
+  double weight = 1.0;
+  std::string mode = "dense";
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: elasticored [options] --tenant name=<n>[,pid=<p>][,initial=<c>]"
+      "[,max=<c>][,weight=<w>][,mode=dense|sparse|adaptive] ...\n"
+      "  --policy <p>         fair_share | priority_weighted | "
+      "demand_proportional (default demand_proportional)\n"
+      "  --period-ms <n>      monitoring period (default 1000)\n"
+      "  --rounds <n>         arbitration rounds to run; 0 = forever "
+      "(default 0)\n"
+      "  --cgroup-root <dir>  cgroup-v2 mount (default /sys/fs/cgroup)\n"
+      "  --nodes <n>, --cores-per-node <n>\n"
+      "                       topology override (default: sysfs discovery)\n"
+      "  --dry-run            log intended cgroup writes, perform none\n"
+      "  --print-ops          dump the cgroup op log on exit\n");
+}
+
+bool ParseTenant(const std::string& spec, TenantFlag* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string field = spec.substr(pos, comma - pos);
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "name") out->name = value;
+    else if (key == "pid") out->pid = std::atol(value.c_str());
+    else if (key == "initial") out->initial = std::atoi(value.c_str());
+    else if (key == "max") out->max = std::atoi(value.c_str());
+    else if (key == "weight") out->weight = std::atof(value.c_str());
+    else if (key == "mode") out->mode = value;
+    else return false;
+    pos = comma + 1;
+  }
+  return out->initial >= 1 && out->weight > 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  platform::LinuxPlatformOptions platform_options;
+  std::string policy = "demand_proportional";
+  long period_ms = 1000;
+  long rounds = 0;
+  bool print_ops = false;
+  std::vector<TenantFlag> tenants;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--policy") policy = next();
+    else if (arg == "--period-ms") period_ms = std::atol(next());
+    else if (arg == "--rounds") rounds = std::atol(next());
+    else if (arg == "--cgroup-root") platform_options.cgroup_root = next();
+    else if (arg == "--nodes") platform_options.num_nodes = std::atoi(next());
+    else if (arg == "--cores-per-node") {
+      platform_options.cores_per_node = std::atoi(next());
+    } else if (arg == "--dry-run") platform_options.dry_run = true;
+    else if (arg == "--print-ops") print_ops = true;
+    else if (arg == "--tenant") {
+      TenantFlag tenant;
+      if (!ParseTenant(next(), &tenant)) {
+        std::fprintf(stderr, "elasticored: bad --tenant spec\n");
+        return 2;
+      }
+      tenants.push_back(tenant);
+    } else {
+      Usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (tenants.empty()) {
+    Usage();
+    return 2;
+  }
+  if (period_ms < 1) period_ms = 1;
+  // A dry run has no pacing sleep; "forever" would busy-loop. Default to a
+  // short audit run instead.
+  if (platform_options.dry_run && rounds == 0) rounds = 3;
+  // One platform tick = one monitoring period, so /proc/stat windows and
+  // the load thresholds line up with the paper's per-period accounting.
+  platform_options.seconds_per_tick = static_cast<double>(period_ms) / 1000.0;
+
+  platform::LinuxPlatform platform(platform_options);
+  const numasim::Topology& topo = platform.topology();
+  std::printf("elasticored: %d node(s) x %d core(s)%s\n", topo.num_nodes(),
+              topo.config().cores_per_node,
+              platform_options.dry_run ? " [dry run]" : "");
+
+  core::ArbiterConfig arbiter_config;
+  arbiter_config.policy = core::ArbitrationPolicyFromName(policy);
+  arbiter_config.monitor_period_ticks = 1;
+  core::CoreArbiter arbiter(&platform, arbiter_config);
+  for (const TenantFlag& tenant : tenants) {
+    core::ArbiterTenantConfig config;
+    config.name = tenant.name;
+    config.mode = tenant.mode;
+    config.weight = tenant.weight;
+    config.mechanism.initial_cores = tenant.initial;
+    config.mechanism.max_cores = tenant.max;
+    arbiter.AddTenant(config);
+  }
+  arbiter.Install();
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    if (tenants[i].pid > 0) {
+      platform.AttachPid(arbiter.tenant_cpuset(static_cast<int>(i)),
+                         tenants[i].pid);
+    }
+  }
+
+  for (long round = 1; rounds == 0 || round <= rounds; ++round) {
+    if (!platform_options.dry_run) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));
+    }
+    // Dry runs poll at synthetic ticks so a smoke run finishes instantly;
+    // live runs use the platform clock (one tick per period). Firing the
+    // platform's tick hooks runs the monitoring hook the arbiter
+    // registered at Install() — the same path the simulator's tick loop
+    // drives.
+    const simcore::Tick now =
+        platform_options.dry_run ? round : std::max<simcore::Tick>(
+                                               platform.Now(), round);
+    platform.FireTickHooks(now);
+    std::printf("round %ld:", round);
+    for (int t = 0; t < arbiter.num_tenants(); ++t) {
+      const core::ElasticMechanism& mechanism = arbiter.mechanism(t);
+      std::printf(" %s=%s(u=%.0f,%s)", arbiter.tenant_name(t).c_str(),
+                  arbiter.tenant_mask(t).ToCpuList().c_str(),
+                  mechanism.last_u(),
+                  core::PerfStateName(mechanism.last_state()));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+  if (print_ops) {
+    for (const std::string& op : platform.op_log()) {
+      std::printf("op: %s\n", op.c_str());
+    }
+  }
+  std::printf("elasticored: %lld handoffs, %lld preemptions\n",
+              static_cast<long long>(arbiter.core_handoffs()),
+              static_cast<long long>(arbiter.preemptions()));
+  return 0;
+}
