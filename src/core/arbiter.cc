@@ -58,8 +58,16 @@ ArbitrationPolicy ArbitrationPolicyFromName(const std::string& name) {
 
 CoreArbiter::CoreArbiter(platform::Platform* platform,
                          const ArbiterConfig& config)
-    : platform_(platform), config_(config) {
+    : platform_(platform), config_(config), jitter_rng_(config.fault_seed) {
   ELASTIC_CHECK(config_.monitor_period_ticks >= 1, "monitoring period >= 1");
+  ELASTIC_CHECK(config_.stale_ttl_rounds >= 0, "stale TTL >= 0");
+  ELASTIC_CHECK(config_.install_retry_base_rounds >= 1 &&
+                    config_.install_max_backoff_rounds >=
+                        config_.install_retry_base_rounds,
+                "install backoff bounds out of order");
+  ELASTIC_CHECK(config_.quarantine_after_failures >= 1 &&
+                    config_.quarantine_probe_rounds >= 1,
+                "quarantine thresholds >= 1");
 }
 
 int CoreArbiter::AddTenant(const ArbiterTenantConfig& config) {
@@ -171,9 +179,9 @@ std::vector<double> CoreArbiter::ShedRates(simcore::Tick now) const {
   std::vector<double> rates(static_cast<size_t>(num_tenants()), 0.0);
   if (config_.policy != ArbitrationPolicy::kSloAware) return rates;
   for (int i = 0; i < num_tenants(); ++i) {
-    const ArbiterTenantConfig& config = tenants_[static_cast<size_t>(i)].config;
-    if (config.shed_rate_probe) {
-      rates[static_cast<size_t>(i)] = config.shed_rate_probe(now);
+    const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    if (tenant.active && tenant.config.shed_rate_probe) {
+      rates[static_cast<size_t>(i)] = tenant.config.shed_rate_probe(now);
     }
   }
   return rates;
@@ -188,6 +196,7 @@ std::vector<double> CoreArbiter::SloRatios(
   for (int i = 0; i < num_tenants(); ++i) {
     const Tenant& tenant = tenants_[static_cast<size_t>(i)];
     const ArbiterTenantConfig& config = tenant.config;
+    if (!tenant.active) continue;
     if (config.slo_p99_s < 0.0 || !config.tail_latency_probe) continue;
     const double p99 = config.tail_latency_probe(now);
     double ratio = p99 < 0.0 ? -1.0 : p99 / std::max(config.slo_p99_s, 1e-12);
@@ -222,15 +231,24 @@ std::vector<double> CoreArbiter::Entitlements(
   std::vector<double> entitlements(static_cast<size_t>(count), 0.0);
   switch (config_.policy) {
     case ArbitrationPolicy::kFairShare: {
-      for (double& e : entitlements) e = total / count;
+      int active = 0;
+      for (const Tenant& tenant : tenants_) active += tenant.active ? 1 : 0;
+      for (int i = 0; i < count; ++i) {
+        if (!tenants_[static_cast<size_t>(i)].active) continue;
+        entitlements[static_cast<size_t>(i)] = total / std::max(active, 1);
+      }
       break;
     }
     case ArbitrationPolicy::kPriorityWeighted: {
       double sum = 0.0;
-      for (const Tenant& tenant : tenants_) sum += tenant.config.weight;
+      for (const Tenant& tenant : tenants_) {
+        if (tenant.active) sum += tenant.config.weight;
+      }
       for (int i = 0; i < count; ++i) {
+        const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+        if (!tenant.active) continue;
         entitlements[static_cast<size_t>(i)] =
-            total * tenants_[static_cast<size_t>(i)].config.weight / sum;
+            total * tenant.config.weight / std::max(sum, 1e-12);
       }
       break;
     }
@@ -240,14 +258,16 @@ std::vector<double> CoreArbiter::Entitlements(
       std::vector<double> demand(static_cast<size_t>(count), 0.0);
       double sum = 0.0;
       for (int i = 0; i < count; ++i) {
+        if (!tenants_[static_cast<size_t>(i)].active) continue;
         const ElasticMechanism::Decision& d = decisions[static_cast<size_t>(i)];
         demand[static_cast<size_t>(i)] =
             std::max(d.u, 0.0) / 100.0 * d.current + 1e-6;
         sum += demand[static_cast<size_t>(i)];
       }
       for (int i = 0; i < count; ++i) {
+        if (!tenants_[static_cast<size_t>(i)].active) continue;
         entitlements[static_cast<size_t>(i)] =
-            total * demand[static_cast<size_t>(i)] / sum;
+            total * demand[static_cast<size_t>(i)] / std::max(sum, 1e-12);
       }
       break;
     }
@@ -265,6 +285,7 @@ std::vector<double> CoreArbiter::Entitlements(
       int best_effort = 0;
       for (int i = 0; i < count; ++i) {
         const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+        if (!tenant.active) continue;
         if (tenant.config.slo_p99_s < 0.0) {
           best_effort++;
           continue;
@@ -290,7 +311,8 @@ std::vector<double> CoreArbiter::Entitlements(
       if (best_effort > 0) {
         const double share = std::max(0.0, remaining) / best_effort;
         for (int i = 0; i < count; ++i) {
-          if (tenants_[static_cast<size_t>(i)].config.slo_p99_s < 0.0) {
+          const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+          if (tenant.active && tenant.config.slo_p99_s < 0.0) {
             entitlements[static_cast<size_t>(i)] = share;
           }
         }
@@ -308,7 +330,24 @@ void CoreArbiter::Poll(simcore::Tick now) {
   std::vector<ElasticMechanism::Decision> decisions;
   decisions.reserve(static_cast<size_t>(count));
   for (Tenant& tenant : tenants_) {
-    decisions.push_back(tenant.mechanism->Decide(now));
+    if (!tenant.active) {
+      // Detached tenants are no longer polled; a hold-at-zero placeholder
+      // keeps the per-index vectors aligned.
+      decisions.push_back(ElasticMechanism::Decision{});
+      continue;
+    }
+    ElasticMechanism::Decision d = tenant.mechanism->Decide(now);
+    if (!d.valid) {
+      tenant.stale_rounds++;
+      stats_.stale_rounds++;
+      if (tenant.stale_rounds <= config_.stale_ttl_rounds) {
+        stats_.held_rounds++;
+      }
+    } else {
+      tenant.stale_rounds = 0;
+      tenant.last_good_tick = now;
+    }
+    decisions.push_back(std::move(d));
   }
 
   ArbiterRound round;
@@ -321,6 +360,7 @@ void CoreArbiter::Poll(simcore::Tick now) {
   for (int i = 0; i < count; ++i) {
     Tenant& tenant = tenants_[static_cast<size_t>(i)];
     const ElasticMechanism::Decision& d = decisions[static_cast<size_t>(i)];
+    if (!tenant.active || Frozen(tenant)) continue;
     if (d.desired >= d.current) continue;
     // Under kSloAware an SLO tenant's floor is provisioned standby
     // capacity, not just a preemption bound: lulls in an open-loop arrival
@@ -342,8 +382,32 @@ void CoreArbiter::Poll(simcore::Tick now) {
   const std::vector<double> shed_rates = ShedRates(now);
   const std::vector<double> slo_ratios = SloRatios(now, shed_rates);
   const std::vector<double> entitlements = Entitlements(decisions, slo_ratios);
+
+  // Degraded-telemetry decay: a tenant blind past the TTL stops holding its
+  // last allocation and releases one core per round towards its entitlement
+  // (a stale signal earns no more than the tenant is notionally owed), never
+  // below the initial_cores floor. Held rounds within the TTL change nothing.
+  for (int i = 0; i < count; ++i) {
+    Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    if (!tenant.active || Frozen(tenant)) continue;
+    if (tenant.stale_rounds <= config_.stale_ttl_rounds) continue;
+    const int floor = std::max(1, tenant.config.mechanism.initial_cores);
+    const int target = std::max(
+        floor,
+        static_cast<int>(std::ceil(entitlements[static_cast<size_t>(i)])));
+    if (tenant.mask.Count() <= target) continue;
+    const numasim::CoreId core =
+        tenant.mechanism->mode().NextToRelease(tenant.mask);
+    ELASTIC_CHECK(core != numasim::kInvalidCore, "decay from an empty tenant");
+    tenant.mask.Clear(core);
+    round.handoffs++;
+    stats_.decayed_cores++;
+  }
+
   std::vector<int> growers;
   for (int i = 0; i < count; ++i) {
+    const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    if (!tenant.active || Frozen(tenant)) continue;
     if (decisions[static_cast<size_t>(i)].desired >
         decisions[static_cast<size_t>(i)].current) {
       growers.push_back(i);
@@ -392,14 +456,21 @@ void CoreArbiter::Poll(simcore::Tick now) {
     double worst_excess = 0.0;
     for (int v = 0; v < count; ++v) {
       if (v == grower) continue;
+      const Tenant& candidate = tenants_[static_cast<size_t>(v)];
+      if (!candidate.active || Frozen(candidate)) continue;
       const bool victim_best_effort =
           config_.policy == ArbitrationPolicy::kSloAware &&
-          tenants_[static_cast<size_t>(v)].config.slo_p99_s < 0.0;
-      if (decisions[static_cast<size_t>(v)].state == PerfState::kOverload &&
-          !(slo_violating && victim_best_effort)) {
+          candidate.config.slo_p99_s < 0.0;
+      // The overload shield is only honoured while the victim's signal is
+      // fresh: a stale tenant's "overload" is a replay of its last good
+      // window, and holding cores on its strength would let a dead probe
+      // pin capacity indefinitely.
+      const bool shield =
+          decisions[static_cast<size_t>(v)].state == PerfState::kOverload &&
+          candidate.stale_rounds <= config_.stale_ttl_rounds;
+      if (shield && !(slo_violating && victim_best_effort)) {
         continue;
       }
-      const Tenant& candidate = tenants_[static_cast<size_t>(v)];
       const int held = candidate.mask.Count();
       if (held <= std::max(1, candidate.config.mechanism.initial_cores)) continue;
       const double excess = held - entitlements[static_cast<size_t>(v)];
@@ -429,6 +500,7 @@ void CoreArbiter::Poll(simcore::Tick now) {
       for (int v = 0; v < count; ++v) {
         if (v == grower) continue;
         const Tenant& candidate = tenants_[static_cast<size_t>(v)];
+        if (!candidate.active || Frozen(candidate)) continue;
         if (candidate.config.slo_p99_s < 0.0) continue;  // best-effort: pass 1
         if (shed_rates[static_cast<size_t>(v)] > 0.0) continue;
         const double victim_ratio = slo_ratios[static_cast<size_t>(v)];
@@ -458,23 +530,107 @@ void CoreArbiter::Poll(simcore::Tick now) {
   }
 
   // Phase 4: install the rebalanced cpusets and commit the grants into the
-  // tenants' nets so next round's t4..t7 guards see the real counts.
+  // tenants' nets so next round's t4..t7 guards see the real counts. A
+  // rejected install freezes the tenant's mask behind backoff/quarantine
+  // (TryInstall) while the remaining tenants keep arbitrating normally.
   for (int i = 0; i < count; ++i) {
     Tenant& tenant = tenants_[static_cast<size_t>(i)];
-    platform_->SetCpusetMask(tenant.cpuset, tenant.mask);
+    TenantRound& tr = round.tenants[static_cast<size_t>(i)];
+    if (!tenant.active) {
+      tr.detached = true;
+      continue;
+    }
+    TryInstall(i, tenant, tr);
     tenant.mechanism->CommitGrant(tenant.mask, now,
                                   decisions[static_cast<size_t>(i)]);
-    TenantRound& tr = round.tenants[static_cast<size_t>(i)];
     tr.state = decisions[static_cast<size_t>(i)].state;
     tr.u = decisions[static_cast<size_t>(i)].u;
     tr.demanded = decisions[static_cast<size_t>(i)].desired;
     tr.granted = tenant.mask.Count();
+    tr.stale = tenant.stale_rounds > 0;
   }
 
   handoffs_ += round.handoffs;
   preemptions_ += round.preemptions;
   if (round.starved > 0) starved_rounds_++;
   if (config_.log_rounds) log_.push_back(std::move(round));
+  round_counter_++;
+}
+
+void CoreArbiter::TryInstall(int index, Tenant& tenant, TenantRound& tr) {
+  if (tenant.quarantined) {
+    stats_.quarantined_rounds++;
+    tr.quarantined = true;
+    if (round_counter_ < tenant.probe_round) return;
+    // Periodic probe write: one attempt per quarantine_probe_rounds. On
+    // success the cpuset rejoins normal arbitration next round.
+    if (platform_->SetCpusetMask(tenant.cpuset, tenant.mask)) {
+      tenant.quarantined = false;
+      tenant.install_failures = 0;
+      return;
+    }
+    stats_.failed_installs++;
+    tr.install_failed = true;
+    tenant.probe_round = round_counter_ + config_.quarantine_probe_rounds;
+    return;
+  }
+  if (tenant.install_failures > 0 && round_counter_ < tenant.next_retry_round) {
+    return;  // mid-backoff: the mask is frozen, nothing to write yet
+  }
+  if (platform_->SetCpusetMask(tenant.cpuset, tenant.mask)) {
+    tenant.install_failures = 0;
+    return;
+  }
+  stats_.failed_installs++;
+  tr.install_failed = true;
+  tenant.install_failures++;
+  if (tenant.install_failures >= config_.quarantine_after_failures) {
+    tenant.quarantined = true;
+    stats_.quarantine_entries++;
+    tenant.probe_round = round_counter_ + config_.quarantine_probe_rounds;
+    platform_->trace()->Add(platform_->Now(), "arbiter_quarantine", index,
+                            tenant.install_failures, tenant.config.name);
+    return;
+  }
+  // Exponential backoff with seeded jitter; capped so a flapping cgroup
+  // never pushes the retry horizon past install_max_backoff_rounds + jitter.
+  const int64_t base = config_.install_retry_base_rounds;
+  int64_t backoff = base << std::min(tenant.install_failures - 1, 30);
+  backoff = std::min<int64_t>(backoff, config_.install_max_backoff_rounds);
+  backoff += static_cast<int64_t>(
+      jitter_rng_.NextBounded(static_cast<uint64_t>(base) + 1));
+  tenant.next_retry_round = round_counter_ + backoff;
+}
+
+void CoreArbiter::DetachTenant(int tenant) {
+  Tenant& t = tenants_[static_cast<size_t>(tenant)];
+  if (!t.active) return;
+  t.active = false;
+  stats_.detached_tenants++;
+  platform_->trace()->Add(platform_->Now(), "arbiter_detach", tenant,
+                          t.mask.Count(), t.config.name);
+  // The cores return to the free pool immediately (FreePool unions only the
+  // tenants' masks); the platform cpuset is left as-is — it confines nothing.
+  t.mask = platform::CpuMask();
+}
+
+bool CoreArbiter::tenant_active(int tenant) const {
+  return tenants_[static_cast<size_t>(tenant)].active;
+}
+
+bool CoreArbiter::tenant_quarantined(int tenant) const {
+  return tenants_[static_cast<size_t>(tenant)].quarantined;
+}
+
+void CoreArbiter::InstallFallbackMasks() {
+  const platform::CpuMask all =
+      platform::CpuMask::AllOf(platform_->topology());
+  for (Tenant& tenant : tenants_) {
+    // Best-effort by design: a quarantined cpuset may still reject the
+    // write, but widening to the whole machine can never make confinement
+    // worse than whatever mask is already installed.
+    platform_->SetCpusetMask(tenant.cpuset, all);
+  }
 }
 
 double CoreArbiter::JainIndex(const std::vector<double>& values) {
@@ -492,6 +648,7 @@ double CoreArbiter::FairnessIndex() const {
   std::vector<double> counts;
   counts.reserve(tenants_.size());
   for (const Tenant& tenant : tenants_) {
+    if (!tenant.active) continue;  // a detached tenant holds 0 by definition
     counts.push_back(static_cast<double>(tenant.mask.Count()));
   }
   return JainIndex(counts);

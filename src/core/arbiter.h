@@ -10,6 +10,7 @@
 #include "core/mechanism.h"
 #include "core/node_priority_queue.h"
 #include "platform/platform.h"
+#include "simcore/rng.h"
 
 namespace elastic::core {
 
@@ -85,6 +86,47 @@ struct ArbiterConfig {
   int monitor_period_ticks = 20;
   /// Keep a per-round decision log.
   bool log_rounds = true;
+
+  // -- Degraded-telemetry policy (counts are arbitration rounds). A tenant
+  // whose window is implausible (probe dropout, garbage counters) holds its
+  // allocation for stale_ttl_rounds; past the TTL it decays one core per
+  // round towards its entitlement (never below the initial_cores floor).
+  // Stale tenants never initiate preemption, and a victim's overload shield
+  // is honoured only while its signal is fresher than the TTL. --
+  int stale_ttl_rounds = 3;
+
+  // -- Cpuset install failure handling. A failed SetCpusetMask freezes the
+  // tenant's mask (the OS still runs the old one) and retries with
+  // exponential backoff plus seeded jitter; after quarantine_after_failures
+  // consecutive failures the cpuset is quarantined — the arbiter stops
+  // touching it except for one probe write every quarantine_probe_rounds,
+  // and keeps arbitrating the remaining tenants. --
+  int install_retry_base_rounds = 1;
+  int install_max_backoff_rounds = 8;
+  int quarantine_after_failures = 4;
+  int quarantine_probe_rounds = 16;
+  /// Seed of the backoff-jitter stream. Drawn only on failures, so a
+  /// fault-free run never consumes it (determinism of the healthy path).
+  uint64_t fault_seed = 0x5EEDULL;
+};
+
+/// Control-plane health counters (all monotonic). stale/held/quarantined
+/// counts are tenant-rounds: one tenant degraded for one round adds one.
+struct ArbiterStats {
+  /// Rounds a tenant's telemetry was implausible (dropout or garbage).
+  int64_t stale_rounds = 0;
+  /// Stale rounds absorbed by hold-last-allocation (within the TTL).
+  int64_t held_rounds = 0;
+  /// Cores released by decay-to-entitlement past the TTL.
+  int64_t decayed_cores = 0;
+  /// SetCpusetMask attempts the platform rejected.
+  int64_t failed_installs = 0;
+  /// Times a cpuset crossed the consecutive-failure threshold.
+  int64_t quarantine_entries = 0;
+  /// Rounds a tenant spent quarantined.
+  int64_t quarantined_rounds = 0;
+  /// Tenants detached (dead pid / explicit DetachTenant).
+  int64_t detached_tenants = 0;
 };
 
 /// Per-tenant outcome of one arbitration round.
@@ -95,6 +137,12 @@ struct TenantRound {
   int demanded = 0;
   /// Cores the tenant actually holds after the round.
   int granted = 0;
+  /// Degraded-state flags of the round (all false on the healthy path).
+  bool stale = false;
+  bool install_failed = false;
+  bool quarantined = false;
+  /// False once the tenant was detached (dead process).
+  bool detached = false;
 };
 
 /// One arbitration round across all tenants.
@@ -166,6 +214,29 @@ class CoreArbiter {
   int64_t preemptions() const { return preemptions_; }
   int64_t starved_rounds() const { return starved_rounds_; }
 
+  /// Control-plane health counters (stale/held rounds, failed installs,
+  /// quarantines, detaches).
+  const ArbiterStats& stats() const { return stats_; }
+
+  /// Removes a tenant from arbitration (its process died): the tenant's
+  /// cores return to the free pool next round, its mechanism is no longer
+  /// polled, and its platform cpuset is left as-is (it confines nothing).
+  /// Idempotent.
+  void DetachTenant(int tenant);
+
+  /// Whether the tenant is still arbitrated (not detached).
+  bool tenant_active(int tenant) const;
+
+  /// Whether the tenant's cpuset is quarantined after repeated failed
+  /// installs.
+  bool tenant_quarantined(int tenant) const;
+
+  /// Last-resort shutdown path: best-effort write of the full machine mask
+  /// into every tenant cpuset (quarantine and backoff are ignored), so no
+  /// workload stays confined to a sliver when the arbiter stops. Terminal —
+  /// do not Poll afterwards.
+  void InstallFallbackMasks();
+
   /// Jain's fairness index over the current per-tenant core counts
   /// normalised by entitlement-free equal shares: 1.0 = perfectly even.
   double FairnessIndex() const;
@@ -182,7 +253,32 @@ class CoreArbiter {
     std::unique_ptr<ElasticMechanism> mechanism;
     platform::CpusetId cpuset = platform::kNoCpuset;
     platform::CpuMask mask;
+
+    /// False once detached (dead process); the tenant holds no cores.
+    bool active = true;
+    /// Consecutive rounds of implausible telemetry; 0 = fresh signal.
+    int stale_rounds = 0;
+    /// Tick of the last plausible window.
+    simcore::Tick last_good_tick = 0;
+    /// Consecutive failed SetCpusetMask attempts; > 0 freezes the mask.
+    int install_failures = 0;
+    /// First round index a backed-off retry may run.
+    int64_t next_retry_round = 0;
+    bool quarantined = false;
+    /// Round index of the next quarantine probe write.
+    int64_t probe_round = 0;
   };
+
+  /// A frozen tenant's mask must not change: its cpuset is quarantined or
+  /// mid-backoff, so the OS still runs the previous mask and any rebalance
+  /// would silently diverge from reality.
+  bool Frozen(const Tenant& tenant) const {
+    return tenant.quarantined || tenant.install_failures > 0;
+  }
+
+  /// Phase 4 helper: one SetCpusetMask attempt with failure bookkeeping
+  /// (backoff scheduling, quarantine entry/exit).
+  void TryInstall(int index, Tenant& tenant, TenantRound& tr);
 
   /// Entitlements of every tenant under the configured policy; `decisions`
   /// supplies the demand signal for kDemandProportional, `slo_ratios` the
@@ -220,6 +316,11 @@ class CoreArbiter {
   int64_t preemptions_ = 0;
   int64_t starved_rounds_ = 0;
   std::vector<ArbiterRound> log_;
+  ArbiterStats stats_;
+  /// Completed Poll() rounds; the clock of backoff/quarantine scheduling.
+  int64_t round_counter_ = 0;
+  /// Backoff jitter; drawn only on install failures.
+  simcore::Rng jitter_rng_;
 };
 
 }  // namespace elastic::core

@@ -1,10 +1,20 @@
 #include "core/mechanism.h"
 
+#include <cmath>
 #include <utility>
 
 #include "simcore/check.h"
 
 namespace elastic::core {
+
+namespace {
+/// Plausibility ceilings for one window's measurement. CPU load is a
+/// percentage of the allocated cores' cycle budget — jiffy accounting can
+/// overshoot 100 slightly, a wrapped counter overshoots by orders of
+/// magnitude. The HT/IMC ratio sits near 1 even on NUMA-hostile runs.
+constexpr double kMaxPlausibleCpuLoad = 200.0;
+constexpr double kMaxPlausibleHtImcRatio = 1e3;
+}  // namespace
 
 const char* PerfStateName(PerfState state) {
   switch (state) {
@@ -170,11 +180,35 @@ double ElasticMechanism::Measure(const perf::WindowStats& window) const {
   return 0.0;
 }
 
+bool ElasticMechanism::TelemetryPlausible(const perf::WindowStats& window,
+                                          double u) const {
+  if (window.ticks <= 0) return false;
+  if (!std::isfinite(u) || u < 0.0) return false;
+  const double bound = config_.strategy == TransitionStrategy::kCpuLoad
+                           ? kMaxPlausibleCpuLoad
+                           : kMaxPlausibleHtImcRatio;
+  return u <= bound;
+}
+
 ElasticMechanism::Decision ElasticMechanism::Decide(simcore::Tick now) {
   (void)now;
   ELASTIC_CHECK(installed_, "Decide before Install/InstallManaged");
   const perf::WindowStats window = sampler_->Sample();
   const double u = Measure(window);
+  if (!TelemetryPlausible(window, u)) {
+    // Degraded round: never fire the net, never update the mode's
+    // observation state or last_u_ on a signal that cannot be trusted.
+    // The decision holds the current allocation; staleness policy beyond
+    // one round (TTL, decay) is the arbiter's job.
+    Decision decision;
+    decision.state = last_state_;
+    decision.u = last_u_;
+    decision.current = allocated_.Count();
+    decision.desired = decision.current;
+    decision.label = "stale-hold";
+    decision.valid = false;
+    return decision;
+  }
   last_u_ = u;
   mode_->Observe(window);
 

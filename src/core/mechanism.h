@@ -113,8 +113,15 @@ class ElasticMechanism {
     double u = 0.0;
     int current = 0;
     int desired = 0;
-    /// Fired rule-condition-action labels, e.g. "t1-Overload-t5".
+    /// Fired rule-condition-action labels, e.g. "t1-Overload-t5"; a round
+    /// with implausible telemetry is labelled "stale-hold" instead.
     std::string label;
+    /// Whether the window behind this decision was plausible telemetry. An
+    /// invalid round never fires the net: state/u repeat the last good
+    /// measurement, desired == current (hold), and the arbiter's
+    /// degraded-telemetry policy takes over (hold within the TTL, decay to
+    /// entitlement beyond it — see ArbiterConfig).
+    bool valid = true;
   };
 
   /// Fires one monitoring round of the net *without* touching the scheduler
@@ -145,6 +152,10 @@ class ElasticMechanism {
  private:
   void BuildNet();
   double Measure(const perf::WindowStats& window) const;
+  /// Sanity gate on one monitoring window: zero-width windows (a probe
+  /// dropout) and out-of-range measurements (garbage counters, NaN) are
+  /// rejected before they reach the net or the mode's observation state.
+  bool TelemetryPlausible(const perf::WindowStats& window, double u) const;
 
   platform::Platform* platform_;
   std::unique_ptr<AllocationMode> mode_;

@@ -78,12 +78,22 @@ MultiTenantExperiment::MultiTenantExperiment(const db::Database* database,
                                            options.placement,
                                            options.machine_config.page_bytes);
 
+  platform::Platform* arbiter_platform = platform_.get();
+  if (options.fault_schedule != nullptr) {
+    fault_platform_ = std::make_unique<platform::FaultInjectionPlatform>(
+        platform_.get(), *options.fault_schedule);
+    arbiter_platform = fault_platform_.get();
+  }
+
   core::ArbiterConfig arbiter_config;
   arbiter_config.policy = options.policy;
   arbiter_config.monitor_period_ticks = options.monitor_period_ticks;
   arbiter_config.log_rounds = options.log_rounds;
+  arbiter_config.stale_ttl_rounds = options.stale_ttl_rounds;
+  arbiter_config.quarantine_after_failures = options.quarantine_after_failures;
+  arbiter_config.quarantine_probe_rounds = options.quarantine_probe_rounds;
   arbiter_ =
-      std::make_unique<core::CoreArbiter>(platform_.get(), arbiter_config);
+      std::make_unique<core::CoreArbiter>(arbiter_platform, arbiter_config);
 }
 
 int MultiTenantExperiment::AddTenant(const TenantSpec& spec) {

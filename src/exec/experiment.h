@@ -12,6 +12,7 @@
 #include "exec/client_driver.h"
 #include "exec/dbms_engine.h"
 #include "ossim/machine.h"
+#include "platform/fault_injection_platform.h"
 #include "platform/sim_platform.h"
 
 namespace elastic::exec {
@@ -109,6 +110,18 @@ struct MultiTenantOptions {
   int monitor_period_ticks = 20;
   bool log_rounds = true;
   BasePlacement placement = BasePlacement::kChunkedRoundRobin;
+
+  /// Optional fault schedule: when set, the arbiter (and every tenant
+  /// mechanism) talks to the sim machine through a FaultInjectionPlatform
+  /// replaying this schedule. Not owned; must outlive the experiment. Null =
+  /// no injection, the arbiter uses the SimPlatform directly.
+  const platform::FaultSchedule* fault_schedule = nullptr;
+
+  /// Degraded-telemetry / install-failure knobs forwarded to ArbiterConfig
+  /// (see core/arbiter.h for semantics).
+  int stale_ttl_rounds = 3;
+  int quarantine_after_failures = 4;
+  int quarantine_probe_rounds = 16;
 };
 
 /// N tenant DBMS instances contending for one simulated machine under a
@@ -139,6 +152,10 @@ class MultiTenantExperiment {
   int num_tenants() const { return static_cast<int>(tenants_.size()); }
   ossim::Machine& machine() { return *machine_; }
   platform::SimPlatform& platform() { return *platform_; }
+  /// Null unless options.fault_schedule was set.
+  platform::FaultInjectionPlatform* fault_platform() {
+    return fault_platform_.get();
+  }
   core::CoreArbiter& arbiter() { return *arbiter_; }
   DbmsEngine& engine(int tenant) { return *tenants_[static_cast<size_t>(tenant)].engine; }
   ClientDriver& driver(int tenant) { return *tenants_[static_cast<size_t>(tenant)].driver; }
@@ -158,6 +175,7 @@ class MultiTenantExperiment {
   MultiTenantOptions options_;
   std::unique_ptr<ossim::Machine> machine_;
   std::unique_ptr<platform::SimPlatform> platform_;
+  std::unique_ptr<platform::FaultInjectionPlatform> fault_platform_;
   std::unique_ptr<BaseCatalog> catalog_;
   std::unique_ptr<core::CoreArbiter> arbiter_;
   std::vector<Tenant> tenants_;

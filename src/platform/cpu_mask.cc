@@ -29,26 +29,31 @@ CpuMask CpuMask::NodeCores(const numasim::Topology& topology, numasim::NodeId no
   return Of(topology.CoresOfNode(node));
 }
 
-CpuMask CpuMask::FromCpuList(const std::string& list) {
+std::optional<CpuMask> CpuMask::TryFromCpuList(const std::string& list) {
   CpuMask mask;
   const char* p = list.c_str();
   while (*p != '\0') {
     char* end = nullptr;
     const long first = std::strtol(p, &end, 10);
-    ELASTIC_CHECK(end != p && first >= 0 && first < 64, "malformed cpulist");
+    if (end == p || first < 0 || first >= 64) return std::nullopt;
     long last = first;
     p = end;
     if (*p == '-') {
       last = std::strtol(p + 1, &end, 10);
-      ELASTIC_CHECK(end != p + 1 && last >= first && last < 64,
-                    "malformed cpulist range");
+      if (end == p + 1 || last < first || last >= 64) return std::nullopt;
       p = end;
     }
     for (long c = first; c <= last; ++c) mask.Set(static_cast<int>(c));
     if (*p == ',') p++;
-    else ELASTIC_CHECK(*p == '\0', "malformed cpulist separator");
+    else if (*p != '\0') return std::nullopt;
   }
   return mask;
+}
+
+CpuMask CpuMask::FromCpuList(const std::string& list) {
+  const std::optional<CpuMask> mask = TryFromCpuList(list);
+  ELASTIC_CHECK(mask.has_value(), "malformed cpulist");
+  return *mask;
 }
 
 std::vector<numasim::CoreId> CpuMask::ToCores() const {

@@ -2,6 +2,7 @@
 #define ELASTICORE_PLATFORM_CPU_MASK_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,13 @@ class CpuMask {
   /// Mask of all cores belonging to one node.
   static CpuMask NodeCores(const numasim::Topology& topology, numasim::NodeId node);
 
-  /// Parses a Linux cpulist ("0-3,8,10-11"); CHECK-fails on malformed input.
+  /// Parses a Linux cpulist ("0-3,8,10-11"); nullopt on malformed input or
+  /// cores past the 64-bit mask bound. The daemon-facing form: hostile
+  /// /sys or operator input degrades instead of aborting.
+  static std::optional<CpuMask> TryFromCpuList(const std::string& list);
+
+  /// Parses a Linux cpulist ("0-3,8,10-11"); CHECK-fails on malformed input
+  /// (the sim/test convenience wrapper over TryFromCpuList).
   static CpuMask FromCpuList(const std::string& list);
 
   void Set(numasim::CoreId core) { bits_ |= (uint64_t{1} << core); }

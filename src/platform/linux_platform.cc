@@ -1,9 +1,9 @@
 #include "platform/linux_platform.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -100,31 +100,30 @@ numasim::MachineConfig DiscoverTopology(const LinuxPlatformOptions& options) {
 class ZeroSampler : public perf::UtilizationSampler {
  public:
   ZeroSampler(const Platform* platform, double seconds_per_tick)
-      : platform_(platform),
-        seconds_per_tick_(seconds_per_tick),
-        baseline_(platform->Now()) {}
+      : platform_(platform), seconds_per_tick_(seconds_per_tick) {}
 
   perf::WindowStats Sample() override {
     perf::WindowStats stats;
     const int nodes = platform_->topology().num_nodes();
     const int cores = platform_->topology().total_cores();
-    stats.ticks = platform_->Now() - baseline_;
-    stats.seconds = static_cast<double>(stats.ticks) * seconds_per_tick_;
+    // A synthetic one-tick window, regardless of wall time: a dry run must
+    // read as a valid (idle) measurement, not as a zero-width dropout the
+    // degraded-telemetry policy would hold on.
+    stats.ticks = 1;
+    stats.seconds = seconds_per_tick_;
     stats.l3_hits.assign(static_cast<size_t>(nodes), 0);
     stats.l3_misses.assign(static_cast<size_t>(nodes), 0);
     stats.imc_bytes.assign(static_cast<size_t>(nodes), 0);
     stats.node_access_pages.assign(static_cast<size_t>(nodes), 0);
     stats.core_busy_cycles.assign(static_cast<size_t>(cores), 0);
-    Reset();
     return stats;
   }
 
-  void Reset() override { baseline_ = platform_->Now(); }
+  void Reset() override {}
 
  private:
   const Platform* platform_;
   double seconds_per_tick_;
-  simcore::Tick baseline_;
 };
 
 /// /proc/stat-backed utilization: per-cpu busy jiffies (everything but
@@ -250,23 +249,35 @@ void LinuxPlatform::RecordOp(std::string op) {
   op_log_.push_back(std::move(op));
 }
 
+void LinuxPlatform::RecordFailure(const std::string& what, int err) {
+  RecordOp("fail " + what + ": " + std::strerror(err) + " (errno " +
+           std::to_string(err) + ")");
+  trace_.Add(Now(), "platform_error", 0, err, what);
+}
+
 void LinuxPlatform::OpMkdir(const std::string& dir) {
   RecordOp("mkdir " + dir);
   if (options_.dry_run) return;
   if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    std::fprintf(stderr, "elasticore: mkdir %s: %s\n", dir.c_str(),
-                 std::strerror(errno));
+    RecordFailure("mkdir " + dir, errno);
   }
 }
 
 bool LinuxPlatform::OpWrite(const std::string& file, const std::string& value) {
   RecordOp("write " + file + " = " + value);
   if (options_.dry_run) return true;
-  std::ofstream out(file);
-  out << value;
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "elasticore: write %s: failed\n", file.c_str());
+  // Raw open/write for a truthful errno: iostream failure states do not
+  // preserve which syscall failed or why, and the audit trail needs both.
+  const int fd = open(file.c_str(), O_WRONLY | O_TRUNC);
+  if (fd < 0) {
+    RecordFailure("write " + file, errno);
+    return false;
+  }
+  const ssize_t written = write(fd, value.data(), value.size());
+  const int write_err = written < 0 ? errno : 0;
+  close(fd);
+  if (written != static_cast<ssize_t>(value.size())) {
+    RecordFailure("write " + file, write_err != 0 ? write_err : EIO);
     return false;
   }
   return true;
@@ -319,7 +330,7 @@ CpusetId LinuxPlatform::CreateCpuset(const std::string& name,
   return static_cast<CpusetId>(cpusets_.size()) - 1;
 }
 
-void LinuxPlatform::SetCpusetMask(CpusetId cpuset, const CpuMask& mask) {
+bool LinuxPlatform::SetCpusetMask(CpusetId cpuset, const CpuMask& mask) {
   ELASTIC_CHECK(cpuset >= 0 && cpuset < static_cast<int>(cpusets_.size()),
                 "unknown cpuset");
   Cpuset& entry = cpusets_[static_cast<size_t>(cpuset)];
@@ -327,9 +338,10 @@ void LinuxPlatform::SetCpusetMask(CpusetId cpuset, const CpuMask& mask) {
   // masks are worth a syscall (and an audit line) — unless the last write
   // failed, in which case the mask is not actually on disk and every round
   // is a retry until it lands.
-  if (entry.synced && entry.mask == mask) return;
+  if (entry.synced && entry.mask == mask) return true;
   entry.mask = mask;
   entry.synced = OpWrite(entry.path + "/cpuset.cpus", mask.ToCpuList());
+  return entry.synced;
 }
 
 CpuMask LinuxPlatform::cpuset_mask(CpusetId cpuset) const {
@@ -368,17 +380,7 @@ bool LinuxPlatform::AttachPid(CpusetId cpuset, long pid) {
                 "unknown cpuset");
   const std::string file =
       cpusets_[static_cast<size_t>(cpuset)].path + "/cgroup.procs";
-  RecordOp("write " + file + " = " + std::to_string(pid));
-  if (options_.dry_run) return true;
-  std::ofstream out(file);
-  out << pid;
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "elasticore: attach pid %ld to %s: failed\n", pid,
-                 file.c_str());
-    return false;
-  }
-  return true;
+  return OpWrite(file, std::to_string(pid));
 }
 
 const std::string& LinuxPlatform::cpuset_path(CpusetId cpuset) const {

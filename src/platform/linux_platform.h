@@ -56,7 +56,7 @@ class LinuxPlatform : public Platform {
   simcore::Tick Now() const override;
   int64_t cycles_per_tick() const override;
   CpusetId CreateCpuset(const std::string& name, const CpuMask& mask) override;
-  void SetCpusetMask(CpusetId cpuset, const CpuMask& mask) override;
+  bool SetCpusetMask(CpusetId cpuset, const CpuMask& mask) override;
   CpuMask cpuset_mask(CpusetId cpuset) const override;
   void SetAllowedMask(const CpuMask& mask) override;
   std::unique_ptr<perf::UtilizationSampler> CreateSampler() override;
@@ -74,8 +74,11 @@ class LinuxPlatform : public Platform {
   void FireTickHooks(simcore::Tick now);
 
   /// Intended (dry-run) or performed (live) filesystem operations, in
-  /// order: "mkdir <dir>" and "write <file> = <value>" lines. Bounded: a
-  /// long-running daemon keeps only the most recent kMaxOpLog entries.
+  /// order: "mkdir <dir>" and "write <file> = <value>" lines. A failed live
+  /// operation additionally appends "fail <op>: <strerror> (errno <n>)" and
+  /// emits a "platform_error" trace event, so the audit trail carries the
+  /// failure detail an operator needs. Bounded: a long-running daemon keeps
+  /// only the most recent kMaxOpLog entries.
   const std::vector<std::string>& op_log() const { return op_log_; }
 
   /// Audit-trail bound (see op_log()).
@@ -101,6 +104,9 @@ class LinuxPlatform : public Platform {
   void EnsureParent();
   /// Appends to op_log_, dropping the oldest half at the bound.
   void RecordOp(std::string op);
+  /// Appends a "fail <what>: ..." audit line and a platform_error trace
+  /// event for a live operation that returned `err` (an errno value).
+  void RecordFailure(const std::string& what, int err);
   void OpMkdir(const std::string& dir);
   /// Records and (outside dry-run) performs the write; returns whether the
   /// value is now known to be on disk (dry runs count as success).

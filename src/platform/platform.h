@@ -56,8 +56,11 @@ class Platform {
   virtual CpusetId CreateCpuset(const std::string& name, const CpuMask& mask) = 0;
 
   /// Rewrites a cpuset's mask; processes/threads inside it are re-confined
-  /// immediately.
-  virtual void SetCpusetMask(CpusetId cpuset, const CpuMask& mask) = 0;
+  /// immediately. Returns whether the mask is now known to be installed in
+  /// the OS — false means the backend could not apply it (a failed cgroup
+  /// write, an injected fault) and the caller must treat the cpuset as
+  /// still holding its previous mask. The simulator never fails.
+  virtual bool SetCpusetMask(CpusetId cpuset, const CpuMask& mask) = 0;
 
   virtual CpuMask cpuset_mask(CpusetId cpuset) const = 0;
 

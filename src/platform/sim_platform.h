@@ -33,8 +33,9 @@ class SimPlatform : public Platform {
     (void)name;
     return machine_->scheduler().CreateCpuset(mask);
   }
-  void SetCpusetMask(CpusetId cpuset, const CpuMask& mask) override {
+  bool SetCpusetMask(CpusetId cpuset, const CpuMask& mask) override {
     machine_->scheduler().SetCpusetMask(cpuset, mask);
+    return true;
   }
   CpuMask cpuset_mask(CpusetId cpuset) const override {
     return machine_->scheduler().cpuset_mask(cpuset);

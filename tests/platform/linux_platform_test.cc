@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,17 @@ TEST(CpuListTest, ParseRoundTrips) {
     EXPECT_EQ(CpuMask::FromCpuList(list).ToCpuList(), list);
   }
   EXPECT_EQ(CpuMask::FromCpuList(""), CpuMask::None());
+}
+
+TEST(CpuListTest, TryFromCpuListRejectsMalformedInput) {
+  // The fallible parser turns corrupt sysfs/cgroupfs content into nullopt
+  // instead of aborting the daemon.
+  for (const std::string& bad :
+       {"x", "0-", "-3", "3-1", "0;2", "64", "0-64", "1,,2", "0-1-2"}) {
+    EXPECT_FALSE(CpuMask::TryFromCpuList(bad).has_value()) << bad;
+  }
+  ASSERT_TRUE(CpuMask::TryFromCpuList("0-1,63").has_value());
+  EXPECT_EQ(*CpuMask::TryFromCpuList("0-1,63"), CpuMask::Of({0, 1, 63}));
 }
 
 TEST(LinuxPlatformTest, TopologyOverrideSkipsDiscovery) {
@@ -104,11 +117,23 @@ TEST(LinuxPlatformTest, FailedLiveWriteIsRetriedNotSuppressed) {
   const CpusetId cpuset = platform.CreateCpuset("t", CpuMask::FirstN(4));
   const size_t baseline = platform.op_log().size();
 
-  platform.SetCpusetMask(cpuset, CpuMask::FirstN(2));
-  EXPECT_EQ(platform.op_log().size(), baseline + 1);
+  // Each failed write leaves two audit lines: the attempt and a "fail"
+  // record carrying strerror + errno (here ENOENT — the root is missing).
+  EXPECT_FALSE(platform.SetCpusetMask(cpuset, CpuMask::FirstN(2)));
+  ASSERT_EQ(platform.op_log().size(), baseline + 2);
+  EXPECT_EQ(platform.op_log()[baseline],
+            "write /nonexistent-elasticore-test/elasticore/t/cpuset.cpus = 0-1");
+  EXPECT_EQ(platform.op_log()[baseline + 1],
+            "fail write /nonexistent-elasticore-test/elasticore/t/cpuset.cpus: " +
+                std::string(std::strerror(ENOENT)) + " (errno " +
+                std::to_string(ENOENT) + ")");
+  // The failure also lands in the trace sink for offline diagnosis.
+  ASSERT_FALSE(platform.trace()->events().empty());
+  EXPECT_EQ(platform.trace()->events().back().kind, "platform_error");
+  EXPECT_EQ(platform.trace()->events().back().b, ENOENT);
   // Same mask again: the previous write failed, so it is attempted again.
-  platform.SetCpusetMask(cpuset, CpuMask::FirstN(2));
-  EXPECT_EQ(platform.op_log().size(), baseline + 2);
+  EXPECT_FALSE(platform.SetCpusetMask(cpuset, CpuMask::FirstN(2)));
+  EXPECT_EQ(platform.op_log().size(), baseline + 4);
 }
 
 TEST(LinuxPlatformTest, AttachPidLogsCgroupProcsWrite) {
