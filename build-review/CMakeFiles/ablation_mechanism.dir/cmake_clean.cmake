@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mechanism.dir/bench/ablation_mechanism.cc.o"
+  "CMakeFiles/ablation_mechanism.dir/bench/ablation_mechanism.cc.o.d"
+  "ablation_mechanism"
+  "ablation_mechanism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mechanism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

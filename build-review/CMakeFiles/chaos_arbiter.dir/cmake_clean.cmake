@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaos_arbiter.dir/bench/chaos_arbiter.cc.o"
+  "CMakeFiles/chaos_arbiter.dir/bench/chaos_arbiter.cc.o.d"
+  "chaos_arbiter"
+  "chaos_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaos_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_allocation_mode_test.dir/tests/core/allocation_mode_test.cc.o"
+  "CMakeFiles/core_allocation_mode_test.dir/tests/core/allocation_mode_test.cc.o.d"
+  "core_allocation_mode_test"
+  "core_allocation_mode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_allocation_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_arbiter_test.dir/tests/core/arbiter_test.cc.o"
+  "CMakeFiles/core_arbiter_test.dir/tests/core/arbiter_test.cc.o.d"
+  "core_arbiter_test"
+  "core_arbiter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_arbiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lonc_test.dir/tests/core/lonc_test.cc.o"
+  "CMakeFiles/core_lonc_test.dir/tests/core/lonc_test.cc.o.d"
+  "core_lonc_test"
+  "core_lonc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lonc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

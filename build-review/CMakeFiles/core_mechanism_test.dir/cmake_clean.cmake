@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mechanism_test.dir/tests/core/mechanism_test.cc.o"
+  "CMakeFiles/core_mechanism_test.dir/tests/core/mechanism_test.cc.o.d"
+  "core_mechanism_test"
+  "core_mechanism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_node_priority_queue_test.dir/tests/core/node_priority_queue_test.cc.o"
+  "CMakeFiles/core_node_priority_queue_test.dir/tests/core/node_priority_queue_test.cc.o.d"
+  "core_node_priority_queue_test"
+  "core_node_priority_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_node_priority_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

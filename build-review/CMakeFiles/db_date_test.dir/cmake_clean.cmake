@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_date_test.dir/tests/db/date_test.cc.o"
+  "CMakeFiles/db_date_test.dir/tests/db/date_test.cc.o.d"
+  "db_date_test"
+  "db_date_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_date_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

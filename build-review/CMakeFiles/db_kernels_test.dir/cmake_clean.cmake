@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_kernels_test.dir/tests/db/kernels_test.cc.o"
+  "CMakeFiles/db_kernels_test.dir/tests/db/kernels_test.cc.o.d"
+  "db_kernels_test"
+  "db_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

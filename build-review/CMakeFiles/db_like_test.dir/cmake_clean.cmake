@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_like_test.dir/tests/db/like_test.cc.o"
+  "CMakeFiles/db_like_test.dir/tests/db/like_test.cc.o.d"
+  "db_like_test"
+  "db_like_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

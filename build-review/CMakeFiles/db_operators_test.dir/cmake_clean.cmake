@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_operators_test.dir/tests/db/operators_test.cc.o"
+  "CMakeFiles/db_operators_test.dir/tests/db/operators_test.cc.o.d"
+  "db_operators_test"
+  "db_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

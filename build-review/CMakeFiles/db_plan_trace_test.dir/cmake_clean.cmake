@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_plan_trace_test.dir/tests/db/plan_trace_test.cc.o"
+  "CMakeFiles/db_plan_trace_test.dir/tests/db/plan_trace_test.cc.o.d"
+  "db_plan_trace_test"
+  "db_plan_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_plan_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

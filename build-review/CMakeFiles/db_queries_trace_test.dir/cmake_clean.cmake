@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_queries_trace_test.dir/tests/db/queries_trace_test.cc.o"
+  "CMakeFiles/db_queries_trace_test.dir/tests/db/queries_trace_test.cc.o.d"
+  "db_queries_trace_test"
+  "db_queries_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_queries_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

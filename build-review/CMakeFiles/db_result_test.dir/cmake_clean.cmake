@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_result_test.dir/tests/db/result_test.cc.o"
+  "CMakeFiles/db_result_test.dir/tests/db/result_test.cc.o.d"
+  "db_result_test"
+  "db_result_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

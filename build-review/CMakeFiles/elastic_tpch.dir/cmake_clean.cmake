@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_tpch.dir/examples/elastic_tpch.cpp.o"
+  "CMakeFiles/elastic_tpch.dir/examples/elastic_tpch.cpp.o.d"
+  "elastic_tpch"
+  "elastic_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation_mode.cc" "CMakeFiles/elasticore.dir/src/core/allocation_mode.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/core/allocation_mode.cc.o.d"
+  "/root/repo/src/core/arbiter.cc" "CMakeFiles/elasticore.dir/src/core/arbiter.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/core/arbiter.cc.o.d"
+  "/root/repo/src/core/mechanism.cc" "CMakeFiles/elasticore.dir/src/core/mechanism.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/core/mechanism.cc.o.d"
+  "/root/repo/src/core/node_priority_queue.cc" "CMakeFiles/elasticore.dir/src/core/node_priority_queue.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/core/node_priority_queue.cc.o.d"
+  "/root/repo/src/db/column.cc" "CMakeFiles/elasticore.dir/src/db/column.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/column.cc.o.d"
+  "/root/repo/src/db/date.cc" "CMakeFiles/elasticore.dir/src/db/date.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/date.cc.o.d"
+  "/root/repo/src/db/kernels/hash_table.cc" "CMakeFiles/elasticore.dir/src/db/kernels/hash_table.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/kernels/hash_table.cc.o.d"
+  "/root/repo/src/db/like.cc" "CMakeFiles/elasticore.dir/src/db/like.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/like.cc.o.d"
+  "/root/repo/src/db/operators.cc" "CMakeFiles/elasticore.dir/src/db/operators.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/operators.cc.o.d"
+  "/root/repo/src/db/plan_trace.cc" "CMakeFiles/elasticore.dir/src/db/plan_trace.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/plan_trace.cc.o.d"
+  "/root/repo/src/db/queries.cc" "CMakeFiles/elasticore.dir/src/db/queries.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/queries.cc.o.d"
+  "/root/repo/src/db/queries/common.cc" "CMakeFiles/elasticore.dir/src/db/queries/common.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/queries/common.cc.o.d"
+  "/root/repo/src/db/queries/q01_q05.cc" "CMakeFiles/elasticore.dir/src/db/queries/q01_q05.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/queries/q01_q05.cc.o.d"
+  "/root/repo/src/db/queries/q06_q10.cc" "CMakeFiles/elasticore.dir/src/db/queries/q06_q10.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/queries/q06_q10.cc.o.d"
+  "/root/repo/src/db/queries/q11_q15.cc" "CMakeFiles/elasticore.dir/src/db/queries/q11_q15.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/queries/q11_q15.cc.o.d"
+  "/root/repo/src/db/queries/q16_q19.cc" "CMakeFiles/elasticore.dir/src/db/queries/q16_q19.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/queries/q16_q19.cc.o.d"
+  "/root/repo/src/db/queries/q20_q22.cc" "CMakeFiles/elasticore.dir/src/db/queries/q20_q22.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/queries/q20_q22.cc.o.d"
+  "/root/repo/src/db/result.cc" "CMakeFiles/elasticore.dir/src/db/result.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/db/result.cc.o.d"
+  "/root/repo/src/exec/base_catalog.cc" "CMakeFiles/elasticore.dir/src/exec/base_catalog.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/exec/base_catalog.cc.o.d"
+  "/root/repo/src/exec/client_driver.cc" "CMakeFiles/elasticore.dir/src/exec/client_driver.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/exec/client_driver.cc.o.d"
+  "/root/repo/src/exec/dbms_engine.cc" "CMakeFiles/elasticore.dir/src/exec/dbms_engine.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/exec/dbms_engine.cc.o.d"
+  "/root/repo/src/exec/experiment.cc" "CMakeFiles/elasticore.dir/src/exec/experiment.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/exec/experiment.cc.o.d"
+  "/root/repo/src/exec/htap_experiment.cc" "CMakeFiles/elasticore.dir/src/exec/htap_experiment.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/exec/htap_experiment.cc.o.d"
+  "/root/repo/src/exec/raw_kernel.cc" "CMakeFiles/elasticore.dir/src/exec/raw_kernel.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/exec/raw_kernel.cc.o.d"
+  "/root/repo/src/exec/task_graph.cc" "CMakeFiles/elasticore.dir/src/exec/task_graph.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/exec/task_graph.cc.o.d"
+  "/root/repo/src/exec/tenant_wiring.cc" "CMakeFiles/elasticore.dir/src/exec/tenant_wiring.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/exec/tenant_wiring.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "CMakeFiles/elasticore.dir/src/metrics/table.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/metrics/table.cc.o.d"
+  "/root/repo/src/numasim/l3_cache.cc" "CMakeFiles/elasticore.dir/src/numasim/l3_cache.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/numasim/l3_cache.cc.o.d"
+  "/root/repo/src/numasim/memory_system.cc" "CMakeFiles/elasticore.dir/src/numasim/memory_system.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/numasim/memory_system.cc.o.d"
+  "/root/repo/src/numasim/page_table.cc" "CMakeFiles/elasticore.dir/src/numasim/page_table.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/numasim/page_table.cc.o.d"
+  "/root/repo/src/numasim/topology.cc" "CMakeFiles/elasticore.dir/src/numasim/topology.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/numasim/topology.cc.o.d"
+  "/root/repo/src/oltp/admission.cc" "CMakeFiles/elasticore.dir/src/oltp/admission.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/oltp/admission.cc.o.d"
+  "/root/repo/src/oltp/oltp_client.cc" "CMakeFiles/elasticore.dir/src/oltp/oltp_client.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/oltp/oltp_client.cc.o.d"
+  "/root/repo/src/oltp/txn_engine.cc" "CMakeFiles/elasticore.dir/src/oltp/txn_engine.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/oltp/txn_engine.cc.o.d"
+  "/root/repo/src/ossim/machine.cc" "CMakeFiles/elasticore.dir/src/ossim/machine.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/ossim/machine.cc.o.d"
+  "/root/repo/src/ossim/scheduler.cc" "CMakeFiles/elasticore.dir/src/ossim/scheduler.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/ossim/scheduler.cc.o.d"
+  "/root/repo/src/perf/sampler.cc" "CMakeFiles/elasticore.dir/src/perf/sampler.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/perf/sampler.cc.o.d"
+  "/root/repo/src/petri/net.cc" "CMakeFiles/elasticore.dir/src/petri/net.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/petri/net.cc.o.d"
+  "/root/repo/src/platform/cpu_mask.cc" "CMakeFiles/elasticore.dir/src/platform/cpu_mask.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/platform/cpu_mask.cc.o.d"
+  "/root/repo/src/platform/fault_injection_platform.cc" "CMakeFiles/elasticore.dir/src/platform/fault_injection_platform.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/platform/fault_injection_platform.cc.o.d"
+  "/root/repo/src/platform/linux_platform.cc" "CMakeFiles/elasticore.dir/src/platform/linux_platform.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/platform/linux_platform.cc.o.d"
+  "/root/repo/src/simcore/rng.cc" "CMakeFiles/elasticore.dir/src/simcore/rng.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/simcore/rng.cc.o.d"
+  "/root/repo/src/simcore/trace.cc" "CMakeFiles/elasticore.dir/src/simcore/trace.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/simcore/trace.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "CMakeFiles/elasticore.dir/src/tpch/dbgen.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/text.cc" "CMakeFiles/elasticore.dir/src/tpch/text.cc.o" "gcc" "CMakeFiles/elasticore.dir/src/tpch/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticored.dir/tools/elasticored.cc.o"
+  "CMakeFiles/elasticored.dir/tools/elasticored.cc.o.d"
+  "elasticored"
+  "elasticored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

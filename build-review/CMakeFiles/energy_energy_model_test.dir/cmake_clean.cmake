@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_energy_model_test.dir/tests/energy/energy_model_test.cc.o"
+  "CMakeFiles/energy_energy_model_test.dir/tests/energy/energy_model_test.cc.o.d"
+  "energy_energy_model_test"
+  "energy_energy_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_energy_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

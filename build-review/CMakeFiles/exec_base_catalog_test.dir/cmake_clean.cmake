@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_base_catalog_test.dir/tests/exec/base_catalog_test.cc.o"
+  "CMakeFiles/exec_base_catalog_test.dir/tests/exec/base_catalog_test.cc.o.d"
+  "exec_base_catalog_test"
+  "exec_base_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_base_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_client_driver_test.dir/tests/exec/client_driver_test.cc.o"
+  "CMakeFiles/exec_client_driver_test.dir/tests/exec/client_driver_test.cc.o.d"
+  "exec_client_driver_test"
+  "exec_client_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_client_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

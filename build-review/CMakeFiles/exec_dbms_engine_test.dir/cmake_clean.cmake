@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_dbms_engine_test.dir/tests/exec/dbms_engine_test.cc.o"
+  "CMakeFiles/exec_dbms_engine_test.dir/tests/exec/dbms_engine_test.cc.o.d"
+  "exec_dbms_engine_test"
+  "exec_dbms_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_dbms_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_experiment_test.dir/tests/exec/experiment_test.cc.o"
+  "CMakeFiles/exec_experiment_test.dir/tests/exec/experiment_test.cc.o.d"
+  "exec_experiment_test"
+  "exec_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_multi_tenant_test.dir/tests/exec/multi_tenant_test.cc.o"
+  "CMakeFiles/exec_multi_tenant_test.dir/tests/exec/multi_tenant_test.cc.o.d"
+  "exec_multi_tenant_test"
+  "exec_multi_tenant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_multi_tenant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_raw_kernel_test.dir/tests/exec/raw_kernel_test.cc.o"
+  "CMakeFiles/exec_raw_kernel_test.dir/tests/exec/raw_kernel_test.cc.o.d"
+  "exec_raw_kernel_test"
+  "exec_raw_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_raw_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

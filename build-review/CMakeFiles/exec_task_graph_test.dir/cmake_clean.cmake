@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_task_graph_test.dir/tests/exec/task_graph_test.cc.o"
+  "CMakeFiles/exec_task_graph_test.dir/tests/exec/task_graph_test.cc.o.d"
+  "exec_task_graph_test"
+  "exec_task_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_task_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_q6_concurrency.dir/bench/fig04_q6_concurrency.cc.o"
+  "CMakeFiles/fig04_q6_concurrency.dir/bench/fig04_q6_concurrency.cc.o.d"
+  "fig04_q6_concurrency"
+  "fig04_q6_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_q6_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

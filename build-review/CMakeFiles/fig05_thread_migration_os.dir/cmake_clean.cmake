@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_thread_migration_os.dir/bench/fig05_thread_migration_os.cc.o"
+  "CMakeFiles/fig05_thread_migration_os.dir/bench/fig05_thread_migration_os.cc.o.d"
+  "fig05_thread_migration_os"
+  "fig05_thread_migration_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_thread_migration_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_thread_migration_os.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_tomograph_q6.dir/bench/fig06_tomograph_q6.cc.o"
+  "CMakeFiles/fig06_tomograph_q6.dir/bench/fig06_tomograph_q6.cc.o.d"
+  "fig06_tomograph_q6"
+  "fig06_tomograph_q6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_tomograph_q6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_state_transitions.dir/bench/fig07_state_transitions.cc.o"
+  "CMakeFiles/fig07_state_transitions.dir/bench/fig07_state_transitions.cc.o.d"
+  "fig07_state_transitions"
+  "fig07_state_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_state_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

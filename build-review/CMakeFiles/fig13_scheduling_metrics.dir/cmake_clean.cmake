@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_scheduling_metrics.dir/bench/fig13_scheduling_metrics.cc.o"
+  "CMakeFiles/fig13_scheduling_metrics.dir/bench/fig13_scheduling_metrics.cc.o.d"
+  "fig13_scheduling_metrics"
+  "fig13_scheduling_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scheduling_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

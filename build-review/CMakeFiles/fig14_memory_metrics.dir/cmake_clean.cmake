@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_memory_metrics.dir/bench/fig14_memory_metrics.cc.o"
+  "CMakeFiles/fig14_memory_metrics.dir/bench/fig14_memory_metrics.cc.o.d"
+  "fig14_memory_metrics"
+  "fig14_memory_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_memory_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_selectivity.dir/bench/fig15_selectivity.cc.o"
+  "CMakeFiles/fig15_selectivity.dir/bench/fig15_selectivity.cc.o.d"
+  "fig15_selectivity"
+  "fig15_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

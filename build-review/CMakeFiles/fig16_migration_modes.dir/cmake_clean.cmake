@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_migration_modes.dir/bench/fig16_migration_modes.cc.o"
+  "CMakeFiles/fig16_migration_modes.dir/bench/fig16_migration_modes.cc.o.d"
+  "fig16_migration_modes"
+  "fig16_migration_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_migration_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

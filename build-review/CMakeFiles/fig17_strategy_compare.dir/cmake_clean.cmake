@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_strategy_compare.dir/bench/fig17_strategy_compare.cc.o"
+  "CMakeFiles/fig17_strategy_compare.dir/bench/fig17_strategy_compare.cc.o.d"
+  "fig17_strategy_compare"
+  "fig17_strategy_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_strategy_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

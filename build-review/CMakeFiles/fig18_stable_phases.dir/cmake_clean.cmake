@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_stable_phases.dir/bench/fig18_stable_phases.cc.o"
+  "CMakeFiles/fig18_stable_phases.dir/bench/fig18_stable_phases.cc.o.d"
+  "fig18_stable_phases"
+  "fig18_stable_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_stable_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

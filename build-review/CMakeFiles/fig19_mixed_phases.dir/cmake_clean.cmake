@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_mixed_phases.dir/bench/fig19_mixed_phases.cc.o"
+  "CMakeFiles/fig19_mixed_phases.dir/bench/fig19_mixed_phases.cc.o.d"
+  "fig19_mixed_phases"
+  "fig19_mixed_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_mixed_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

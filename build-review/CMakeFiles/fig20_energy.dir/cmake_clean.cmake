@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_energy.dir/bench/fig20_energy.cc.o"
+  "CMakeFiles/fig20_energy.dir/bench/fig20_energy.cc.o.d"
+  "fig20_energy"
+  "fig20_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htap_slo.dir/bench/htap_slo.cc.o"
+  "CMakeFiles/htap_slo.dir/bench/htap_slo.cc.o.d"
+  "htap_slo"
+  "htap_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htap_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

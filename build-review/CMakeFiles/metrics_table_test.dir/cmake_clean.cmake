@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_table_test.dir/tests/metrics/table_test.cc.o"
+  "CMakeFiles/metrics_table_test.dir/tests/metrics/table_test.cc.o.d"
+  "metrics_table_test"
+  "metrics_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

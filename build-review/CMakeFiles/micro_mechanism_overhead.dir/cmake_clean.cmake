@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mechanism_overhead.dir/bench/micro_mechanism_overhead.cc.o"
+  "CMakeFiles/micro_mechanism_overhead.dir/bench/micro_mechanism_overhead.cc.o.d"
+  "micro_mechanism_overhead"
+  "micro_mechanism_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mechanism_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

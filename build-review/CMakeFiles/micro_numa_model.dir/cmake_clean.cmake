@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_numa_model.dir/bench/micro_numa_model.cc.o"
+  "CMakeFiles/micro_numa_model.dir/bench/micro_numa_model.cc.o.d"
+  "micro_numa_model"
+  "micro_numa_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_numa_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_query_kernels.dir/bench/micro_query_kernels.cc.o"
+  "CMakeFiles/micro_query_kernels.dir/bench/micro_query_kernels.cc.o.d"
+  "micro_query_kernels"
+  "micro_query_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_query_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_arbiter.dir/bench/multi_tenant_arbiter.cc.o"
+  "CMakeFiles/multi_tenant_arbiter.dir/bench/multi_tenant_arbiter.cc.o.d"
+  "multi_tenant_arbiter"
+  "multi_tenant_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

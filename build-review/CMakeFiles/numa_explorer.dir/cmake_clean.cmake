@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_explorer.dir/examples/numa_explorer.cpp.o"
+  "CMakeFiles/numa_explorer.dir/examples/numa_explorer.cpp.o.d"
+  "numa_explorer"
+  "numa_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numasim_l3_cache_test.dir/tests/numasim/l3_cache_test.cc.o"
+  "CMakeFiles/numasim_l3_cache_test.dir/tests/numasim/l3_cache_test.cc.o.d"
+  "numasim_l3_cache_test"
+  "numasim_l3_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numasim_l3_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for numasim_l3_cache_test.
+# This may be replaced when dependencies are built.

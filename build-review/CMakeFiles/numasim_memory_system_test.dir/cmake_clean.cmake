@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numasim_memory_system_test.dir/tests/numasim/memory_system_test.cc.o"
+  "CMakeFiles/numasim_memory_system_test.dir/tests/numasim/memory_system_test.cc.o.d"
+  "numasim_memory_system_test"
+  "numasim_memory_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numasim_memory_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

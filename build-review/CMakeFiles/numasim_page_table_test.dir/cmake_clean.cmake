@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numasim_page_table_test.dir/tests/numasim/page_table_test.cc.o"
+  "CMakeFiles/numasim_page_table_test.dir/tests/numasim/page_table_test.cc.o.d"
+  "numasim_page_table_test"
+  "numasim_page_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numasim_page_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numasim_topology_test.dir/tests/numasim/topology_test.cc.o"
+  "CMakeFiles/numasim_topology_test.dir/tests/numasim/topology_test.cc.o.d"
+  "numasim_topology_test"
+  "numasim_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numasim_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_admission_test.dir/tests/oltp/admission_test.cc.o"
+  "CMakeFiles/oltp_admission_test.dir/tests/oltp/admission_test.cc.o.d"
+  "oltp_admission_test"
+  "oltp_admission_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

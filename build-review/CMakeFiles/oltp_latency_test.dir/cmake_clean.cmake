@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_latency_test.dir/tests/oltp/latency_test.cc.o"
+  "CMakeFiles/oltp_latency_test.dir/tests/oltp/latency_test.cc.o.d"
+  "oltp_latency_test"
+  "oltp_latency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

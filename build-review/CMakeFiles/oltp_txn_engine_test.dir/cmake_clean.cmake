@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_txn_engine_test.dir/tests/oltp/txn_engine_test.cc.o"
+  "CMakeFiles/oltp_txn_engine_test.dir/tests/oltp/txn_engine_test.cc.o.d"
+  "oltp_txn_engine_test"
+  "oltp_txn_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_txn_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

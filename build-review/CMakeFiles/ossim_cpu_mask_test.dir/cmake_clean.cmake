@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossim_cpu_mask_test.dir/tests/ossim/cpu_mask_test.cc.o"
+  "CMakeFiles/ossim_cpu_mask_test.dir/tests/ossim/cpu_mask_test.cc.o.d"
+  "ossim_cpu_mask_test"
+  "ossim_cpu_mask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossim_cpu_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

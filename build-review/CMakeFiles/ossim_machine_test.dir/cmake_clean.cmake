@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossim_machine_test.dir/tests/ossim/machine_test.cc.o"
+  "CMakeFiles/ossim_machine_test.dir/tests/ossim/machine_test.cc.o.d"
+  "ossim_machine_test"
+  "ossim_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossim_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

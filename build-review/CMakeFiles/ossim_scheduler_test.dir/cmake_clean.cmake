@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossim_scheduler_test.dir/tests/ossim/scheduler_test.cc.o"
+  "CMakeFiles/ossim_scheduler_test.dir/tests/ossim/scheduler_test.cc.o.d"
+  "ossim_scheduler_test"
+  "ossim_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossim_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

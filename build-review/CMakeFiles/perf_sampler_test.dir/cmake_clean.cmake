@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sampler_test.dir/tests/perf/sampler_test.cc.o"
+  "CMakeFiles/perf_sampler_test.dir/tests/perf/sampler_test.cc.o.d"
+  "perf_sampler_test"
+  "perf_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

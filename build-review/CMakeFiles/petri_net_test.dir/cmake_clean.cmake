@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petri_net_test.dir/tests/petri/net_test.cc.o"
+  "CMakeFiles/petri_net_test.dir/tests/petri/net_test.cc.o.d"
+  "petri_net_test"
+  "petri_net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petri_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_fault_injection_platform_test.dir/tests/platform/fault_injection_platform_test.cc.o"
+  "CMakeFiles/platform_fault_injection_platform_test.dir/tests/platform/fault_injection_platform_test.cc.o.d"
+  "platform_fault_injection_platform_test"
+  "platform_fault_injection_platform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_fault_injection_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_clock_test.dir/tests/simcore/clock_test.cc.o"
+  "CMakeFiles/simcore_clock_test.dir/tests/simcore/clock_test.cc.o.d"
+  "simcore_clock_test"
+  "simcore_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_rng_test.dir/tests/simcore/rng_test.cc.o"
+  "CMakeFiles/simcore_rng_test.dir/tests/simcore/rng_test.cc.o.d"
+  "simcore_rng_test"
+  "simcore_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_trace_test.dir/tests/simcore/trace_test.cc.o"
+  "CMakeFiles/simcore_trace_test.dir/tests/simcore/trace_test.cc.o.d"
+  "simcore_trace_test"
+  "simcore_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

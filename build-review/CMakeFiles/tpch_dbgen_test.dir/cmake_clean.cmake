@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_dbgen_test.dir/tests/tpch/dbgen_test.cc.o"
+  "CMakeFiles/tpch_dbgen_test.dir/tests/tpch/dbgen_test.cc.o.d"
+  "tpch_dbgen_test"
+  "tpch_dbgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_dbgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

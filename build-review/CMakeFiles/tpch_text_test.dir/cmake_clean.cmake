@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_text_test.dir/tests/tpch/text_test.cc.o"
+  "CMakeFiles/tpch_text_test.dir/tests/tpch/text_test.cc.o.d"
+  "tpch_text_test"
+  "tpch_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
