@@ -1,0 +1,200 @@
+// OLTP contention sweep: protocol x skew x core count, closed-loop YCSB
+// through the transaction engine's pluggable concurrency-control layer.
+//
+// Each point submits a fixed batch of read-modify-write YCSB transactions
+// (Zipfian key skew theta) to a TxnEngine running one CC protocol on a
+// machine of N cores; aborted transactions are resubmitted after a
+// deterministic backoff until they commit. Goodput is committed
+// transactions over the finish time, abort_fraction the share of attempts
+// that died — the wasted work that makes contention visible in throughput,
+// not just in counters.
+//
+// Expected shape: at low skew every protocol scales with cores (conflicts
+// are rare, goodput is capacity-bound). At high skew the no-wait protocols
+// burn an increasing share of their added parallelism in aborts, and for at
+// least one protocol the goodput PEAKS below the maximum core count — the
+// contention-collapse crossover ("contention_collapse_at_high_skew" in the
+// JSON). More cores past that point buy more conflict windows, not more
+// commits — which is exactly the signal a core arbiter should read from
+// RecentAbortFraction before granting an OLTP tenant another core.
+//
+// --threads runs an additional real-std::thread stress pass per protocol
+// (stdout only, not in the JSON: wall-clock thread interleavings are not
+// deterministic, the simulated sweep is).
+//
+// Emits BENCH_oltp_contention.json (see bench_common.h).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "exec/oltp_contention_experiment.h"
+#include "oltp/cc/stress.h"
+
+namespace elastic::bench {
+namespace {
+
+constexpr int64_t kTotalTxns = 1500;
+constexpr int64_t kMaxTicks = 40'000'000;
+constexpr double kLowTheta = 0.0;
+constexpr double kHighTheta = 0.99;
+
+struct Point {
+  exec::OltpContentionOptions options;
+  exec::OltpContentionResult result;
+};
+
+exec::OltpContentionOptions PointOptions(oltp::cc::ProtocolKind protocol,
+                                         double theta, int cores) {
+  exec::OltpContentionOptions options;
+  options.protocol = protocol;
+  options.workload = oltp::cc::WorkloadKind::kYcsb;
+  // A small, hot key space: at theta 0.99 the head keys draw a double-digit
+  // percentage of all accesses, so conflict probability rises steeply with
+  // the number of in-flight transactions (= cores).
+  options.ycsb.num_records = 8192;
+  options.ycsb.ops_per_txn = 4;
+  options.ycsb.read_fraction = 0.5;
+  options.ycsb.theta = theta;
+  options.total_txns = kTotalTxns;
+  options.cores = cores;
+  options.seed = kBenchSeed;
+  return options;
+}
+
+void RunSweep(const std::string& json_path) {
+  const std::vector<oltp::cc::ProtocolKind> protocols = {
+      oltp::cc::ProtocolKind::kPartitionLock,
+      oltp::cc::ProtocolKind::kTwoPhaseLock,
+      oltp::cc::ProtocolKind::kTicToc,
+  };
+  const std::vector<double> thetas = {kLowTheta, kHighTheta};
+  const std::vector<int> core_counts = {1, 2, 4, 8, 16};
+
+  std::vector<Point> points;
+  for (const oltp::cc::ProtocolKind protocol : protocols) {
+    for (const double theta : thetas) {
+      for (const int cores : core_counts) {
+        Point point;
+        point.options = PointOptions(protocol, theta, cores);
+        std::fprintf(stderr, "running %s theta=%.2f cores=%d ...\n",
+                     oltp::cc::ProtocolKindName(protocol), theta, cores);
+        exec::OltpContentionExperiment experiment(point.options);
+        point.result = experiment.Run(kMaxTicks);
+        points.push_back(std::move(point));
+      }
+    }
+  }
+
+  metrics::Table table({"protocol", "theta", "cores", "goodput tps",
+                        "abort frac", "conflicts", "validation"});
+  for (const Point& p : points) {
+    table.AddRow({oltp::cc::ProtocolKindName(p.options.protocol),
+                  metrics::Table::Num(p.options.ycsb.theta, 2),
+                  std::to_string(p.options.cores),
+                  metrics::Table::Num(p.result.goodput_tps, 1),
+                  metrics::Table::Num(p.result.abort_fraction, 3),
+                  std::to_string(p.result.lock_conflicts),
+                  std::to_string(p.result.validation_failures)});
+  }
+  table.Print("OLTP contention sweep (YCSB RMW, protocol x skew x cores)");
+
+  // Contention collapse: at high skew, does any protocol's goodput peak
+  // strictly below the maximum core count?
+  bool collapse = false;
+  for (const oltp::cc::ProtocolKind protocol : protocols) {
+    double best_tps = -1.0;
+    int best_cores = 0;
+    double max_cores_tps = 0.0;
+    for (const Point& p : points) {
+      if (p.options.protocol != protocol ||
+          p.options.ycsb.theta != kHighTheta) {
+        continue;
+      }
+      if (p.result.goodput_tps > best_tps) {
+        best_tps = p.result.goodput_tps;
+        best_cores = p.options.cores;
+      }
+      if (p.options.cores == core_counts.back()) {
+        max_cores_tps = p.result.goodput_tps;
+      }
+    }
+    if (best_cores < core_counts.back() && best_tps > max_cores_tps) {
+      std::printf("contention collapse: %s peaks at %d cores "
+                  "(%.1f tps vs %.1f tps at %d)\n",
+                  oltp::cc::ProtocolKindName(protocol), best_cores, best_tps,
+                  max_cores_tps, core_counts.back());
+      collapse = true;
+    }
+  }
+  std::printf("\nExpected shape: every protocol scales with cores at theta "
+              "%.1f; at theta %.2f at\nleast one protocol peaks below %d "
+              "cores — added parallelism past the peak burns\nin aborts "
+              "(contention collapse).\n",
+              kLowTheta, kHighTheta, core_counts.back());
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"oltp_contention\",\n"
+               "  \"workload\": \"ycsb\",\n  \"total_txns\": %lld,\n"
+               "  \"points\": [\n",
+               static_cast<long long>(kTotalTxns));
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(json, "    %s%s\n",
+                 exec::OltpContentionJsonFragment(points[i].options,
+                                                  points[i].result)
+                     .c_str(),
+                 i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(json, "  ],\n  \"contention_collapse_at_high_skew\": %s\n}\n",
+               collapse ? "true" : "false");
+  std::fclose(json);
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
+/// Real-thread stress pass: the same protocols under genuine std::thread
+/// interleavings (the harness the serializability tests use). Stdout only —
+/// thread scheduling is not deterministic, so this never enters the JSON.
+void RunThreadStress() {
+  for (const oltp::cc::ProtocolKind protocol :
+       {oltp::cc::ProtocolKind::kPartitionLock,
+        oltp::cc::ProtocolKind::kTwoPhaseLock,
+        oltp::cc::ProtocolKind::kTicToc}) {
+    oltp::cc::StressConfig config;
+    config.protocol = protocol;
+    config.workload = oltp::cc::WorkloadKind::kYcsb;
+    config.ycsb.num_records = 8192;
+    config.ycsb.theta = kHighTheta;
+    config.num_threads = 8;
+    config.txns_per_thread = 2000;
+    config.seed = kBenchSeed;
+    config.record_history = false;
+    const oltp::cc::StressResult result = oltp::cc::RunCcStress(config);
+    std::printf("threads=8 %s: committed=%lld aborted=%lld gave_up=%lld\n",
+                oltp::cc::ProtocolKindName(protocol),
+                static_cast<long long>(result.committed),
+                static_cast<long long>(result.aborted),
+                static_cast<long long>(result.gave_up));
+  }
+}
+
+}  // namespace
+}  // namespace elastic::bench
+
+int main(int argc, char** argv) {
+  bool threads = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) threads = true;
+  }
+  const std::string out =
+      elastic::bench::JsonOutPath(argc, argv, "BENCH_oltp_contention.json");
+  elastic::bench::RunSweep(out);
+  if (threads) elastic::bench::RunThreadStress();
+  return 0;
+}

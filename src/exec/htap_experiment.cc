@@ -82,10 +82,10 @@ HtapExperiment::HtapExperiment(const db::Database* database,
     olap_cpuset = arbiter_->tenant_cpuset(olap_arbiter_index_);
   }
 
-  oltp::TxnEngineOptions oltp_engine_options = oltp_spec_.engine;
-  oltp_engine_options.cpuset = oltp_cpuset;
   oltp_engine_ = std::make_unique<oltp::TxnEngine>(
-      machine_.get(), catalog_.get(), oltp_engine_options);
+      machine_.get(), catalog_.get(),
+      MakeOltpTenantEngineOptions(oltp_spec_.engine, oltp_spec_.workload,
+                                  oltp_cpuset));
 
   olap_engine_ = std::make_unique<DbmsEngine>(
       machine_.get(), catalog_.get(),

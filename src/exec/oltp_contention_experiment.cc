@@ -1,0 +1,153 @@
+#include "exec/oltp_contention_experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "oltp/cc/workload.h"
+#include "simcore/check.h"
+
+namespace elastic::exec {
+
+OltpContentionExperiment::OltpContentionExperiment(
+    const OltpContentionOptions& options)
+    : options_(options) {
+  ELASTIC_CHECK(options_.workload != oltp::cc::WorkloadKind::kNewOrderPayment,
+                "the contention sweep drives record-level workloads; the "
+                "classic mix runs in the HTAP scenario");
+  ELASTIC_CHECK(options_.cores >= 1, "need at least one core");
+  ELASTIC_CHECK(options_.cores <= 4 || options_.cores % 4 == 0,
+                "above 4 cores the machine is built from 4-core nodes");
+
+  ossim::MachineOptions machine_options;
+  machine_options.config.num_nodes =
+      options_.cores <= 4 ? 1 : options_.cores / 4;
+  machine_options.config.cores_per_node =
+      options_.cores <= 4 ? options_.cores : 4;
+  machine_options.seed = options_.machine_seed;
+  machine_ = std::make_unique<ossim::Machine>(machine_options);
+
+  oltp::TxnEngineOptions engine_options;
+  engine_options.pool_size = options_.pool_size;
+  engine_options.cpu_cycles_per_page = options_.cpu_cycles_per_page;
+  engine_options.cc.protocol = options_.protocol;
+  engine_options.cc.record_history = options_.record_history;
+  engine_options.cc.retry_backoff_ticks = options_.retry_backoff_ticks;
+  engine_options.cc.num_records =
+      options_.workload == oltp::cc::WorkloadKind::kSmallBank
+          ? oltp::cc::SmallBankNumRecords(options_.smallbank)
+          : options_.ycsb.num_records;
+  // The CC path never touches the base catalog, so a contention point runs
+  // without generating a database.
+  engine_ = std::make_unique<oltp::TxnEngine>(machine_.get(),
+                                              /*catalog=*/nullptr,
+                                              engine_options);
+  if (options_.workload == oltp::cc::WorkloadKind::kSmallBank) {
+    engine_->cc_table().FillValues(options_.smallbank.initial_balance);
+  }
+}
+
+void OltpContentionExperiment::Submit(const oltp::TxnRequest& request,
+                                      const oltp::cc::CcTxn& cc,
+                                      int attempts) {
+  engine_->Submit(request, cc, [this, request, cc, attempts](bool committed) {
+    if (committed) {
+      committed_++;
+      return;
+    }
+    // Same deterministic backoff discipline as OltpClient: scale with the
+    // attempt count and stagger by transaction id so two transactions that
+    // aborted on each other cannot re-collide forever.
+    const int64_t backoff =
+        std::max<int64_t>(1, options_.retry_backoff_ticks);
+    Retry retry;
+    retry.due = machine_->clock().now() +
+                backoff * std::min<int64_t>(attempts + 1, 8) +
+                request.id % backoff;
+    retry.request = request;
+    retry.cc = cc;
+    retry.attempts = attempts + 1;
+    retry_queue_.push_back(std::move(retry));
+  });
+}
+
+void OltpContentionExperiment::PumpRetries(simcore::Tick now) {
+  for (size_t i = 0; i < retry_queue_.size();) {
+    if (retry_queue_[i].due > now) {
+      ++i;
+      continue;
+    }
+    const Retry retry = std::move(retry_queue_[i]);
+    retry_queue_.erase(retry_queue_.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+    retries_++;
+    Submit(retry.request, retry.cc, retry.attempts);
+  }
+}
+
+OltpContentionResult OltpContentionExperiment::Run(int64_t max_ticks) {
+  machine_->AddTickHook([this](simcore::Tick now) { PumpRetries(now); });
+
+  oltp::cc::YcsbGenerator ycsb(options_.ycsb, options_.seed);
+  oltp::cc::SmallBankGenerator smallbank(options_.smallbank, options_.seed);
+  for (int64_t i = 0; i < options_.total_txns; ++i) {
+    oltp::TxnRequest request;
+    request.id = i;
+    const oltp::cc::CcTxn txn =
+        options_.workload == oltp::cc::WorkloadKind::kSmallBank
+            ? smallbank.Next()
+            : ycsb.Next();
+    Submit(request, txn, /*attempts=*/0);
+  }
+
+  int64_t ticks = 0;
+  while (committed_ < options_.total_txns && ticks < max_ticks) {
+    machine_->Step();
+    ticks++;
+  }
+  ELASTIC_CHECK(committed_ == options_.total_txns,
+                "contention run did not finish within max_ticks");
+
+  OltpContentionResult result;
+  result.commits = engine_->cc_commits();
+  result.aborts = engine_->cc_aborts();
+  result.lock_conflicts = engine_->cc_lock_conflicts();
+  result.validation_failures = engine_->cc_validation_failures();
+  result.retries = retries_;
+  result.finish_tick = machine_->clock().now();
+  result.seconds = simcore::Clock::ToSeconds(result.finish_tick);
+  result.goodput_tps =
+      result.seconds > 0.0
+          ? static_cast<double>(result.commits) / result.seconds
+          : 0.0;
+  const double attempts =
+      static_cast<double>(result.commits + result.aborts);
+  result.abort_fraction =
+      attempts > 0.0 ? static_cast<double>(result.aborts) / attempts : 0.0;
+  return result;
+}
+
+std::string OltpContentionJsonFragment(const OltpContentionOptions& options,
+                                       const OltpContentionResult& result) {
+  const double theta = options.workload == oltp::cc::WorkloadKind::kSmallBank
+                           ? options.smallbank.theta
+                           : options.ycsb.theta;
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"protocol\": \"%s\", \"workload\": \"%s\", \"theta\": %.2f, "
+      "\"cores\": %d, \"commits\": %lld, \"aborts\": %lld, "
+      "\"lock_conflicts\": %lld, \"validation_failures\": %lld, "
+      "\"retries\": %lld, \"finish_s\": %.4f, \"goodput_tps\": %.4f, "
+      "\"abort_fraction\": %.4f}",
+      oltp::cc::ProtocolKindName(options.protocol),
+      oltp::cc::WorkloadKindName(options.workload), theta, options.cores,
+      static_cast<long long>(result.commits),
+      static_cast<long long>(result.aborts),
+      static_cast<long long>(result.lock_conflicts),
+      static_cast<long long>(result.validation_failures),
+      static_cast<long long>(result.retries), result.seconds,
+      result.goodput_tps, result.abort_fraction);
+  return std::string(buffer);
+}
+
+}  // namespace elastic::exec

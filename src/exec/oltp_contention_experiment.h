@@ -1,0 +1,100 @@
+#ifndef ELASTICORE_EXEC_OLTP_CONTENTION_EXPERIMENT_H_
+#define ELASTICORE_EXEC_OLTP_CONTENTION_EXPERIMENT_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "oltp/txn_engine.h"
+#include "ossim/machine.h"
+
+namespace elastic::exec {
+
+/// One point of the OLTP contention sweep: a fixed batch of record-level
+/// transactions (YCSB or SmallBank) driven closed-loop through a TxnEngine
+/// running one CC protocol on a machine of `cores` cores. Unlike the
+/// open-loop HTAP client there is no arrival schedule or admission gate:
+/// every transaction is submitted up front, the worker pool bounds the
+/// concurrency, and aborted transactions are resubmitted after a
+/// deterministic backoff until they commit — so the run measures the
+/// engine's capacity (goodput) and its conflict behaviour, nothing else.
+struct OltpContentionOptions {
+  oltp::cc::ProtocolKind protocol = oltp::cc::ProtocolKind::kTwoPhaseLock;
+  /// kYcsb or kSmallBank (the classic mix needs the HTAP scenario).
+  oltp::cc::WorkloadKind workload = oltp::cc::WorkloadKind::kYcsb;
+  oltp::cc::YcsbConfig ycsb;
+  oltp::cc::SmallBankConfig smallbank;
+  int64_t total_txns = 2000;
+  /// Machine size. <= 4 cores: one node; above: nodes of 4 cores each
+  /// (`cores` must then be a multiple of 4).
+  int cores = 4;
+  /// Worker pool (the concurrency bound); -1 = one worker per core.
+  int pool_size = -1;
+  int64_t cpu_cycles_per_page = 1'500'000;
+  int64_t retry_backoff_ticks = 25;
+  uint64_t seed = 42;
+  /// Record commit footprints for offline serializability checking.
+  bool record_history = false;
+  uint64_t machine_seed = 42;
+};
+
+struct OltpContentionResult {
+  int64_t commits = 0;
+  int64_t aborts = 0;
+  int64_t lock_conflicts = 0;
+  int64_t validation_failures = 0;
+  /// Post-abort resubmissions driven by the experiment's retry loop.
+  int64_t retries = 0;
+  simcore::Tick finish_tick = 0;
+  double seconds = 0.0;
+  /// Committed transactions per simulated second.
+  double goodput_tps = 0.0;
+  /// aborts / (aborts + commits) over the whole run.
+  double abort_fraction = 0.0;
+};
+
+class OltpContentionExperiment {
+ public:
+  explicit OltpContentionExperiment(const OltpContentionOptions& options);
+
+  OltpContentionExperiment(const OltpContentionExperiment&) = delete;
+  OltpContentionExperiment& operator=(const OltpContentionExperiment&) =
+      delete;
+
+  /// Submits the batch, steps the machine until every transaction
+  /// committed (CHECK-fails after max_ticks), and returns the run's
+  /// aggregate counters.
+  OltpContentionResult Run(int64_t max_ticks);
+
+  ossim::Machine& machine() { return *machine_; }
+  oltp::TxnEngine& engine() { return *engine_; }
+
+ private:
+  struct Retry {
+    simcore::Tick due = 0;
+    oltp::TxnRequest request;
+    oltp::cc::CcTxn cc;
+    int attempts = 1;
+  };
+
+  void Submit(const oltp::TxnRequest& request, const oltp::cc::CcTxn& cc,
+              int attempts);
+  void PumpRetries(simcore::Tick now);
+
+  OltpContentionOptions options_;
+  std::unique_ptr<ossim::Machine> machine_;
+  std::unique_ptr<oltp::TxnEngine> engine_;
+  std::deque<Retry> retry_queue_;
+  int64_t committed_ = 0;
+  int64_t retries_ = 0;
+};
+
+/// Deterministic JSON fragment for one sweep point (shared by the bench and
+/// the byte-identical-output determinism test): a single flat object, keys
+/// stable, no trailing newline.
+std::string OltpContentionJsonFragment(const OltpContentionOptions& options,
+                                       const OltpContentionResult& result);
+
+}  // namespace elastic::exec
+
+#endif  // ELASTICORE_EXEC_OLTP_CONTENTION_EXPERIMENT_H_

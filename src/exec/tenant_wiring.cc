@@ -1,5 +1,7 @@
 #include "exec/tenant_wiring.h"
 
+#include <algorithm>
+
 namespace elastic::exec {
 
 core::ArbiterTenantConfig MakeArbiterTenant(
@@ -21,6 +23,21 @@ EngineOptions MakeTenantEngineOptions(ThreadModel model, int pool_size,
   options.pool_size = pool_size;
   options.task_graph = task_graph;
   options.cpuset = cpuset;
+  return options;
+}
+
+oltp::TxnEngineOptions MakeOltpTenantEngineOptions(
+    const oltp::TxnEngineOptions& base, const oltp::OltpWorkload& workload,
+    platform::CpusetId cpuset) {
+  oltp::TxnEngineOptions options = base;
+  options.cpuset = cpuset;
+  if (workload.kind == oltp::cc::WorkloadKind::kYcsb) {
+    options.cc.num_records =
+        std::max(options.cc.num_records, workload.ycsb.num_records);
+  } else if (workload.kind == oltp::cc::WorkloadKind::kSmallBank) {
+    options.cc.num_records = std::max(
+        options.cc.num_records, oltp::cc::SmallBankNumRecords(workload.smallbank));
+  }
   return options;
 }
 

@@ -5,6 +5,8 @@
 
 #include "core/arbiter.h"
 #include "exec/dbms_engine.h"
+#include "oltp/oltp_client.h"
+#include "oltp/txn_engine.h"
 
 namespace elastic::exec {
 
@@ -21,6 +23,14 @@ core::ArbiterTenantConfig MakeArbiterTenant(
 EngineOptions MakeTenantEngineOptions(ThreadModel model, int pool_size,
                                       const TaskGraphOptions& task_graph,
                                       platform::CpusetId cpuset);
+
+/// OLTP engine options bound to a tenant's platform cpuset, with the CC key
+/// space grown to cover the configured workload (a YCSB key space or a
+/// SmallBank account range larger than the default table would otherwise
+/// fail the client's size check).
+oltp::TxnEngineOptions MakeOltpTenantEngineOptions(
+    const oltp::TxnEngineOptions& base, const oltp::OltpWorkload& workload,
+    platform::CpusetId cpuset);
 
 }  // namespace elastic::exec
 

@@ -1,0 +1,148 @@
+#include "oltp/cc/history.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace elastic::oltp::cc {
+namespace {
+
+std::string Describe(const char* what, uint64_t key, uint64_t version,
+                     uint64_t txn_id) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%s (key=%llu version=%llu txn=%llu)",
+                what, static_cast<unsigned long long>(key),
+                static_cast<unsigned long long>(version),
+                static_cast<unsigned long long>(txn_id));
+  return buffer;
+}
+
+}  // namespace
+
+CheckResult CheckSerializable(const std::vector<CommittedTxn>& history) {
+  CheckResult result;
+  result.num_txns = static_cast<int64_t>(history.size());
+
+  // Per key: every written version with its writer (history index), sorted
+  // by version so "the next version after v" is a binary search away.
+  struct VersionEntry {
+    uint64_t version;
+    size_t writer;
+  };
+  std::unordered_map<uint64_t, std::vector<VersionEntry>> versions;
+  for (size_t t = 0; t < history.size(); ++t) {
+    for (const Access& w : history[t].writes) {
+      if (w.version == 0) {
+        result.error = Describe("write creates the reserved initial version",
+                                w.key, w.version, history[t].txn_id);
+        return result;
+      }
+      versions[w.key].push_back(VersionEntry{w.version, t});
+    }
+  }
+  for (auto& [key, entries] : versions) {
+    std::sort(entries.begin(), entries.end(),
+              [](const VersionEntry& a, const VersionEntry& b) {
+                return a.version < b.version;
+              });
+    for (size_t i = 1; i < entries.size(); ++i) {
+      if (entries[i].version == entries[i - 1].version) {
+        result.error = Describe(
+            "two commits created the same version", key, entries[i].version,
+            history[entries[i].writer].txn_id);
+        return result;
+      }
+    }
+  }
+
+  // Adjacency lists of the precedence graph. Nodes are history indices.
+  std::vector<std::vector<size_t>> edges(history.size());
+  int64_t edge_count = 0;
+  auto add_edge = [&](size_t from, size_t to) {
+    if (from == to) return;
+    edges[from].push_back(to);
+    edge_count++;
+  };
+
+  // WW edges: consecutive versions of one key.
+  for (const auto& [key, entries] : versions) {
+    (void)key;
+    for (size_t i = 1; i < entries.size(); ++i) {
+      add_edge(entries[i - 1].writer, entries[i].writer);
+    }
+  }
+
+  // WR and RW edges, plus read validation.
+  for (size_t t = 0; t < history.size(); ++t) {
+    for (const Access& r : history[t].reads) {
+      auto it = versions.find(r.key);
+      const std::vector<VersionEntry>* entries =
+          it == versions.end() ? nullptr : &it->second;
+      if (r.version != 0) {
+        // The observed version must have a committed writer: WR edge.
+        const VersionEntry* written = nullptr;
+        if (entries != nullptr) {
+          auto pos = std::lower_bound(
+              entries->begin(), entries->end(), r.version,
+              [](const VersionEntry& e, uint64_t v) { return e.version < v; });
+          if (pos != entries->end() && pos->version == r.version) {
+            written = &*pos;
+          }
+        }
+        if (written == nullptr) {
+          result.error =
+              Describe("read observed a version no committed txn wrote",
+                       r.key, r.version, history[t].txn_id);
+          return result;
+        }
+        add_edge(written->writer, t);
+      }
+      // RW anti-dependency: this reader precedes whoever overwrote the
+      // version it observed.
+      if (entries != nullptr) {
+        auto next = std::upper_bound(
+            entries->begin(), entries->end(), r.version,
+            [](uint64_t v, const VersionEntry& e) { return v < e.version; });
+        if (next != entries->end()) add_edge(t, next->writer);
+      }
+    }
+  }
+  result.num_edges = edge_count;
+
+  // Cycle detection: iterative three-colour DFS.
+  enum Colour : uint8_t { kWhite, kGrey, kBlack };
+  std::vector<uint8_t> colour(history.size(), kWhite);
+  std::vector<std::pair<size_t, size_t>> stack;  // (node, next child index)
+  for (size_t root = 0; root < history.size(); ++root) {
+    if (colour[root] != kWhite) continue;
+    colour[root] = kGrey;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      if (child < edges[node].size()) {
+        const size_t next = edges[node][child++];
+        if (colour[next] == kGrey) {
+          char buffer[128];
+          std::snprintf(buffer, sizeof(buffer),
+                        "precedence cycle through txn %llu and txn %llu",
+                        static_cast<unsigned long long>(history[node].txn_id),
+                        static_cast<unsigned long long>(history[next].txn_id));
+          result.error = buffer;
+          return result;
+        }
+        if (colour[next] == kWhite) {
+          colour[next] = kGrey;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        colour[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace elastic::oltp::cc

@@ -1,0 +1,60 @@
+#ifndef ELASTICORE_OLTP_CC_HISTORY_H_
+#define ELASTICORE_OLTP_CC_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elastic::oltp::cc {
+
+/// One access of a committed transaction, as recorded by a protocol at
+/// commit time. `version` identifies the value *instance*: for a read, the
+/// version observed (0 = the unwritten initial value); for a write, the
+/// version created. Lock protocols use the per-record commit counter,
+/// TicToc the commit timestamp — either way versions are unique and
+/// monotonically increasing per key, which is all the checker needs.
+struct Access {
+  uint64_t key = 0;
+  uint64_t version = 0;
+};
+
+/// The commit-time footprint of one transaction: what it read (and which
+/// version it saw) and what it wrote (and which version it created).
+struct CommittedTxn {
+  uint64_t txn_id = 0;
+  std::vector<Access> reads;
+  std::vector<Access> writes;
+};
+
+struct CheckResult {
+  bool ok = false;
+  /// Human-readable description of the violation (empty when ok).
+  std::string error;
+  int64_t num_txns = 0;
+  int64_t num_edges = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Offline conflict-serializability check over a recorded history: builds
+/// the precedence (conflict) graph and verifies it is acyclic.
+///
+/// Edges, per key, with version order given by the recorded version
+/// numbers:
+///   WW  writer(v) -> writer(v')  for consecutive versions v < v'
+///   WR  writer(v) -> every reader of v
+///   RW  reader of v -> writer of the next version after v
+///       (the anti-dependency edge; without it write skew goes unnoticed)
+///
+/// Also validates the history itself: no two writes may create the same
+/// (key, version), no write may create version 0, and every read must
+/// observe version 0 or a version some committed write created. A read of
+/// a version that no committed transaction wrote means the protocol leaked
+/// an uncommitted or phantom value — reported as an error, not silently
+/// treated as consistent (the no-false-negatives property the checker
+/// exists for).
+CheckResult CheckSerializable(const std::vector<CommittedTxn>& history);
+
+}  // namespace elastic::oltp::cc
+
+#endif  // ELASTICORE_OLTP_CC_HISTORY_H_

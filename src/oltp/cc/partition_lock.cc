@@ -1,0 +1,80 @@
+#include "oltp/cc/partition_lock.h"
+
+namespace elastic::oltp::cc {
+
+bool PartitionLockProtocol::TouchPartition(TxnCtx& ctx, uint64_t key) {
+  const auto partition = static_cast<uint64_t>(table_->partition_of(key));
+  for (const TxnCtx::LockEntry& held : ctx.locks) {
+    if (held.target == partition) return true;
+  }
+  uint64_t expected = 0;
+  if (!table_->partition_lock(static_cast<int>(partition))
+           .compare_exchange_strong(expected, 1,
+                                    std::memory_order_acquire,
+                                    std::memory_order_relaxed)) {
+    return false;
+  }
+  ctx.locks.push_back({partition, TxnCtx::LockMode::kWrite});
+  return true;
+}
+
+void PartitionLockProtocol::ReleaseAll(TxnCtx& ctx) {
+  for (const TxnCtx::LockEntry& held : ctx.locks) {
+    table_->partition_lock(static_cast<int>(held.target))
+        .store(0, std::memory_order_release);
+  }
+  ctx.locks.clear();
+  ctx.active = false;
+}
+
+bool PartitionLockProtocol::Get(TxnCtx& ctx, uint64_t key, int64_t* value) {
+  if (const TxnCtx::WriteEntry* own = ctx.FindWrite(key)) {
+    *value = own->value;
+    return true;
+  }
+  if (!TouchPartition(ctx, key)) return false;
+  Record& record = table_->record(key);
+  // Exclusive partition lock held: the record is stable.
+  TxnCtx::ReadEntry read;
+  read.key = key;
+  read.version = record.version.load(std::memory_order_relaxed);
+  read.value = record.value.load(std::memory_order_relaxed);
+  ctx.reads.push_back(read);
+  *value = read.value;
+  return true;
+}
+
+bool PartitionLockProtocol::Put(TxnCtx& ctx, uint64_t key, int64_t value) {
+  if (!TouchPartition(ctx, key)) return false;
+  if (TxnCtx::WriteEntry* own = ctx.FindWrite(key)) {
+    own->value = value;
+    return true;
+  }
+  ctx.writes.push_back({key, value});
+  return true;
+}
+
+bool PartitionLockProtocol::Commit(TxnCtx& ctx, CommittedTxn* committed) {
+  for (const TxnCtx::WriteEntry& write : ctx.writes) {
+    Record& record = table_->record(write.key);
+    record.value.store(write.value, std::memory_order_relaxed);
+    const uint64_t version =
+        record.version.load(std::memory_order_relaxed) + 1;
+    record.version.store(version, std::memory_order_relaxed);
+    if (committed != nullptr) {
+      committed->writes.push_back({write.key, version});
+    }
+  }
+  if (committed != nullptr) {
+    committed->txn_id = ctx.txn_id;
+    for (const TxnCtx::ReadEntry& read : ctx.reads) {
+      committed->reads.push_back({read.key, read.version});
+    }
+  }
+  ReleaseAll(ctx);
+  return true;
+}
+
+void PartitionLockProtocol::Abort(TxnCtx& ctx) { ReleaseAll(ctx); }
+
+}  // namespace elastic::oltp::cc

@@ -1,0 +1,34 @@
+#ifndef ELASTICORE_OLTP_CC_PARTITION_LOCK_H_
+#define ELASTICORE_OLTP_CC_PARTITION_LOCK_H_
+
+#include "oltp/cc/protocol.h"
+
+namespace elastic::oltp::cc {
+
+/// Coarse partition-granularity locking, the generic-interface form of the
+/// engine's original partition-latch discipline: the first access to a key
+/// takes its partition's exclusive lock no-wait (conflict = abort), every
+/// later access of the same partition rides the held lock, and all
+/// partitions are released at commit/abort. Trivially serializable — two
+/// conflicting transactions are never concurrent on any partition — and
+/// trivially collapsed by skew: one hot key serializes its whole partition.
+class PartitionLockProtocol : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  ProtocolKind kind() const override { return ProtocolKind::kPartitionLock; }
+  bool Get(TxnCtx& ctx, uint64_t key, int64_t* value) override;
+  bool Put(TxnCtx& ctx, uint64_t key, int64_t value) override;
+  bool Commit(TxnCtx& ctx, CommittedTxn* committed) override;
+  void Abort(TxnCtx& ctx) override;
+
+ private:
+  /// Ensures `ctx` holds the partition lock covering `key`; false on a
+  /// no-wait conflict.
+  bool TouchPartition(TxnCtx& ctx, uint64_t key);
+  void ReleaseAll(TxnCtx& ctx);
+};
+
+}  // namespace elastic::oltp::cc
+
+#endif  // ELASTICORE_OLTP_CC_PARTITION_LOCK_H_

@@ -1,0 +1,51 @@
+#include "oltp/cc/protocol.h"
+
+#include "oltp/cc/partition_lock.h"
+#include "oltp/cc/tictoc.h"
+#include "oltp/cc/two_phase_lock.h"
+
+namespace elastic::oltp::cc {
+
+const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kPartitionLock: return "partition_lock";
+    case ProtocolKind::kTwoPhaseLock: return "two_phase_lock";
+    case ProtocolKind::kTicToc: return "tictoc";
+  }
+  return "?";
+}
+
+bool ProtocolKindFromName(const std::string& name, ProtocolKind* kind) {
+  if (name == "partition_lock") {
+    *kind = ProtocolKind::kPartitionLock;
+  } else if (name == "two_phase_lock") {
+    *kind = ProtocolKind::kTwoPhaseLock;
+  } else if (name == "tictoc") {
+    *kind = ProtocolKind::kTicToc;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Protocol::Begin(TxnCtx& ctx, uint64_t txn_id) {
+  ctx.txn_id = txn_id;
+  ctx.active = true;
+  ctx.reads.clear();
+  ctx.writes.clear();
+  ctx.locks.clear();
+}
+
+std::unique_ptr<Protocol> MakeProtocol(ProtocolKind kind, Table* table) {
+  switch (kind) {
+    case ProtocolKind::kPartitionLock:
+      return std::make_unique<PartitionLockProtocol>(table);
+    case ProtocolKind::kTwoPhaseLock:
+      return std::make_unique<TwoPhaseLockProtocol>(table);
+    case ProtocolKind::kTicToc:
+      return std::make_unique<TicTocProtocol>(table);
+  }
+  return nullptr;
+}
+
+}  // namespace elastic::oltp::cc

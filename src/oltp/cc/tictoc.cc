@@ -1,0 +1,163 @@
+#include "oltp/cc/tictoc.h"
+
+#include <algorithm>
+
+namespace elastic::oltp::cc {
+
+bool TicTocProtocol::TryLockRecord(Record& record) {
+  for (int spin = 0; spin < kSpinLimit; ++spin) {
+    uint64_t word = record.tictoc.load(std::memory_order_relaxed);
+    if (TicTocLocked(word)) continue;
+    if (record.tictoc.compare_exchange_weak(word, word | kTicTocLockBit,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TicTocProtocol::UnlockWriteSet(TxnCtx& ctx) {
+  for (const TxnCtx::LockEntry& held : ctx.locks) {
+    Record& record = table_->record(held.target);
+    record.tictoc.fetch_and(~kTicTocLockBit, std::memory_order_release);
+  }
+  ctx.locks.clear();
+}
+
+bool TicTocProtocol::Get(TxnCtx& ctx, uint64_t key, int64_t* value) {
+  if (const TxnCtx::WriteEntry* own = ctx.FindWrite(key)) {
+    *value = own->value;
+    return true;
+  }
+  if (const TxnCtx::ReadEntry* seen = ctx.FindRead(key)) {
+    *value = seen->value;
+    return true;
+  }
+  Record& record = table_->record(key);
+  uint64_t word;
+  int64_t observed;
+  for (int spin = 0;; ++spin) {
+    if (spin >= kSpinLimit) return false;  // writer camping on the record
+    word = record.tictoc.load(std::memory_order_acquire);
+    if (TicTocLocked(word)) continue;
+    observed = record.value.load(std::memory_order_acquire);
+    // The (word, value, word) sandwich: an equal unlocked word on both
+    // sides proves no install happened in between.
+    if (record.tictoc.load(std::memory_order_acquire) == word) break;
+  }
+  TxnCtx::ReadEntry read;
+  read.key = key;
+  read.version = TicTocWts(word);
+  read.rts = TicTocRts(word);
+  read.value = observed;
+  ctx.reads.push_back(read);
+  *value = observed;
+  return true;
+}
+
+bool TicTocProtocol::Put(TxnCtx& ctx, uint64_t key, int64_t value) {
+  if (TxnCtx::WriteEntry* own = ctx.FindWrite(key)) {
+    own->value = value;
+    return true;
+  }
+  ctx.writes.push_back({key, value});
+  return true;
+}
+
+bool TicTocProtocol::Commit(TxnCtx& ctx, CommittedTxn* committed) {
+  // Lock the write set in key order (global order makes the bounded spins
+  // converge instead of colliding head-on).
+  std::sort(ctx.writes.begin(), ctx.writes.end(),
+            [](const TxnCtx::WriteEntry& a, const TxnCtx::WriteEntry& b) {
+              return a.key < b.key;
+            });
+  for (const TxnCtx::WriteEntry& write : ctx.writes) {
+    if (!TryLockRecord(table_->record(write.key))) {
+      UnlockWriteSet(ctx);
+      ctx.active = false;
+      return false;
+    }
+    ctx.locks.push_back({write.key, TxnCtx::LockMode::kWrite});
+  }
+
+  // Commit timestamp: after everything read, after every overwritten
+  // record's read timestamp.
+  uint64_t commit_ts = 0;
+  for (const TxnCtx::WriteEntry& write : ctx.writes) {
+    const uint64_t word =
+        table_->record(write.key).tictoc.load(std::memory_order_relaxed);
+    commit_ts = std::max(commit_ts, TicTocRts(word) + 1);
+  }
+  for (const TxnCtx::ReadEntry& read : ctx.reads) {
+    commit_ts = std::max(commit_ts, read.version);
+  }
+
+  // Validate the read set at commit_ts.
+  for (const TxnCtx::ReadEntry& read : ctx.reads) {
+    Record& record = table_->record(read.key);
+    const bool own_write = ctx.FindWrite(read.key) != nullptr;
+    while (true) {
+      uint64_t word = record.tictoc.load(std::memory_order_acquire);
+      if (TicTocWts(word) != read.version) {
+        // Someone installed a newer version after our read.
+        UnlockWriteSet(ctx);
+        ctx.active = false;
+        return false;
+      }
+      if (TicTocRts(word) >= commit_ts) break;
+      if (TicTocLocked(word) && !own_write) {
+        // A concurrent writer holds the record and our read interval ends
+        // before commit_ts: the extension race is lost.
+        UnlockWriteSet(ctx);
+        ctx.active = false;
+        return false;
+      }
+      if (own_write) break;  // we hold the lock; the install sets the wts
+      if (commit_ts - TicTocWts(word) > kTicTocDeltaMask) {
+        // rts extension would overflow the delta field; aborting keeps the
+        // stored rts exact (a saturated rts would silently weaken later
+        // validations). Unreachable at realistic timestamp magnitudes.
+        UnlockWriteSet(ctx);
+        ctx.active = false;
+        return false;
+      }
+      const uint64_t extended =
+          TicTocPack(TicTocWts(word), commit_ts, TicTocLocked(word));
+      if (record.tictoc.compare_exchange_weak(word, extended,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  // Install: value first, then the unlocking timestamp word that publishes
+  // it (readers re-check the word around the value load).
+  for (const TxnCtx::WriteEntry& write : ctx.writes) {
+    Record& record = table_->record(write.key);
+    record.value.store(write.value, std::memory_order_release);
+    record.tictoc.store(TicTocPack(commit_ts, commit_ts, false),
+                        std::memory_order_release);
+    if (committed != nullptr) {
+      committed->writes.push_back({write.key, commit_ts});
+    }
+  }
+  ctx.locks.clear();
+
+  if (committed != nullptr) {
+    committed->txn_id = ctx.txn_id;
+    for (const TxnCtx::ReadEntry& read : ctx.reads) {
+      committed->reads.push_back({read.key, read.version});
+    }
+  }
+  ctx.active = false;
+  return true;
+}
+
+void TicTocProtocol::Abort(TxnCtx& ctx) {
+  UnlockWriteSet(ctx);
+  ctx.active = false;
+}
+
+}  // namespace elastic::oltp::cc

@@ -1,0 +1,47 @@
+#ifndef ELASTICORE_OLTP_CC_TICTOC_H_
+#define ELASTICORE_OLTP_CC_TICTOC_H_
+
+#include "oltp/cc/protocol.h"
+
+namespace elastic::oltp::cc {
+
+/// TicToc-style timestamp optimistic concurrency control. Each record
+/// carries a packed (lock, delta, wts) word where rts = wts + delta:
+///
+///   Get   reads (word, value, word) seqlock-style until consistent and
+///         records the observed [wts, rts] interval; never blocks writers.
+///   Put   buffers the write; no metadata is touched before commit.
+///   Commit locks the write set in key order (bounded spin, then abort),
+///         derives commit_ts = max(read wts, write rts + 1), validates
+///         every read entry — the observed wts must be unchanged and its
+///         rts extendable to commit_ts (a lock held by another writer
+///         blocks extension and aborts) — then installs the writes at
+///         wts = rts = commit_ts and unlocks.
+///
+/// The data-driven timestamp derivation is what distinguishes TicToc from
+/// classic OCC: transactions that could be *logically* reordered commit in
+/// timestamp order even when their physical interleaving was inverted, so
+/// skew costs fewer aborts than a global-counter OCC — until writers
+/// genuinely collide, which is the contention signal the bench sweeps.
+class TicTocProtocol : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  ProtocolKind kind() const override { return ProtocolKind::kTicToc; }
+  bool Get(TxnCtx& ctx, uint64_t key, int64_t* value) override;
+  bool Put(TxnCtx& ctx, uint64_t key, int64_t value) override;
+  bool Commit(TxnCtx& ctx, CommittedTxn* committed) override;
+  void Abort(TxnCtx& ctx) override;
+
+ private:
+  /// Spin budget for reading past a locked word / locking a write-set
+  /// record before declaring a no-wait conflict.
+  static constexpr int kSpinLimit = 128;
+
+  bool TryLockRecord(Record& record);
+  void UnlockWriteSet(TxnCtx& ctx);
+};
+
+}  // namespace elastic::oltp::cc
+
+#endif  // ELASTICORE_OLTP_CC_TICTOC_H_

@@ -1,0 +1,117 @@
+#include "oltp/cc/two_phase_lock.h"
+
+namespace elastic::oltp::cc {
+
+TxnCtx::LockEntry* TwoPhaseLockProtocol::FindLock(TxnCtx& ctx, uint64_t key) {
+  for (TxnCtx::LockEntry& held : ctx.locks) {
+    if (held.target == key) return &held;
+  }
+  return nullptr;
+}
+
+bool TwoPhaseLockProtocol::TryReadLock(Record& record) {
+  uint64_t word = record.rwlock.load(std::memory_order_relaxed);
+  while (true) {
+    if ((word & kRwWriterBit) != 0) return false;
+    if (record.rwlock.compare_exchange_weak(word, word + 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+      return true;
+    }
+    // CAS failure reloaded `word`; a concurrent reader arriving is not a
+    // conflict, so retry unless a writer appeared.
+  }
+}
+
+bool TwoPhaseLockProtocol::TryWriteLock(Record& record) {
+  uint64_t expected = 0;
+  return record.rwlock.compare_exchange_strong(expected, kRwWriterBit,
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed);
+}
+
+bool TwoPhaseLockProtocol::TryUpgrade(Record& record) {
+  uint64_t expected = 1;  // exactly one reader: us
+  return record.rwlock.compare_exchange_strong(expected, kRwWriterBit,
+                                               std::memory_order_acquire,
+                                               std::memory_order_relaxed);
+}
+
+void TwoPhaseLockProtocol::ReleaseAll(TxnCtx& ctx) {
+  for (const TxnCtx::LockEntry& held : ctx.locks) {
+    Record& record = table_->record(held.target);
+    if (held.mode == TxnCtx::LockMode::kWrite) {
+      record.rwlock.store(0, std::memory_order_release);
+    } else {
+      record.rwlock.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  ctx.locks.clear();
+  ctx.active = false;
+}
+
+bool TwoPhaseLockProtocol::Get(TxnCtx& ctx, uint64_t key, int64_t* value) {
+  if (const TxnCtx::WriteEntry* own = ctx.FindWrite(key)) {
+    *value = own->value;
+    return true;
+  }
+  if (const TxnCtx::ReadEntry* seen = ctx.FindRead(key)) {
+    *value = seen->value;
+    return true;
+  }
+  Record& record = table_->record(key);
+  if (!TryReadLock(record)) return false;
+  ctx.locks.push_back({key, TxnCtx::LockMode::kRead});
+  TxnCtx::ReadEntry read;
+  read.key = key;
+  read.version = record.version.load(std::memory_order_relaxed);
+  read.value = record.value.load(std::memory_order_relaxed);
+  ctx.reads.push_back(read);
+  *value = read.value;
+  return true;
+}
+
+bool TwoPhaseLockProtocol::Put(TxnCtx& ctx, uint64_t key, int64_t value) {
+  if (TxnCtx::WriteEntry* own = ctx.FindWrite(key)) {
+    own->value = value;
+    return true;
+  }
+  Record& record = table_->record(key);
+  if (TxnCtx::LockEntry* held = FindLock(ctx, key)) {
+    if (held->mode == TxnCtx::LockMode::kRead) {
+      if (!TryUpgrade(record)) return false;
+      held->mode = TxnCtx::LockMode::kWrite;
+    }
+  } else {
+    if (!TryWriteLock(record)) return false;
+    ctx.locks.push_back({key, TxnCtx::LockMode::kWrite});
+  }
+  ctx.writes.push_back({key, value});
+  return true;
+}
+
+bool TwoPhaseLockProtocol::Commit(TxnCtx& ctx, CommittedTxn* committed) {
+  for (const TxnCtx::WriteEntry& write : ctx.writes) {
+    Record& record = table_->record(write.key);
+    // Exclusive write lock held: plain read-modify-write is race-free.
+    record.value.store(write.value, std::memory_order_relaxed);
+    const uint64_t version =
+        record.version.load(std::memory_order_relaxed) + 1;
+    record.version.store(version, std::memory_order_relaxed);
+    if (committed != nullptr) {
+      committed->writes.push_back({write.key, version});
+    }
+  }
+  if (committed != nullptr) {
+    committed->txn_id = ctx.txn_id;
+    for (const TxnCtx::ReadEntry& read : ctx.reads) {
+      committed->reads.push_back({read.key, read.version});
+    }
+  }
+  ReleaseAll(ctx);
+  return true;
+}
+
+void TwoPhaseLockProtocol::Abort(TxnCtx& ctx) { ReleaseAll(ctx); }
+
+}  // namespace elastic::oltp::cc

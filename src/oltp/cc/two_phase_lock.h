@@ -1,0 +1,37 @@
+#ifndef ELASTICORE_OLTP_CC_TWO_PHASE_LOCK_H_
+#define ELASTICORE_OLTP_CC_TWO_PHASE_LOCK_H_
+
+#include "oltp/cc/protocol.h"
+
+namespace elastic::oltp::cc {
+
+/// Strict two-phase locking over per-record reader-writer locks, with
+/// no-wait deadlock avoidance: a conflicting acquisition (a writer present
+/// for a read, anything present for a write, a co-reader present for a
+/// read->write upgrade) fails immediately and the transaction aborts,
+/// so a waits-for cycle can never form. All locks are held until
+/// commit/abort; writes are buffered and installed at commit under the
+/// write locks, bumping each record's version counter.
+class TwoPhaseLockProtocol : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  ProtocolKind kind() const override { return ProtocolKind::kTwoPhaseLock; }
+  bool Get(TxnCtx& ctx, uint64_t key, int64_t* value) override;
+  bool Put(TxnCtx& ctx, uint64_t key, int64_t value) override;
+  bool Commit(TxnCtx& ctx, CommittedTxn* committed) override;
+  void Abort(TxnCtx& ctx) override;
+
+ private:
+  TxnCtx::LockEntry* FindLock(TxnCtx& ctx, uint64_t key);
+  bool TryReadLock(Record& record);
+  bool TryWriteLock(Record& record);
+  /// Upgrades this transaction's read lock to a write lock; fails when any
+  /// other reader holds the record.
+  bool TryUpgrade(Record& record);
+  void ReleaseAll(TxnCtx& ctx);
+};
+
+}  // namespace elastic::oltp::cc
+
+#endif  // ELASTICORE_OLTP_CC_TWO_PHASE_LOCK_H_

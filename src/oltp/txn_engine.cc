@@ -47,6 +47,9 @@ TxnEngine::TxnEngine(ossim::Machine* machine,
 ossim::PageRange TxnEngine::BaseRange(const std::string& table_column,
                                       int partition, double offset,
                                       int64_t rows) const {
+  ELASTIC_CHECK(catalog_ != nullptr,
+                "the classic latch path needs a base catalog (CC-only "
+                "deployments may pass none)");
   const int64_t total_rows = catalog_->RowsOf(table_column);
   const int64_t total_pages = catalog_->PagesOf(table_column);
   const int64_t part_rows =
@@ -109,10 +112,19 @@ ossim::Job TxnEngine::JobFor(const TxnRequest& request) {
 }
 
 void TxnEngine::Submit(const TxnRequest& request,
-                       std::function<void()> on_complete) {
+                       std::function<void(bool)> on_complete) {
   ELASTIC_CHECK(request.partition >= 0 &&
                     request.partition < options_.num_partitions,
                 "partition out of range");
+  if (options_.cc.protocol != cc::ProtocolKind::kPartitionLock) {
+    PendingTxn txn;
+    txn.request = request;
+    txn.on_complete = std::move(on_complete);
+    txn.is_cc = true;
+    txn.cc = DeriveClassicCcTxn(request);
+    SubmitCc(std::move(txn));
+    return;
+  }
   active_++;
   PendingTxn txn;
   txn.request = request;
@@ -127,6 +139,109 @@ void TxnEngine::Submit(const TxnRequest& request,
   Dispatch(std::move(txn));
 }
 
+void TxnEngine::Submit(const TxnRequest& request, const cc::CcTxn& txn,
+                       std::function<void(bool)> on_complete) {
+  PendingTxn pending;
+  pending.request = request;
+  pending.on_complete = std::move(on_complete);
+  pending.is_cc = true;
+  pending.cc = txn;
+  SubmitCc(std::move(pending));
+}
+
+void TxnEngine::SubmitCc(PendingTxn txn) {
+  EnsureCcState();
+  active_++;
+  Dispatch(std::move(txn));
+}
+
+void TxnEngine::EnsureCcState() {
+  if (cc_state_) return;
+  ELASTIC_CHECK(options_.cc.num_records >= 1, "CC table must not be empty");
+  ELASTIC_CHECK(options_.cc.rows_per_page >= 1, "need >= 1 row per page");
+  cc_state_ = std::make_unique<CcState>(options_.cc.num_records,
+                                        options_.cc.num_partitions);
+  cc_state_->protocol =
+      cc::MakeProtocol(options_.cc.protocol, &cc_state_->table);
+  const int64_t pages =
+      (options_.cc.num_records + options_.cc.rows_per_page - 1) /
+      options_.cc.rows_per_page;
+  cc_state_->buffer = machine_->page_table().CreateBuffer(pages, "oltp.cc");
+}
+
+cc::CcTxn TxnEngine::DeriveClassicCcTxn(const TxnRequest& request) const {
+  const int64_t keys_per_partition =
+      std::max<int64_t>(2, options_.cc.num_records / options_.num_partitions);
+  const int64_t half = keys_per_partition / 2;
+  const int64_t base =
+      static_cast<int64_t>(request.partition) * keys_per_partition;
+  const auto neighbourhood_key = [&](int64_t offset_base, double offset) {
+    const int64_t row = static_cast<int64_t>(
+        offset * static_cast<double>(half));
+    return static_cast<uint64_t>(offset_base + std::min(row, half - 1));
+  };
+  const uint64_t customer = neighbourhood_key(base, request.customer_offset);
+  const uint64_t stock =
+      neighbourhood_key(base + half, request.stock_offset);
+  cc::CcTxn txn;
+  txn.kind = cc::WorkloadKind::kNewOrderPayment;
+  switch (request.type) {
+    case TxnType::kNewOrder:
+      txn.ops.push_back({customer, /*write=*/false});
+      txn.ops.push_back({stock, /*write=*/true});
+      break;
+    case TxnType::kPayment:
+      txn.ops.push_back({customer, /*write=*/true});
+      break;
+  }
+  return txn;
+}
+
+ossim::Job TxnEngine::ExecuteCc(PendingTxn& txn) {
+  cc::Protocol& protocol = *cc_state_->protocol;
+  protocol.Begin(txn.ctx, static_cast<uint64_t>(txn.request.id));
+  std::vector<uint64_t> touched;
+  if (!cc::ExecuteCcTxn(protocol, txn.ctx, txn.cc, &touched)) {
+    // No-wait conflict mid-transaction: roll back now; the job below still
+    // charges the attempted operations (the wasted work of the abort).
+    protocol.Abort(txn.ctx);
+    txn.pre_aborted = true;
+    cc_lock_conflicts_++;
+  }
+
+  // Map the touched keys onto pages of the CC buffer: sorted, deduplicated,
+  // adjacent pages merged into ranges. The whole job is marked as writing
+  // when the transaction buffered any write (log + install traffic).
+  std::vector<int64_t> pages;
+  pages.reserve(touched.size());
+  for (const uint64_t key : touched) {
+    pages.push_back(static_cast<int64_t>(key) / options_.cc.rows_per_page);
+  }
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  if (pages.empty()) pages.push_back(0);
+
+  ossim::Job job;
+  job.cpu_cycles_per_page = options_.cpu_cycles_per_page;
+  const bool writes = !txn.ctx.writes.empty();
+  ossim::PageRange range;
+  range.buffer = cc_state_->buffer;
+  range.begin = pages.front();
+  range.end = pages.front() + 1;
+  range.write = writes;
+  for (size_t i = 1; i < pages.size(); ++i) {
+    if (pages[i] == range.end) {
+      range.end++;
+      continue;
+    }
+    job.ranges.push_back(range);
+    range.begin = pages[i];
+    range.end = pages[i] + 1;
+  }
+  job.ranges.push_back(range);
+  return job;
+}
+
 void TxnEngine::Dispatch(PendingTxn txn) {
   if (idle_workers_.empty()) {
     runnable_.push_back(std::move(txn));
@@ -134,7 +249,7 @@ void TxnEngine::Dispatch(PendingTxn txn) {
   }
   const ossim::ThreadId worker = idle_workers_.front();
   idle_workers_.pop_front();
-  ossim::Job job = JobFor(txn.request);
+  ossim::Job job = txn.is_cc ? ExecuteCc(txn) : JobFor(txn.request);
   running_.emplace(worker, std::move(txn));
   machine_->scheduler().AssignJob(worker, std::move(job));
 }
@@ -145,6 +260,42 @@ void TxnEngine::OnJobDone(ossim::ThreadId worker) {
   PendingTxn done = std::move(it->second);
   running_.erase(it);
   idle_workers_.push_back(worker);
+
+  if (done.is_cc) {
+    // Commit at job completion: the job's duration was the transaction's
+    // lifetime, i.e. the window in which others could conflict with it.
+    bool committed = false;
+    if (!done.pre_aborted) {
+      cc::CommittedTxn footprint;
+      committed = cc_state_->protocol->Commit(
+          done.ctx, options_.cc.record_history ? &footprint : nullptr);
+      if (committed) {
+        if (options_.cc.record_history) {
+          cc_state_->history.push_back(std::move(footprint));
+        }
+      } else {
+        cc_validation_failures_++;
+      }
+    }
+    const simcore::Tick now = machine_->clock().now();
+    if (committed) {
+      completed_++;
+      cc_commits_++;
+      cc_commit_ticks_.push_back(now);
+    } else {
+      cc_abort_ticks_.push_back(now);
+    }
+    active_--;
+
+    while (!runnable_.empty() && !idle_workers_.empty()) {
+      PendingTxn next = std::move(runnable_.front());
+      runnable_.pop_front();
+      Dispatch(std::move(next));
+    }
+
+    if (done.on_complete) done.on_complete(committed);
+    return;
+  }
 
   completed_++;
   active_--;
@@ -169,7 +320,31 @@ void TxnEngine::OnJobDone(ossim::ThreadId worker) {
     Dispatch(std::move(next));
   }
 
-  if (done.on_complete) done.on_complete();
+  if (done.on_complete) done.on_complete(true);
+}
+
+double TxnEngine::RecentAbortFraction(simcore::Tick now,
+                                      simcore::Tick window_ticks) const {
+  const simcore::Tick cutoff = now - window_ticks;
+  const auto trim = [cutoff](std::deque<simcore::Tick>& ticks) {
+    while (!ticks.empty() && ticks.front() <= cutoff) ticks.pop_front();
+  };
+  trim(cc_commit_ticks_);
+  trim(cc_abort_ticks_);
+  const auto commits = static_cast<double>(cc_commit_ticks_.size());
+  const auto aborts = static_cast<double>(cc_abort_ticks_.size());
+  if (commits + aborts == 0.0) return 0.0;
+  return aborts / (commits + aborts);
+}
+
+cc::Table& TxnEngine::cc_table() {
+  EnsureCcState();
+  return cc_state_->table;
+}
+
+const std::vector<cc::CommittedTxn>& TxnEngine::cc_history() const {
+  static const std::vector<cc::CommittedTxn> kEmpty;
+  return cc_state_ ? cc_state_->history : kEmpty;
 }
 
 }  // namespace elastic::oltp

@@ -3,10 +3,13 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "exec/base_catalog.h"
+#include "oltp/cc/protocol.h"
+#include "oltp/cc/workload.h"
 #include "oltp/txn.h"
 #include "ossim/machine.h"
 
@@ -40,6 +43,14 @@ struct TxnEngineOptions {
   /// Pages of the engine-owned write area each partition appends order and
   /// line rows into (cycled deterministically, modelling a redo log slab).
   int64_t log_pages_per_partition = 32;
+
+  /// Concurrency-control layer. With the default (kPartitionLock) protocol
+  /// the classic NewOrder/Payment workload runs on the original
+  /// partition-latch path, bit-for-bit identical to the pre-CC engine; any
+  /// other protocol — or any record-level workload submitted through the
+  /// CcTxn overload of Submit — routes through the pluggable cc::Protocol
+  /// interface, where transactions can abort and are retried by the client.
+  cc::CcConfig cc;
 };
 
 /// A lightweight partition-latched transaction engine over the TPC-H-derived
@@ -54,6 +65,15 @@ struct TxnEngineOptions {
 /// transactions behind a busy latch count as latch waits. Like DbmsEngine,
 /// the engine is oblivious to the elastic mechanism — cores come and go
 /// underneath its cpuset.
+///
+/// Beyond the classic latch path the engine executes transactions through a
+/// pluggable concurrency-control protocol (see TxnEngineOptions::cc): the
+/// record-level operations run against the CC table when the transaction is
+/// dispatched, the commit/validation happens when its simulated job
+/// completes — so the job duration is the window in which other
+/// transactions can conflict with it, and aborted attempts still burn
+/// (truncated) jobs' worth of simulated work. That wasted work is what makes
+/// contention collapse visible in goodput, not just in abort counters.
 class TxnEngine {
  public:
   TxnEngine(ossim::Machine* machine, const exec::BaseCatalog* catalog,
@@ -62,9 +82,20 @@ class TxnEngine {
   TxnEngine(const TxnEngine&) = delete;
   TxnEngine& operator=(const TxnEngine&) = delete;
 
-  /// Starts (or enqueues, when the partition latch is busy) one transaction.
-  /// `on_complete` fires when its job finishes and the latch is released.
-  void Submit(const TxnRequest& request, std::function<void()> on_complete);
+  /// Starts (or enqueues, when the partition latch is busy) one classic
+  /// NewOrder/Payment transaction. Under the default kPartitionLock protocol
+  /// this is the original latch path and `committed` is always true; under
+  /// any other protocol the request is translated into record-level
+  /// operations and executed through the CC layer, where it can abort —
+  /// `on_complete(false)` means the caller owns the retry.
+  void Submit(const TxnRequest& request,
+              std::function<void(bool committed)> on_complete);
+
+  /// Starts one record-level transaction (YCSB / SmallBank) through the
+  /// configured CC protocol. `request` only contributes the transaction id;
+  /// isolation comes from the protocol, not the partition latches.
+  void Submit(const TxnRequest& request, const cc::CcTxn& txn,
+              std::function<void(bool committed)> on_complete);
 
   int64_t completed_txns() const { return completed_; }
   /// Transactions that had to queue behind a busy partition latch.
@@ -74,10 +105,56 @@ class TxnEngine {
   int num_workers() const { return static_cast<int>(workers_.size()); }
   const TxnEngineOptions& options() const { return options_; }
 
+  // -- CC-layer statistics (contention signals for arbiter policies) --
+
+  /// Transactions committed through the CC layer.
+  int64_t cc_commits() const { return cc_commits_; }
+  /// Total CC aborts (lock conflicts + validation failures).
+  int64_t cc_aborts() const { return cc_lock_conflicts_ + cc_validation_failures_; }
+  /// Aborts at operation time: a no-wait lock/latch conflict or a reader
+  /// giving up on a locked record.
+  int64_t cc_lock_conflicts() const { return cc_lock_conflicts_; }
+  /// Aborts at commit time: OCC read-set validation failures.
+  int64_t cc_validation_failures() const { return cc_validation_failures_; }
+  /// Fraction of CC transaction attempts finishing in (now - window, now]
+  /// that aborted (0 when none finished). The engine-side contention signal:
+  /// it rises with conflict probability, not with queueing, so a policy can
+  /// tell "needs more cores" from "more cores will only burn in aborts".
+  double RecentAbortFraction(simcore::Tick now,
+                             simcore::Tick window_ticks) const;
+
+  /// The CC table (created on first use). Exposed so workload setup can
+  /// seed initial values (e.g. SmallBank balances) and tests can check
+  /// invariants over final state.
+  cc::Table& cc_table();
+  /// Commit footprints recorded when options().cc.record_history is set.
+  const std::vector<cc::CommittedTxn>& cc_history() const;
+
  private:
   struct PendingTxn {
     TxnRequest request;
-    std::function<void()> on_complete;
+    std::function<void(bool)> on_complete;
+    /// CC-path fields (unused on the legacy latch path).
+    bool is_cc = false;
+    cc::CcTxn cc;
+    cc::TxnCtx ctx;
+    /// The transaction hit a no-wait conflict at dispatch and was already
+    /// rolled back; its job models the wasted work of the attempt.
+    bool pre_aborted = false;
+  };
+
+  /// Lazily created CC state: nothing here exists (and no simulated pages
+  /// are allocated) until the first transaction routes through a protocol,
+  /// which keeps default PartitionLock runs bit-for-bit identical to the
+  /// pre-CC engine.
+  struct CcState {
+    cc::Table table;
+    std::unique_ptr<cc::Protocol> protocol;
+    /// Simulated pages backing the CC key space (rows_per_page keys each).
+    numasim::BufferId buffer = 0;
+    std::vector<cc::CommittedTxn> history;
+    CcState(int64_t num_records, int num_partitions)
+        : table(num_records, num_partitions) {}
   };
 
   /// Builds the page-access job for one transaction.
@@ -85,6 +162,20 @@ class TxnEngine {
   /// Hands the transaction to an idle worker or queues it for one.
   void Dispatch(PendingTxn txn);
   void OnJobDone(ossim::ThreadId worker);
+
+  void EnsureCcState();
+  /// Translates a classic NewOrder/Payment request into record-level
+  /// operations on the CC key space: each partition owns a contiguous slice
+  /// of keys, the customer neighbourhood maps into its lower half and the
+  /// stock neighbourhood into its upper half. NewOrder reads the customer
+  /// and read-modify-writes the stock row; Payment read-modify-writes the
+  /// customer row.
+  cc::CcTxn DeriveClassicCcTxn(const TxnRequest& request) const;
+  void SubmitCc(PendingTxn txn);
+  /// Runs the transaction's operations through the protocol (aborting it on
+  /// a no-wait conflict) and returns the page-access job modelling the
+  /// attempt's work; Commit/Abort accounting happens at job completion.
+  ossim::Job ExecuteCc(PendingTxn& txn);
 
   /// Page range of `rows` rows around `offset` within the partition's slice
   /// of a base column.
@@ -114,6 +205,15 @@ class TxnEngine {
   int64_t completed_ = 0;
   int64_t latch_waits_ = 0;
   int64_t active_ = 0;
+
+  std::unique_ptr<CcState> cc_state_;
+  int64_t cc_commits_ = 0;
+  int64_t cc_lock_conflicts_ = 0;
+  int64_t cc_validation_failures_ = 0;
+  /// Finish ticks of recent CC attempts, for the windowed abort fraction
+  /// (trimmed lazily on query, hence mutable).
+  mutable std::deque<simcore::Tick> cc_commit_ticks_;
+  mutable std::deque<simcore::Tick> cc_abort_ticks_;
 };
 
 }  // namespace elastic::oltp

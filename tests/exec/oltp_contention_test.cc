@@ -1,0 +1,91 @@
+// The contention experiment behind bench/oltp_contention: determinism of
+// its JSON output (the bench's byte-identity contract), the counters it
+// surfaces, and the qualitative shape the sweep's collapse detection relies
+// on.
+
+#include "exec/oltp_contention_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace elastic::exec {
+namespace {
+
+OltpContentionOptions SmallYcsb(oltp::cc::ProtocolKind protocol,
+                                double theta, int cores) {
+  OltpContentionOptions options;
+  options.protocol = protocol;
+  options.workload = oltp::cc::WorkloadKind::kYcsb;
+  options.ycsb.num_records = 1024;
+  options.ycsb.theta = theta;
+  options.total_txns = 300;
+  options.cores = cores;
+  return options;
+}
+
+std::string RunToJson(const OltpContentionOptions& options) {
+  OltpContentionExperiment experiment(options);
+  const OltpContentionResult result = experiment.Run(/*max_ticks=*/40'000'000);
+  return OltpContentionJsonFragment(options, result);
+}
+
+TEST(OltpContentionExperimentTest, JsonFragmentByteIdenticalAcrossRuns) {
+  // The single-threaded simulation is fully deterministic, so two fresh
+  // experiments with equal options must render byte-identical JSON — the
+  // property that makes BENCH_oltp_contention.json diffable across machines.
+  for (const oltp::cc::ProtocolKind protocol :
+       {oltp::cc::ProtocolKind::kPartitionLock,
+        oltp::cc::ProtocolKind::kTwoPhaseLock,
+        oltp::cc::ProtocolKind::kTicToc}) {
+    const OltpContentionOptions options = SmallYcsb(protocol, 0.99, 4);
+    EXPECT_EQ(RunToJson(options), RunToJson(options))
+        << oltp::cc::ProtocolKindName(protocol);
+  }
+}
+
+TEST(OltpContentionExperimentTest, CountersMatchEngineAndAllTxnsCommit) {
+  const OltpContentionOptions options =
+      SmallYcsb(oltp::cc::ProtocolKind::kTwoPhaseLock, 0.99, 4);
+  OltpContentionExperiment experiment(options);
+  const OltpContentionResult result = experiment.Run(/*max_ticks=*/40'000'000);
+  EXPECT_EQ(result.commits, options.total_txns);
+  EXPECT_EQ(result.commits, experiment.engine().cc_commits());
+  EXPECT_EQ(result.aborts, experiment.engine().cc_aborts());
+  EXPECT_EQ(result.aborts, result.lock_conflicts + result.validation_failures);
+  // Every abort was resubmitted until it committed: aborts never leak work.
+  EXPECT_EQ(result.retries, result.aborts);
+  EXPECT_GT(result.goodput_tps, 0.0);
+}
+
+TEST(OltpContentionExperimentTest, SingleCoreHasNoConflicts) {
+  // One worker means one transaction in flight: the conflict window of the
+  // simulation (dispatch to completion) never overlaps another's.
+  for (const oltp::cc::ProtocolKind protocol :
+       {oltp::cc::ProtocolKind::kPartitionLock,
+        oltp::cc::ProtocolKind::kTwoPhaseLock,
+        oltp::cc::ProtocolKind::kTicToc}) {
+    OltpContentionExperiment experiment(SmallYcsb(protocol, 0.99, 1));
+    const OltpContentionResult result =
+        experiment.Run(/*max_ticks=*/40'000'000);
+    EXPECT_EQ(result.aborts, 0) << oltp::cc::ProtocolKindName(protocol);
+  }
+}
+
+TEST(OltpContentionExperimentTest, SkewRaisesAbortFractionAtFixedCores) {
+  // The ingredient of the bench's collapse crossover, asserted directly:
+  // with cores held fixed, high skew must contend harder than uniform.
+  const OltpContentionOptions uniform =
+      SmallYcsb(oltp::cc::ProtocolKind::kTwoPhaseLock, 0.0, 4);
+  const OltpContentionOptions skewed =
+      SmallYcsb(oltp::cc::ProtocolKind::kTwoPhaseLock, 0.99, 4);
+  OltpContentionExperiment uniform_experiment(uniform);
+  OltpContentionExperiment skewed_experiment(skewed);
+  const double uniform_abort =
+      uniform_experiment.Run(40'000'000).abort_fraction;
+  const double skewed_abort = skewed_experiment.Run(40'000'000).abort_fraction;
+  EXPECT_GT(skewed_abort, uniform_abort);
+}
+
+}  // namespace
+}  // namespace elastic::exec

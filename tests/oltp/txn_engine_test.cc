@@ -42,9 +42,9 @@ TEST(TxnEngineTest, RunsBothProfilesToCompletion) {
   Stack stack = MakeStack();
   int completions = 0;
   stack.engine->Submit(Request(0, TxnType::kNewOrder, 0),
-                       [&] { completions++; });
+                       [&](bool) { completions++; });
   stack.engine->Submit(Request(1, TxnType::kPayment, 1),
-                       [&] { completions++; });
+                       [&](bool) { completions++; });
   EXPECT_EQ(stack.engine->active_txns(), 2);
   stack.machine->RunUntilIdle(100'000);
   EXPECT_EQ(completions, 2);
@@ -58,7 +58,7 @@ TEST(TxnEngineTest, PartitionLatchSerializesSamePartition) {
   std::vector<int> order;
   for (int i = 0; i < 3; ++i) {
     stack.engine->Submit(Request(i, TxnType::kPayment, /*partition=*/2),
-                         [&order, i] { order.push_back(i); });
+                         [&order, i](bool) { order.push_back(i); });
   }
   // Two of the three queued behind the latch.
   EXPECT_EQ(stack.engine->latch_waits(), 2);
@@ -72,7 +72,7 @@ TEST(TxnEngineTest, DifferentPartitionsDoNotLatchWait) {
   int completions = 0;
   for (int i = 0; i < 8; ++i) {
     stack.engine->Submit(Request(i, TxnType::kPayment, /*partition=*/i),
-                         [&] { completions++; });
+                         [&](bool) { completions++; });
   }
   EXPECT_EQ(stack.engine->latch_waits(), 0);
   stack.machine->RunUntilIdle(100'000);
@@ -86,7 +86,7 @@ TEST(TxnEngineTest, SamePartitionStreamTakesLongerThanSpreadStream) {
     Stack stack = MakeStack();
     for (int i = 0; i < 16; ++i) {
       stack.engine->Submit(
-          Request(i, TxnType::kNewOrder, spread ? i : 3), [] {});
+          Request(i, TxnType::kNewOrder, spread ? i : 3), [](bool) {});
     }
     return stack.machine->RunUntilIdle(1'000'000);
   };
@@ -136,6 +136,83 @@ TEST(TxnEngineTest, OpenLoopArrivalsDoNotWaitForCompletions) {
   stack.machine->RunUntilIdle(1'000'000);
   EXPECT_TRUE(client.AllDone());
   EXPECT_EQ(client.completed(), 32);
+}
+
+TEST(TxnEngineTest, CcAbortedTxnLatencyMeasuredFromFirstAdmission) {
+  // Regression test for the restart-clock bug: an aborted-then-retried
+  // transaction's latency must cover the whole span since it was FIRST
+  // admitted — the time burnt in the aborted attempt and the retry backoff
+  // is latency the caller experienced. Resetting the clock on resubmission
+  // would report only the final attempt's duration, hiding exactly the
+  // delays contention causes. With a backoff far above any single job
+  // duration, the max recorded latency separates the two behaviours
+  // cleanly: >= backoff only when measured from first admission.
+  constexpr int64_t kBackoff = 50'000;
+  TxnEngineOptions options;
+  options.cc.protocol = cc::ProtocolKind::kTwoPhaseLock;
+  options.cc.num_records = 64;  // hot key space: conflicts guaranteed
+  options.cc.retry_backoff_ticks = kBackoff;
+  options.cpu_cycles_per_page = 5'000'000;  // multi-tick conflict windows
+  Stack stack = MakeStack(options);
+
+  OltpWorkload workload;
+  workload.kind = cc::WorkloadKind::kYcsb;
+  workload.ycsb.num_records = 64;
+  workload.ycsb.theta = 0.9;
+  workload.total_txns = 64;
+  workload.arrival_interval_ticks = 1;  // pile up in-flight transactions
+  OltpClient client(stack.machine.get(), stack.engine.get(), workload,
+                    /*seed=*/11);
+  client.Start();
+  int64_t ticks = 0;
+  while (!client.AllDone() && ticks < 5'000'000) {
+    stack.machine->Step();
+    ticks++;
+  }
+  ASSERT_TRUE(client.AllDone());
+  // Aborts never fail the transaction — every arrival eventually commits.
+  EXPECT_EQ(client.completed(), workload.total_txns);
+  EXPECT_EQ(client.failed(), 0);
+  ASSERT_GT(client.cc_aborts(), 0) << "no contention: test proves nothing";
+  EXPECT_EQ(client.cc_retries(), client.cc_aborts());
+  // At least one transaction sat out a backoff; its recorded latency must
+  // include it.
+  EXPECT_GE(client.latencies().PercentileTicks(1.0), kBackoff);
+}
+
+TEST(TxnEngineTest, SurfacesCcCountersAndRecentAbortFraction) {
+  TxnEngineOptions options;
+  options.cc.protocol = cc::ProtocolKind::kTicToc;
+  options.cc.num_records = 64;
+  options.cpu_cycles_per_page = 5'000'000;
+  Stack stack = MakeStack(options);
+
+  OltpWorkload workload;
+  workload.kind = cc::WorkloadKind::kYcsb;
+  workload.ycsb.num_records = 64;
+  workload.ycsb.theta = 0.9;
+  workload.total_txns = 64;
+  workload.arrival_interval_ticks = 1;
+  OltpClient client(stack.machine.get(), stack.engine.get(), workload,
+                    /*seed=*/11);
+  client.Start();
+  int64_t ticks = 0;
+  while (!client.AllDone() && ticks < 5'000'000) {
+    stack.machine->Step();
+    ticks++;
+  }
+  ASSERT_TRUE(client.AllDone());
+  EXPECT_EQ(stack.engine->cc_commits(), workload.total_txns);
+  EXPECT_EQ(stack.engine->cc_aborts(), client.cc_aborts());
+  // OCC aborts are validation failures, not lock conflicts.
+  EXPECT_GT(stack.engine->cc_validation_failures(), 0);
+  EXPECT_EQ(stack.engine->cc_lock_conflicts(), 0);
+  // Over a window covering the whole run, the abort fraction is the overall
+  // abort share: in (0, 1) since both commits and aborts happened.
+  const simcore::Tick now = stack.machine->clock().now();
+  const double fraction = stack.engine->RecentAbortFraction(now, now + 1);
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LT(fraction, 1.0);
 }
 
 }  // namespace
