@@ -35,6 +35,7 @@ const char* ArbitrationPolicyName(ArbitrationPolicy policy) {
     case ArbitrationPolicy::kPriorityWeighted: return "priority_weighted";
     case ArbitrationPolicy::kDemandProportional: return "demand_proportional";
     case ArbitrationPolicy::kSloAware: return "slo_aware";
+    case ArbitrationPolicy::kContentionAware: return "contention_aware";
   }
   return "?";
 }
@@ -52,6 +53,9 @@ ArbitrationPolicy ArbitrationPolicyFromName(const std::string& name) {
   if (name == "slo_aware" || name == "slo") {
     return ArbitrationPolicy::kSloAware;
   }
+  if (name == "contention_aware" || name == "contention") {
+    return ArbitrationPolicy::kContentionAware;
+  }
   ELASTIC_CHECK(false, "unknown arbitration policy name");
   return ArbitrationPolicy::kFairShare;
 }
@@ -68,6 +72,15 @@ CoreArbiter::CoreArbiter(platform::Platform* platform,
   ELASTIC_CHECK(config_.quarantine_after_failures >= 1 &&
                     config_.quarantine_probe_rounds >= 1,
                 "quarantine thresholds >= 1");
+  ELASTIC_CHECK(config_.contention_low_abort >= 0.0 &&
+                    config_.contention_low_abort <=
+                        config_.contention_high_abort &&
+                    config_.contention_high_abort <= 1.0,
+                "contention abort thresholds out of order");
+  ELASTIC_CHECK(config_.contention_settle_rounds >= 0 &&
+                    config_.contention_backoff_evals >= 0 &&
+                    config_.contention_goodput_tolerance >= 0.0,
+                "contention controller knobs must be non-negative");
 }
 
 int CoreArbiter::AddTenant(const ArbiterTenantConfig& config) {
@@ -151,6 +164,11 @@ void CoreArbiter::Install() {
       ELASTIC_CHECK(static_cast<bool>(tenant.config.tail_latency_probe),
                     "SLO tenant needs a tail_latency_probe under slo_aware");
     }
+    if (config_.policy == ArbitrationPolicy::kContentionAware) {
+      ELASTIC_CHECK(static_cast<bool>(tenant.config.abort_fraction_probe) ==
+                        static_cast<bool>(tenant.config.goodput_probe),
+                    "contention_aware needs both probes or neither");
+    }
   }
   ELASTIC_CHECK(initial_total <= platform_->topology().total_cores(),
                 "initial cores of all tenants exceed the machine");
@@ -220,6 +238,93 @@ std::vector<double> CoreArbiter::SloRatios(
     ratios[static_cast<size_t>(i)] = ratio;
   }
   return ratios;
+}
+
+std::vector<double> CoreArbiter::ContentionFractions(simcore::Tick now) const {
+  std::vector<double> fractions(static_cast<size_t>(num_tenants()), -1.0);
+  if (config_.policy != ArbitrationPolicy::kContentionAware) return fractions;
+  for (int i = 0; i < num_tenants(); ++i) {
+    const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    if (tenant.active && HasContentionProbes(tenant.config)) {
+      fractions[static_cast<size_t>(i)] =
+          tenant.config.abort_fraction_probe(now);
+    }
+  }
+  return fractions;
+}
+
+void CoreArbiter::UpdateContentionControllers(
+    simcore::Tick now, const std::vector<ElasticMechanism::Decision>& decisions,
+    const std::vector<double>& abort_fractions) {
+  if (config_.policy != ArbitrationPolicy::kContentionAware) return;
+  const int total = platform_->topology().total_cores();
+  for (int i = 0; i < num_tenants(); ++i) {
+    Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    if (!tenant.active || !HasContentionProbes(tenant.config)) continue;
+    const int held = tenant.mask.Count();
+    const int floor = std::max(1, tenant.config.mechanism.initial_cores);
+    const int cap = tenant.config.mechanism.max_cores > 0
+                        ? tenant.config.mechanism.max_cores
+                        : total;
+    const auto clamp = [floor, cap](int cores) {
+      return std::min(cap, std::max(floor, cores));
+    };
+    if (tenant.hc_target == 0) {
+      // First round with probes attached: adopt the current holding as the
+      // operating point so the controller starts from reality, not from 0.
+      tenant.hc_target = clamp(held);
+    }
+    const double fraction = abort_fractions[static_cast<size_t>(i)];
+    if (fraction < 0.0) continue;  // no traffic in the window: hold
+    if (tenant.hc_settle > 0) {
+      // The last move has not had a full probe window to show up in the
+      // goodput signal yet; measuring now would attribute the old
+      // allocation's goodput to the new one.
+      tenant.hc_settle--;
+      continue;
+    }
+    const double goodput = tenant.config.goodput_probe(now);
+    // Evaluate the previous move: if the allocation actually changed and
+    // goodput dropped beyond tolerance, revert to the old operating point
+    // and block that direction for a while — this is what makes the climber
+    // settle at the goodput knee instead of oscillating across it.
+    if (tenant.hc_last_goodput >= 0.0 && held != tenant.hc_last_cores) {
+      const bool regressed =
+          goodput <
+          tenant.hc_last_goodput * (1.0 - config_.contention_goodput_tolerance);
+      if (regressed) {
+        if (held > tenant.hc_last_cores) {
+          tenant.hc_grow_block = config_.contention_backoff_evals;
+        } else {
+          tenant.hc_shrink_block = config_.contention_backoff_evals;
+        }
+        tenant.hc_target = clamp(tenant.hc_last_cores);
+        tenant.hc_last_goodput = goodput;
+        tenant.hc_last_cores = held;
+        tenant.hc_settle = config_.contention_settle_rounds;
+        continue;
+      }
+    }
+    if (tenant.hc_grow_block > 0) tenant.hc_grow_block--;
+    if (tenant.hc_shrink_block > 0) tenant.hc_shrink_block--;
+    int target = held;
+    if (fraction >= config_.contention_high_abort && held > floor &&
+        tenant.hc_shrink_block == 0) {
+      // High abort fraction: most added work is burning in aborts, so probe
+      // one core down — the freed core goes to a tenant that can use it.
+      target = held - 1;
+    } else if (fraction <= config_.contention_low_abort && held < cap &&
+               tenant.hc_grow_block == 0 &&
+               decisions[static_cast<size_t>(i)].desired >
+                   decisions[static_cast<size_t>(i)].current) {
+      // Low contention and the mechanism wants more cores: let it grow.
+      target = held + 1;
+    }
+    tenant.hc_target = clamp(target);
+    tenant.hc_last_goodput = goodput;
+    tenant.hc_last_cores = held;
+    tenant.hc_settle = config_.contention_settle_rounds;
+  }
 }
 
 std::vector<double> CoreArbiter::Entitlements(
@@ -319,6 +424,39 @@ std::vector<double> CoreArbiter::Entitlements(
       }
       break;
     }
+    case ArbitrationPolicy::kContentionAware: {
+      // Probe tenants are entitled to their controller's operating point —
+      // the goodput-maximizing core count the hill climber has settled on,
+      // which under heavy conflict is far below what a utilization-driven
+      // demand signal would claim. Probe-less tenants split the remainder,
+      // so every core a collapsing tenant walks away from lands on a tenant
+      // that can convert it into goodput.
+      double remaining = total;
+      int probe_less = 0;
+      for (int i = 0; i < count; ++i) {
+        const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+        if (!tenant.active) continue;
+        if (!HasContentionProbes(tenant.config)) {
+          probe_less++;
+          continue;
+        }
+        const double e = tenant.hc_target > 0
+                             ? static_cast<double>(tenant.hc_target)
+                             : static_cast<double>(tenant.mask.Count());
+        entitlements[static_cast<size_t>(i)] = e;
+        remaining -= e;
+      }
+      if (probe_less > 0) {
+        const double share = std::max(0.0, remaining) / probe_less;
+        for (int i = 0; i < count; ++i) {
+          const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+          if (tenant.active && !HasContentionProbes(tenant.config)) {
+            entitlements[static_cast<size_t>(i)] = share;
+          }
+        }
+      }
+      break;
+    }
   }
   return entitlements;
 }
@@ -381,6 +519,8 @@ void CoreArbiter::Poll(simcore::Tick now) {
   // Phase 2: grant grows from the pool, most-entitled-deficit first.
   const std::vector<double> shed_rates = ShedRates(now);
   const std::vector<double> slo_ratios = SloRatios(now, shed_rates);
+  const std::vector<double> abort_fractions = ContentionFractions(now);
+  UpdateContentionControllers(now, decisions, abort_fractions);
   const std::vector<double> entitlements = Entitlements(decisions, slo_ratios);
 
   // Degraded-telemetry decay: a tenant blind past the TTL stops holding its
@@ -404,10 +544,39 @@ void CoreArbiter::Poll(simcore::Tick now) {
     stats_.decayed_cores++;
   }
 
+  // Contention decay: a probe tenant above its controller's operating point
+  // walks down one core per round. Utilization-driven self-shrinks cannot do
+  // this — a thrashing tenant's cores look busy (they are, burning aborts),
+  // so the mechanism reads high utilization and never volunteers a shrink.
+  if (config_.policy == ArbitrationPolicy::kContentionAware) {
+    for (int i = 0; i < count; ++i) {
+      Tenant& tenant = tenants_[static_cast<size_t>(i)];
+      if (!tenant.active || Frozen(tenant)) continue;
+      if (!HasContentionProbes(tenant.config) || tenant.hc_target <= 0) {
+        continue;
+      }
+      if (tenant.mask.Count() <= tenant.hc_target) continue;
+      const numasim::CoreId core =
+          tenant.mechanism->mode().NextToRelease(tenant.mask);
+      ELASTIC_CHECK(core != numasim::kInvalidCore,
+                    "contention decay from an empty tenant");
+      tenant.mask.Clear(core);
+      round.handoffs++;
+    }
+  }
+
   std::vector<int> growers;
   for (int i = 0; i < count; ++i) {
     const Tenant& tenant = tenants_[static_cast<size_t>(i)];
     if (!tenant.active || Frozen(tenant)) continue;
+    // A contention-probe tenant at (or above) its operating point does not
+    // grow, whatever its utilization-driven demand says: the controller has
+    // measured that more cores past this point cost goodput.
+    if (config_.policy == ArbitrationPolicy::kContentionAware &&
+        HasContentionProbes(tenant.config) && tenant.hc_target > 0 &&
+        tenant.mask.Count() >= tenant.hc_target) {
+      continue;
+    }
     if (decisions[static_cast<size_t>(i)].desired >
         decisions[static_cast<size_t>(i)].current) {
       growers.push_back(i);
@@ -468,7 +637,15 @@ void CoreArbiter::Poll(simcore::Tick now) {
       const bool shield =
           decisions[static_cast<size_t>(v)].state == PerfState::kOverload &&
           candidate.stale_rounds <= config_.stale_ttl_rounds;
-      if (shield && !(slo_violating && victim_best_effort)) {
+      // A contention-collapsing tenant's "overload" is the thrash itself:
+      // its cores are saturated burning aborted work, so the utilization
+      // shield would protect exactly the cores the controller wants gone.
+      const bool victim_collapsing =
+          config_.policy == ArbitrationPolicy::kContentionAware &&
+          HasContentionProbes(candidate.config) && candidate.hc_target > 0 &&
+          candidate.mask.Count() > candidate.hc_target;
+      if (shield && !(slo_violating && victim_best_effort) &&
+          !victim_collapsing) {
         continue;
       }
       const int held = candidate.mask.Count();

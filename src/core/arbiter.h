@@ -42,6 +42,21 @@ enum class ArbitrationPolicy {
   /// proportionally less, so two violating tenants no longer starve each
   /// other forever.
   kSloAware,
+  /// Contention feedback: tenants publishing a contention probe pair
+  /// (windowed abort fraction + recent goodput, e.g. from
+  /// TxnEngine::RecentAbortFraction / RecentCommitRate) are driven by a
+  /// per-tenant hill-climbing controller that *shrinks* the entitlement
+  /// when the abort fraction is high and the last added core bought no
+  /// goodput, holds at the goodput-maximizing core count with hysteresis
+  /// (settle rounds between moves, a direction that cost goodput is
+  /// reverted and blocked for a while), and releases the freed cores to
+  /// the other tenants — the one policy where taking cores away from a
+  /// busy tenant is the optimizing move, not a penalty: under skewed
+  /// contention the tenant's "load" is abort churn, and added parallelism
+  /// widens the set of overlapping transactions instead of committing
+  /// more of them. Tenants without probes are best-effort here and split
+  /// whatever the controlled tenants leave.
+  kContentionAware,
 };
 
 const char* ArbitrationPolicyName(ArbitrationPolicy policy);
@@ -78,6 +93,19 @@ struct ArbiterTenantConfig {
   /// cores can no longer help, admission is the active lever, and the
   /// tenant stops demanding growth it could not be granted.
   std::function<double(simcore::Tick now)> shed_rate_probe;
+
+  // -- kContentionAware inputs (ignored by the other policies). Set both or
+  // neither; exec::AttachContentionProbes wires them from a TxnEngine. --
+
+  /// Called once per round for the tenant's windowed CC abort fraction in
+  /// [0, 1]; return < 0 while no attempt finished in the window (no signal
+  /// — the controller holds). Without the probe pair the tenant is
+  /// best-effort under kContentionAware.
+  std::function<double(simcore::Tick now)> abort_fraction_probe;
+  /// Called once per round for the tenant's recent goodput (CC commits per
+  /// simulated second over the same window). The controller differentiates
+  /// successive readings to judge whether its last allocation move helped.
+  std::function<double(simcore::Tick now)> goodput_probe;
 };
 
 struct ArbiterConfig {
@@ -108,6 +136,28 @@ struct ArbiterConfig {
   /// Seed of the backoff-jitter stream. Drawn only on failures, so a
   /// fault-free run never consumes it (determinism of the healthy path).
   uint64_t fault_seed = 0x5EEDULL;
+
+  // -- kContentionAware hill-climbing controller (see docs/POLICIES.md).
+  // The controller evaluates once every contention_settle_rounds + 1
+  // rounds, so every evaluation sees a probe window measured mostly at the
+  // current allocation. --
+
+  /// Abort fraction at or above which a shrink probe is allowed: the
+  /// marginal core is presumed to be burning in conflict churn.
+  double contention_high_abort = 0.5;
+  /// Abort fraction at or below which the mechanism's grow demand passes
+  /// through: conflicts are rare, parallelism still buys commits.
+  double contention_low_abort = 0.2;
+  /// Rounds the controller holds after each target move before judging it
+  /// (the hysteresis that keeps a noisy goodput reading from thrashing the
+  /// allocation).
+  int contention_settle_rounds = 2;
+  /// Evaluations a direction stays blocked after a move in it was reverted
+  /// for costing goodput.
+  int contention_backoff_evals = 8;
+  /// Relative goodput drop below which a move is judged harmless (noise
+  /// band of the accept/revert decision).
+  double contention_goodput_tolerance = 0.05;
 };
 
 /// Control-plane health counters (all monotonic). stale/held/quarantined
@@ -267,6 +317,23 @@ class CoreArbiter {
     bool quarantined = false;
     /// Round index of the next quarantine probe write.
     int64_t probe_round = 0;
+
+    // -- kContentionAware hill-climb controller state (see
+    // UpdateContentionControllers). --
+
+    /// Core count the controller wants the tenant at; 0 = uninitialised
+    /// (seeded from the current holding on the first round with probes).
+    int hc_target = 0;
+    /// Goodput and holding at the last evaluation; the delta between
+    /// readings is the measured marginal goodput of the last move.
+    double hc_last_goodput = -1.0;
+    int hc_last_cores = 0;
+    /// Rounds left before the next evaluation (settle hysteresis).
+    int hc_settle = 0;
+    /// Evaluations left during which shrink / grow probes stay blocked
+    /// (the direction was tried and cost goodput).
+    int hc_shrink_block = 0;
+    int hc_grow_block = 0;
   };
 
   /// A frozen tenant's mask must not change: its cpuset is quarantined or
@@ -300,6 +367,26 @@ class CoreArbiter {
   /// holding (see ArbiterTenantConfig::shed_rate_probe).
   std::vector<double> SloRatios(simcore::Tick now,
                                 const std::vector<double>& shed_rates) const;
+
+  /// Whether the tenant publishes the kContentionAware probe pair.
+  static bool HasContentionProbes(const ArbiterTenantConfig& config) {
+    return static_cast<bool>(config.abort_fraction_probe) &&
+           static_cast<bool>(config.goodput_probe);
+  }
+
+  /// Windowed abort fraction per tenant under kContentionAware (contention
+  /// probes fire here); < 0 for tenants without probes or without traffic,
+  /// and everywhere outside kContentionAware.
+  std::vector<double> ContentionFractions(simcore::Tick now) const;
+
+  /// One round of every tenant's hill-climbing controller (kContentionAware
+  /// only): updates Tenant::hc_* so Entitlements() can read the targets.
+  /// See the policy comment on ArbitrationPolicy::kContentionAware for the
+  /// climb/hold/revert rules.
+  void UpdateContentionControllers(
+      simcore::Tick now,
+      const std::vector<ElasticMechanism::Decision>& decisions,
+      const std::vector<double>& abort_fractions);
 
   /// NUMA-aware pick of a free-pool core for a tenant: prefer the node where
   /// the tenant already holds the most cores, then the node with the most

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "exec/tenant_wiring.h"
 #include "oltp/cc/workload.h"
 #include "simcore/check.h"
 
@@ -148,6 +149,163 @@ std::string OltpContentionJsonFragment(const OltpContentionOptions& options,
       static_cast<long long>(result.retries), result.seconds,
       result.goodput_tps, result.abort_fraction);
   return std::string(buffer);
+}
+
+ContentionArbiterExperiment::ContentionArbiterExperiment(
+    const ContentionArbiterOptions& options,
+    const std::vector<ContentionTenantSpec>& specs)
+    : options_(options) {
+  ELASTIC_CHECK(!specs.empty(), "need at least one tenant");
+  ELASTIC_CHECK(options_.cores >= 1, "need at least one core");
+  ELASTIC_CHECK(options_.cores <= 4 || options_.cores % 4 == 0,
+                "above 4 cores the machine is built from 4-core nodes");
+
+  ossim::MachineOptions machine_options;
+  machine_options.config.num_nodes =
+      options_.cores <= 4 ? 1 : options_.cores / 4;
+  machine_options.config.cores_per_node =
+      options_.cores <= 4 ? options_.cores : 4;
+  machine_options.seed = options_.machine_seed;
+  machine_ = std::make_unique<ossim::Machine>(machine_options);
+  platform_ = std::make_unique<platform::SimPlatform>(machine_.get());
+  arbiter_ =
+      std::make_unique<core::CoreArbiter>(platform_.get(), options_.arbiter);
+
+  tenants_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ContentionTenantSpec& spec = specs[i];
+    TenantRt rt;
+    rt.spec = spec;
+
+    core::ArbiterTenantConfig tenant_config =
+        MakeArbiterTenant(spec.name, spec.mechanism, spec.mode, spec.weight);
+    // Probes resolve the engine at call time: the engine is built after
+    // AddTenant below (it needs the tenant's cpuset), and the arbiter only
+    // fires these under the contention_aware policy.
+    const int index = static_cast<int>(i);
+    AttachContentionProbes(
+        &tenant_config,
+        [this, index]() {
+          return tenants_[static_cast<size_t>(index)].engine.get();
+        },
+        spec.probe_window_ticks);
+    rt.arbiter_index = arbiter_->AddTenant(tenant_config);
+
+    oltp::TxnEngineOptions engine_options;
+    engine_options.cpuset = arbiter_->tenant_cpuset(rt.arbiter_index);
+    // The whole point of arbiter-managed contention: a shrink must narrow
+    // the conflict set, not just time-slice the survivors.
+    engine_options.concurrency_follow_cpuset = true;
+    engine_options.cpu_cycles_per_page = options_.cpu_cycles_per_page;
+    engine_options.cc.protocol = spec.protocol;
+    engine_options.cc.num_records = spec.ycsb.num_records;
+    engine_options.cc.retry_backoff_ticks = options_.retry_backoff_ticks;
+    rt.engine = std::make_unique<oltp::TxnEngine>(machine_.get(),
+                                                  /*catalog=*/nullptr,
+                                                  engine_options);
+    rt.generator = std::make_unique<oltp::cc::YcsbGenerator>(
+        spec.ycsb, options_.seed ^ (0x9E3779B9u * (i + 1)));
+    tenants_.push_back(std::move(rt));
+  }
+}
+
+ContentionArbiterExperiment::Pending ContentionArbiterExperiment::NextTxn(
+    TenantRt& rt) const {
+  Pending pending;
+  pending.due = machine_->clock().now();
+  pending.request.id = rt.next_txn_id++;
+  pending.cc = rt.generator->Next();
+  pending.attempts = 0;
+  return pending;
+}
+
+void ContentionArbiterExperiment::SubmitOne(int tenant,
+                                            const Pending& pending) {
+  TenantRt& rt = tenants_[static_cast<size_t>(tenant)];
+  const oltp::TxnRequest request = pending.request;
+  const oltp::cc::CcTxn cc = pending.cc;
+  const int attempts = pending.attempts;
+  rt.engine->Submit(request, cc, [this, tenant, request, cc,
+                                  attempts](bool committed) {
+    TenantRt& owner = tenants_[static_cast<size_t>(tenant)];
+    if (committed) {
+      // Closed loop: the logical client immediately starts its next
+      // transaction (picked up by the pump on the following tick).
+      owner.queue.push_back(NextTxn(owner));
+      return;
+    }
+    // Same backoff discipline as the fixed-batch experiment: scale with the
+    // attempt count, stagger by transaction id.
+    const int64_t backoff = std::max<int64_t>(1, options_.retry_backoff_ticks);
+    Pending retry;
+    retry.due = machine_->clock().now() +
+                backoff * std::min<int64_t>(attempts + 2, 8) +
+                request.id % backoff;
+    retry.request = request;
+    retry.cc = cc;
+    retry.attempts = attempts + 1;
+    owner.queue.push_back(std::move(retry));
+  });
+}
+
+void ContentionArbiterExperiment::Pump(simcore::Tick now) {
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    TenantRt& rt = tenants_[t];
+    for (size_t i = 0; i < rt.queue.size();) {
+      if (rt.queue[i].due > now) {
+        ++i;
+        continue;
+      }
+      const Pending pending = std::move(rt.queue[i]);
+      rt.queue.erase(rt.queue.begin() + static_cast<std::ptrdiff_t>(i));
+      if (pending.attempts > 0) rt.retries++;
+      SubmitOne(static_cast<int>(t), pending);
+    }
+  }
+}
+
+void ContentionArbiterExperiment::Start() {
+  ELASTIC_CHECK(!started_, "contention experiment started twice");
+  started_ = true;
+  arbiter_->Install();
+  machine_->AddTickHook([this](simcore::Tick now) { Pump(now); });
+  for (TenantRt& rt : tenants_) {
+    for (int c = 0; c < rt.spec.clients; ++c) {
+      rt.queue.push_back(NextTxn(rt));
+    }
+  }
+}
+
+void ContentionArbiterExperiment::Run(int64_t ticks) {
+  ELASTIC_CHECK(started_, "Run before Start");
+  for (int64_t i = 0; i < ticks; ++i) machine_->Step();
+}
+
+std::vector<ContentionTenantStats> ContentionArbiterExperiment::Stats() const {
+  std::vector<ContentionTenantStats> stats;
+  stats.reserve(tenants_.size());
+  const double seconds =
+      simcore::Clock::ToSeconds(machine_->clock().now());
+  for (const TenantRt& rt : tenants_) {
+    ContentionTenantStats s;
+    s.commits = rt.engine->cc_commits();
+    s.aborts = rt.engine->cc_aborts();
+    s.retries = rt.retries;
+    const double attempts = static_cast<double>(s.commits + s.aborts);
+    s.abort_fraction =
+        attempts > 0.0 ? static_cast<double>(s.aborts) / attempts : 0.0;
+    s.goodput_tps =
+        seconds > 0.0 ? static_cast<double>(s.commits) / seconds : 0.0;
+    s.cores_end = arbiter_->nalloc(rt.arbiter_index);
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+double ContentionArbiterExperiment::AggregateGoodput() const {
+  double sum = 0.0;
+  for (const ContentionTenantStats& s : Stats()) sum += s.goodput_tps;
+  return sum;
 }
 
 }  // namespace elastic::exec

@@ -41,4 +41,23 @@ oltp::TxnEngineOptions MakeOltpTenantEngineOptions(
   return options;
 }
 
+void AttachContentionProbes(core::ArbiterTenantConfig* config,
+                            std::function<oltp::TxnEngine*()> engine,
+                            int64_t probe_window_ticks) {
+  config->abort_fraction_probe = [engine,
+                                  probe_window_ticks](simcore::Tick now) {
+    const oltp::TxnEngine* e = engine();
+    if (e == nullptr) return -1.0;
+    // No attempt finished in the window: RecentAbortFraction would read 0,
+    // which the policy could mistake for "contention cleared" — report
+    // no-signal instead so the controller holds.
+    if (e->RecentAttempts(now, probe_window_ticks) == 0) return -1.0;
+    return e->RecentAbortFraction(now, probe_window_ticks);
+  };
+  config->goodput_probe = [engine, probe_window_ticks](simcore::Tick now) {
+    const oltp::TxnEngine* e = engine();
+    return e == nullptr ? 0.0 : e->RecentCommitRate(now, probe_window_ticks);
+  };
+}
+
 }  // namespace elastic::exec

@@ -1,6 +1,7 @@
 #ifndef ELASTICORE_EXEC_TENANT_WIRING_H_
 #define ELASTICORE_EXEC_TENANT_WIRING_H_
 
+#include <functional>
 #include <string>
 
 #include "core/arbiter.h"
@@ -31,6 +32,17 @@ EngineOptions MakeTenantEngineOptions(ThreadModel model, int pool_size,
 oltp::TxnEngineOptions MakeOltpTenantEngineOptions(
     const oltp::TxnEngineOptions& base, const oltp::OltpWorkload& workload,
     platform::CpusetId cpuset);
+
+/// Wires the contention-probe pair (windowed RecentAbortFraction +
+/// RecentCommitRate) of an OLTP tenant into its arbiter config — the seam
+/// the contention_aware policy reads through, mirroring how the slo_aware
+/// probes are attached in the HTAP experiment. `engine` is resolved at probe
+/// time (the engine is usually constructed after AddTenant, since it needs
+/// the tenant's cpuset); a null engine or an empty probe window reads as
+/// "no signal yet" (-1 abort fraction), which the policy holds on.
+void AttachContentionProbes(core::ArbiterTenantConfig* config,
+                            std::function<oltp::TxnEngine*()> engine,
+                            int64_t probe_window_ticks);
 
 }  // namespace elastic::exec
 

@@ -1,0 +1,70 @@
+#ifndef ELASTICORE_OLTP_ABORT_WINDOW_H_
+#define ELASTICORE_OLTP_ABORT_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "simcore/clock.h"
+
+namespace elastic::oltp {
+
+/// Windowed commit/abort accounting behind the engine's contention signals
+/// (TxnEngine::RecentAbortFraction / RecentCommitRate). Finish ticks arrive
+/// in non-decreasing order (the simulated clock only moves forward), so the
+/// window is maintained by dropping expired events from the front — lazily,
+/// on query, which keeps the record path a single push_back.
+///
+/// The trim is destructive: a query with window W drops every event at or
+/// before `now - W`, so callers polling one instance should use a consistent
+/// window (the arbiter probes do — one probe window per tenant).
+class AbortWindow {
+ public:
+  void RecordCommit(simcore::Tick now) { commit_ticks_.push_back(now); }
+  void RecordAbort(simcore::Tick now) { abort_ticks_.push_back(now); }
+
+  /// Fraction of attempts finishing in (now - window, now] that aborted;
+  /// 0 when no attempt finished in the window.
+  double Fraction(simcore::Tick now, simcore::Tick window_ticks) const {
+    Trim(now - window_ticks);
+    const auto commits = static_cast<double>(commit_ticks_.size());
+    const auto aborts = static_cast<double>(abort_ticks_.size());
+    if (commits + aborts == 0.0) return 0.0;
+    return aborts / (commits + aborts);
+  }
+
+  /// Commits finishing in (now - window, now], per simulated second of
+  /// window. 0 when the window is empty (or zero-width).
+  double CommitRate(simcore::Tick now, simcore::Tick window_ticks) const {
+    Trim(now - window_ticks);
+    const double seconds = simcore::Clock::ToSeconds(window_ticks);
+    if (seconds <= 0.0) return 0.0;
+    return static_cast<double>(commit_ticks_.size()) / seconds;
+  }
+
+  /// Attempts (commits + aborts) finishing in (now - window, now]. Lets a
+  /// probe distinguish "no aborts" from "no traffic": Fraction reads 0 in
+  /// both cases, but only the first is a real contention reading.
+  int64_t AttemptsInWindow(simcore::Tick now,
+                           simcore::Tick window_ticks) const {
+    Trim(now - window_ticks);
+    return static_cast<int64_t>(commit_ticks_.size() + abort_ticks_.size());
+  }
+
+ private:
+  void Trim(simcore::Tick cutoff) const {
+    const auto trim = [cutoff](std::deque<simcore::Tick>& ticks) {
+      while (!ticks.empty() && ticks.front() <= cutoff) ticks.pop_front();
+    };
+    trim(commit_ticks_);
+    trim(abort_ticks_);
+  }
+
+  /// Trimmed lazily on query, hence mutable: the query methods stay const
+  /// so probes can read through a const engine.
+  mutable std::deque<simcore::Tick> commit_ticks_;
+  mutable std::deque<simcore::Tick> abort_ticks_;
+};
+
+}  // namespace elastic::oltp
+
+#endif  // ELASTICORE_OLTP_ABORT_WINDOW_H_

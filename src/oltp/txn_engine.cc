@@ -242,8 +242,18 @@ ossim::Job TxnEngine::ExecuteCc(PendingTxn& txn) {
   return job;
 }
 
+bool TxnEngine::ThrottledByCpuset() const {
+  if (!options_.concurrency_follow_cpuset) return false;
+  const int width =
+      machine_->scheduler().cpuset_mask(options_.cpuset).Count();
+  // A zero-width cpuset still admits one transaction: the arbiter never
+  // installs an empty tenant mask, but a transient reading must not
+  // deadlock the engine.
+  return static_cast<int>(running_.size()) >= std::max(1, width);
+}
+
 void TxnEngine::Dispatch(PendingTxn txn) {
-  if (idle_workers_.empty()) {
+  if (idle_workers_.empty() || ThrottledByCpuset()) {
     runnable_.push_back(std::move(txn));
     return;
   }
@@ -281,13 +291,14 @@ void TxnEngine::OnJobDone(ossim::ThreadId worker) {
     if (committed) {
       completed_++;
       cc_commits_++;
-      cc_commit_ticks_.push_back(now);
+      cc_window_.RecordCommit(now);
     } else {
-      cc_abort_ticks_.push_back(now);
+      cc_window_.RecordAbort(now);
     }
     active_--;
 
-    while (!runnable_.empty() && !idle_workers_.empty()) {
+    while (!runnable_.empty() && !idle_workers_.empty() &&
+           !ThrottledByCpuset()) {
       PendingTxn next = std::move(runnable_.front());
       runnable_.pop_front();
       Dispatch(std::move(next));
@@ -314,7 +325,8 @@ void TxnEngine::OnJobDone(ossim::ThreadId worker) {
 
   // Drain runnable transactions onto idle workers (the just-freed worker
   // plus any others parked while latches were busy).
-  while (!runnable_.empty() && !idle_workers_.empty()) {
+  while (!runnable_.empty() && !idle_workers_.empty() &&
+         !ThrottledByCpuset()) {
     PendingTxn next = std::move(runnable_.front());
     runnable_.pop_front();
     Dispatch(std::move(next));
@@ -325,16 +337,17 @@ void TxnEngine::OnJobDone(ossim::ThreadId worker) {
 
 double TxnEngine::RecentAbortFraction(simcore::Tick now,
                                       simcore::Tick window_ticks) const {
-  const simcore::Tick cutoff = now - window_ticks;
-  const auto trim = [cutoff](std::deque<simcore::Tick>& ticks) {
-    while (!ticks.empty() && ticks.front() <= cutoff) ticks.pop_front();
-  };
-  trim(cc_commit_ticks_);
-  trim(cc_abort_ticks_);
-  const auto commits = static_cast<double>(cc_commit_ticks_.size());
-  const auto aborts = static_cast<double>(cc_abort_ticks_.size());
-  if (commits + aborts == 0.0) return 0.0;
-  return aborts / (commits + aborts);
+  return cc_window_.Fraction(now, window_ticks);
+}
+
+double TxnEngine::RecentCommitRate(simcore::Tick now,
+                                   simcore::Tick window_ticks) const {
+  return cc_window_.CommitRate(now, window_ticks);
+}
+
+int64_t TxnEngine::RecentAttempts(simcore::Tick now,
+                                  simcore::Tick window_ticks) const {
+  return cc_window_.AttemptsInWindow(now, window_ticks);
 }
 
 cc::Table& TxnEngine::cc_table() {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/base_catalog.h"
+#include "oltp/abort_window.h"
 #include "oltp/cc/protocol.h"
 #include "oltp/cc/workload.h"
 #include "oltp/txn.h"
@@ -27,6 +28,16 @@ struct TxnEngineOptions {
   /// Cpuset group the workers are confined to (a CoreArbiter tenant cpuset
   /// in HTAP deployments; the arbiter resizes it underneath the engine).
   ossim::CpusetId cpuset = ossim::kGlobalCpuset;
+  /// Bound the number of in-flight transactions by the cpuset's current
+  /// width instead of the worker-pool size: when the arbiter shrinks the
+  /// cpuset, surplus transactions park in the runnable queue (their CC
+  /// operations not yet executed, so they open no conflict window) instead
+  /// of time-slicing the remaining cores with wide-open conflict windows.
+  /// This is what makes "fewer cores" actually mean "fewer overlapping
+  /// transactions" under an arbiter-managed contention workload. Off by
+  /// default: the worker pool alone bounds concurrency, byte-identical to
+  /// the pre-option engine.
+  bool concurrency_follow_cpuset = false;
   /// Pure compute charged per page a transaction touches (index lookups,
   /// logging, latching overhead). OLTP burns far more cycles per page than
   /// a scan: it chases pointers instead of streaming. Keep this below the
@@ -122,6 +133,14 @@ class TxnEngine {
   /// tell "needs more cores" from "more cores will only burn in aborts".
   double RecentAbortFraction(simcore::Tick now,
                              simcore::Tick window_ticks) const;
+  /// CC commits finishing in (now - window, now] per simulated second — the
+  /// goodput half of the contention probe pair: the arbiter's hill-climbing
+  /// controller differentiates successive readings to estimate the marginal
+  /// goodput of its last allocation change.
+  double RecentCommitRate(simcore::Tick now, simcore::Tick window_ticks) const;
+  /// CC attempts finishing in the window (distinguishes "no aborts" from
+  /// "no traffic" — RecentAbortFraction reads 0 in both cases).
+  int64_t RecentAttempts(simcore::Tick now, simcore::Tick window_ticks) const;
 
   /// The CC table (created on first use). Exposed so workload setup can
   /// seed initial values (e.g. SmallBank balances) and tests can check
@@ -162,6 +181,9 @@ class TxnEngine {
   /// Hands the transaction to an idle worker or queues it for one.
   void Dispatch(PendingTxn txn);
   void OnJobDone(ossim::ThreadId worker);
+  /// Whether concurrency_follow_cpuset currently blocks another dispatch
+  /// (in-flight transactions already cover the cpuset's width).
+  bool ThrottledByCpuset() const;
 
   void EnsureCcState();
   /// Translates a classic NewOrder/Payment request into record-level
@@ -210,10 +232,9 @@ class TxnEngine {
   int64_t cc_commits_ = 0;
   int64_t cc_lock_conflicts_ = 0;
   int64_t cc_validation_failures_ = 0;
-  /// Finish ticks of recent CC attempts, for the windowed abort fraction
-  /// (trimmed lazily on query, hence mutable).
-  mutable std::deque<simcore::Tick> cc_commit_ticks_;
-  mutable std::deque<simcore::Tick> cc_abort_ticks_;
+  /// Finish ticks of recent CC attempts, behind the windowed abort-fraction
+  /// and commit-rate signals.
+  AbortWindow cc_window_;
 };
 
 }  // namespace elastic::oltp

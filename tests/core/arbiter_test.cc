@@ -737,6 +737,122 @@ TEST(ArbiterTest, SheddingAtCapIsNotATieBreakVictim) {
   EXPECT_EQ(arbiter.starved_rounds(), 1);
 }
 
+// -- contention_aware: the hill climber over synthetic probes. --
+
+/// A probe-carrying tenant whose abort fraction and goodput the test sets
+/// directly; the hill climber sees exactly the sequence the test scripts.
+ArbiterTenantConfig ProbeTenant(const std::string& name, int initial_cores,
+                                double* fraction, double* goodput) {
+  ArbiterTenantConfig config = Tenant(name, initial_cores);
+  config.abort_fraction_probe = [fraction](simcore::Tick) { return *fraction; };
+  config.goodput_probe = [goodput](simcore::Tick) { return *goodput; };
+  return config;
+}
+
+/// settle_rounds = 0 so the climber evaluates every round — the pacing knob
+/// is exercised by the bench and the property harness; here each Poll is
+/// one controller step and the arithmetic stays legible.
+ArbiterConfig ContentionConfig() {
+  ArbiterConfig config;
+  config.policy = ArbitrationPolicy::kContentionAware;
+  config.contention_settle_rounds = 0;
+  return config;
+}
+
+TEST(ArbiterTest, ContentionAwareGrowsWhileAbortFractionLow) {
+  auto machine = SmallMachine();
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, ContentionConfig());
+  double fraction = 0.05;  // below contention_low_abort
+  double goodput = 100.0;
+  arbiter.AddTenant(ProbeTenant("hot", 1, &fraction, &goodput));
+  arbiter.Install();
+
+  // Overloaded and conflict-free: the climber raises its target one core
+  // per evaluation and the grower follows out of the free pool.
+  for (int expected = 2; expected <= 4; ++expected) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+    EXPECT_EQ(arbiter.nalloc(0), expected);
+  }
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, ContentionAwareShrinksOnHighAbortAndNeighborAbsorbs) {
+  auto machine = SmallMachine();
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, ContentionConfig());
+  double fraction = 0.05;
+  double goodput = 100.0;
+  arbiter.AddTenant(ProbeTenant("hot", 1, &fraction, &goodput));
+  arbiter.AddTenant(Tenant("cool", 1));  // probe-less, utilization-driven
+  arbiter.Install();
+
+  // Grow the hot tenant to 3 cores while the probe-less tenant idles.
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 2.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  ASSERT_EQ(arbiter.nalloc(0), 3);
+  ASSERT_EQ(arbiter.nalloc(1), 1);
+
+  // Contention sets in: the abort fraction crosses contention_high_abort
+  // while the tenant still reads 99% busy — a utilization policy would call
+  // this "wants more cores". The climber shrinks one core per round down to
+  // the floor (initial_cores = 1), and each released core lands on the now
+  // overloaded probe-less neighbour the same round.
+  fraction = 0.9;
+  for (int round = 0; round < 2; ++round) {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+    FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  }
+  EXPECT_EQ(arbiter.nalloc(0), 1);
+  EXPECT_EQ(arbiter.nalloc(1), 3);
+  ExpectDisjointCover(arbiter, 4);
+}
+
+TEST(ArbiterTest, ContentionAwareRevertsOnGoodputRegressionAndBlocksGrowth) {
+  auto machine = SmallMachine();
+  ArbiterConfig config = ContentionConfig();
+  config.contention_backoff_evals = 2;
+  platform::SimPlatform platform(machine.get());
+  CoreArbiter arbiter(&platform, config);
+  double fraction = 0.05;
+  double goodput = 100.0;
+  arbiter.AddTenant(ProbeTenant("hot", 1, &fraction, &goodput));
+  arbiter.Install();
+
+  auto poll = [&] {
+    FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+    machine->clock().Advance(20);
+    arbiter.Poll(machine->clock().now());
+  };
+
+  poll();  // low abort + overload: grow 1 -> 2
+  ASSERT_EQ(arbiter.nalloc(0), 2);
+
+  // The added core made things worse (goodput fell past the tolerance):
+  // revert to the previous operating point and block further growth.
+  goodput = 40.0;
+  poll();
+  EXPECT_EQ(arbiter.nalloc(0), 1);
+
+  // Still overloaded with a low abort fraction — but growth stays blocked
+  // while the backoff runs down, so the tenant holds at 1 core instead of
+  // re-probing the move that just regressed.
+  poll();
+  EXPECT_EQ(arbiter.nalloc(0), 1);
+
+  // Backoff expired: the climber may probe upward again.
+  poll();
+  EXPECT_EQ(arbiter.nalloc(0), 2);
+}
+
 TEST(ArbiterTest, InstalledHookPollsOnPeriod) {
   auto machine = SmallMachine();
   ArbiterConfig config;

@@ -1,0 +1,104 @@
+// Windowing properties of the AbortWindow behind TxnEngine's contention
+// signals (RecentAbortFraction / RecentCommitRate / RecentAttempts): the
+// edge cases a policy consuming the probe must be able to trust — an empty
+// window reads 0 (not NaN), events outside the window are really gone,
+// saturation reads exactly 0 / exactly 1, and the fraction responds
+// monotonically to an abort burst.
+
+#include "oltp/abort_window.h"
+
+#include <gtest/gtest.h>
+
+#include "simcore/rng.h"
+
+namespace elastic::oltp {
+namespace {
+
+TEST(AbortWindowTest, EmptyWindowReadsZeroNotNan) {
+  AbortWindow window;
+  EXPECT_EQ(window.Fraction(/*now=*/1000, /*window_ticks=*/100), 0.0);
+  EXPECT_EQ(window.CommitRate(1000, 100), 0.0);
+  EXPECT_EQ(window.AttemptsInWindow(1000, 100), 0);
+  // Zero- and negative-width windows are degenerate, not divide-by-zero.
+  EXPECT_EQ(window.CommitRate(1000, 0), 0.0);
+  EXPECT_EQ(window.Fraction(1000, 0), 0.0);
+}
+
+TEST(AbortWindowTest, WindowSmallerThanOneRoundDropsEverything) {
+  AbortWindow window;
+  window.RecordCommit(100);
+  window.RecordAbort(110);
+  // Every event is at or before now - window: the window is empty even
+  // though the history is not.
+  EXPECT_EQ(window.AttemptsInWindow(/*now=*/500, /*window_ticks=*/50), 0);
+  EXPECT_EQ(window.Fraction(500, 50), 0.0);
+  EXPECT_EQ(window.CommitRate(500, 50), 0.0);
+}
+
+TEST(AbortWindowTest, BoundaryEventAtCutoffIsExcluded) {
+  AbortWindow window;
+  window.RecordCommit(100);
+  window.RecordCommit(101);
+  // The window is (now - W, now]: an event exactly at the cutoff is out,
+  // one tick later is in.
+  EXPECT_EQ(window.AttemptsInWindow(/*now=*/200, /*window_ticks=*/100), 1);
+}
+
+TEST(AbortWindowTest, AllCommitAndAllAbortSaturate) {
+  AbortWindow commits;
+  AbortWindow aborts;
+  for (simcore::Tick t = 0; t < 50; ++t) {
+    commits.RecordCommit(t);
+    aborts.RecordAbort(t);
+  }
+  EXPECT_EQ(commits.Fraction(50, 100), 0.0);
+  EXPECT_EQ(aborts.Fraction(50, 100), 1.0);
+  // The all-abort window carries no commits, so its commit rate is zero —
+  // exactly the goodput collapse the probe pair is meant to expose.
+  EXPECT_GT(commits.CommitRate(50, 100), 0.0);
+  EXPECT_EQ(aborts.CommitRate(50, 100), 0.0);
+}
+
+TEST(AbortWindowTest, AbortBurstRaisesFractionMonotonically) {
+  // A steady commit stream, then an abort burst of growing length: the
+  // fraction over a fixed trailing window must be non-decreasing while the
+  // burst grows (each query uses a fresh window — the trim is destructive).
+  const simcore::Tick kWindow = 200;
+  double previous = -1.0;
+  for (int burst = 0; burst <= 10; ++burst) {
+    AbortWindow window;
+    for (simcore::Tick t = 0; t < 100; ++t) window.RecordCommit(t);
+    for (simcore::Tick t = 100; t < 100 + burst * 10; ++t) {
+      window.RecordAbort(t);
+    }
+    const simcore::Tick now = 100 + burst * 10;
+    const double fraction = window.Fraction(now, kWindow);
+    EXPECT_GE(fraction, previous)
+        << "abort burst of " << burst * 10 << " lowered the fraction";
+    previous = fraction;
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(AbortWindowTest, TrimIsStableUnderRepeatedQueries) {
+  // Querying twice with the same (now, window) returns the same values: the
+  // destructive trim only drops what the first query already excluded.
+  AbortWindow window;
+  simcore::Rng rng(7);
+  simcore::Tick t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += static_cast<simcore::Tick>(rng.NextBounded(5));
+    if (rng.NextBernoulli(0.3)) {
+      window.RecordAbort(t);
+    } else {
+      window.RecordCommit(t);
+    }
+  }
+  const double first = window.Fraction(t, 100);
+  const int64_t attempts = window.AttemptsInWindow(t, 100);
+  EXPECT_EQ(window.Fraction(t, 100), first);
+  EXPECT_EQ(window.AttemptsInWindow(t, 100), attempts);
+}
+
+}  // namespace
+}  // namespace elastic::oltp

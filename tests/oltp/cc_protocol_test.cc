@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "exec/oltp_contention_experiment.h"
+#include "oltp/cc/history.h"
 #include "oltp/cc/table.h"
 
 namespace elastic::oltp::cc {
@@ -239,6 +243,65 @@ TEST(TicTocProtocolTest, WriteWriteOrdersByCommitTimestamp) {
   ASSERT_EQ(second.writes.size(), 1u);
   EXPECT_GT(second.writes[0].version, first.writes[0].version);
   EXPECT_EQ(table.record(4).value.load(), 2);
+}
+
+// --- Cross-protocol differential check ---
+
+// The same seeded YCSB history through all three protocols must converge to
+// the same committed final state. YCSB writes are read-modify-write
+// increments (Get then Put(v + 1)), so any execution in which every
+// transaction commits exactly once — whatever the commit order — produces
+// the same per-key values; a protocol that double-applies a retried write,
+// leaks a buffered write from an aborted attempt, or commits a transaction
+// twice diverges. The serializability checker gates the comparison: the
+// final-state equality is only meaningful for runs it passes.
+TEST(CcProtocolDifferentialTest, SameHistorySameFinalStateAcrossProtocols) {
+  const std::vector<ProtocolKind> protocols = {ProtocolKind::kPartitionLock,
+                                               ProtocolKind::kTwoPhaseLock,
+                                               ProtocolKind::kTicToc};
+  std::vector<std::vector<int64_t>> finals;
+  for (const ProtocolKind protocol : protocols) {
+    exec::OltpContentionOptions options;
+    options.protocol = protocol;
+    options.workload = WorkloadKind::kYcsb;
+    options.ycsb.num_records = 1024;  // small and hot: plenty of conflicts
+    options.ycsb.ops_per_txn = 4;
+    options.ycsb.read_fraction = 0.5;
+    options.ycsb.theta = 0.9;
+    options.total_txns = 400;
+    options.cores = 4;
+    options.seed = 20260807;
+    options.record_history = true;
+    exec::OltpContentionExperiment experiment(options);
+    const exec::OltpContentionResult result =
+        experiment.Run(/*max_ticks=*/20'000'000);
+
+    // Exactly-once commit discipline: the retry loop resubmits until each
+    // of the 400 transactions committed, never past it.
+    EXPECT_EQ(result.commits, options.total_txns)
+        << ProtocolKindName(protocol);
+
+    const CheckResult check =
+        CheckSerializable(experiment.engine().cc_history());
+    ASSERT_TRUE(check.ok) << ProtocolKindName(protocol) << ": "
+                          << check.error;
+
+    std::vector<int64_t> values;
+    values.reserve(static_cast<size_t>(options.ycsb.num_records));
+    for (int64_t key = 0; key < options.ycsb.num_records; ++key) {
+      values.push_back(experiment.engine()
+                           .cc_table()
+                           .record(static_cast<uint64_t>(key))
+                           .value.load());
+    }
+    finals.push_back(std::move(values));
+  }
+  ASSERT_EQ(finals.size(), protocols.size());
+  for (size_t p = 1; p < finals.size(); ++p) {
+    EXPECT_EQ(finals[p], finals[0])
+        << ProtocolKindName(protocols[p]) << " diverged from "
+        << ProtocolKindName(protocols[0]);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// Regression coverage for the interaction between OltpClient's two retry
+// paths: admission retries (shed arrivals re-offered through the gate, up
+// to max_retries, then failed) and CC-abort resubmissions (admitted work
+// that bypasses the gate and retries until it commits). The dangerous
+// regime is both at once — aborted transactions hold their in-flight slots
+// (the entry is keyed by first submission and survives aborts), so under a
+// tight queue-depth gate the churn of a few aborting transactions starves
+// fresh arrivals into retry exhaustion. Every transaction must still be
+// accounted exactly once: both shed AND CC-aborted must never double-count
+// into failed + completed.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "oltp/admission.h"
+#include "oltp/oltp_client.h"
+#include "tests/db/test_db.h"
+
+namespace elastic::oltp {
+namespace {
+
+struct Stack {
+  std::unique_ptr<ossim::Machine> machine;
+  std::unique_ptr<exec::BaseCatalog> catalog;
+  std::unique_ptr<TxnEngine> engine;
+};
+
+Stack MakeStack(TxnEngineOptions options) {
+  Stack stack;
+  stack.machine = std::make_unique<ossim::Machine>(ossim::MachineOptions{});
+  stack.catalog = std::make_unique<exec::BaseCatalog>(
+      &stack.machine->page_table(), testutil::TestDb(),
+      exec::BasePlacement::kChunkedRoundRobin, /*page_bytes=*/4096);
+  stack.engine = std::make_unique<TxnEngine>(stack.machine.get(),
+                                             stack.catalog.get(), options);
+  return stack;
+}
+
+/// A hot YCSB key space under the no-wait partition latch: admitted
+/// transactions abort and resubmit repeatedly, holding their in-flight
+/// slots through every abort.
+TxnEngineOptions AbortingEngine() {
+  TxnEngineOptions options;
+  options.pool_size = 8;
+  options.cpu_cycles_per_page = 5'000'000;  // several ticks per transaction
+  options.cc.protocol = cc::ProtocolKind::kPartitionLock;
+  options.cc.num_records = 256;
+  options.cc.num_partitions = 4;
+  options.cc.retry_backoff_ticks = 8;
+  return options;
+}
+
+OltpWorkload HotYcsbWorkload() {
+  OltpWorkload workload;
+  workload.total_txns = 300;
+  workload.arrival_interval_ticks = 2;  // arrivals outrun the churning engine
+  workload.kind = cc::WorkloadKind::kYcsb;
+  workload.ycsb.num_records = 256;
+  workload.ycsb.ops_per_txn = 4;
+  workload.ycsb.read_fraction = 0.2;
+  workload.ycsb.theta = 0.99;
+  return workload;
+}
+
+/// Gate tight enough that the in-flight slots pinned by aborting
+/// transactions push fresh arrivals into retry exhaustion.
+AdmissionConfig TightGate() {
+  AdmissionConfig admission;
+  admission.policy = AdmissionPolicy::kQueueDepth;
+  admission.max_in_flight = 8;
+  admission.retry_rejected = true;
+  admission.retry_backoff_ticks = 16;
+  admission.max_retries = 2;
+  return admission;
+}
+
+void RunToCompletion(Stack* stack, OltpClient* client) {
+  client->Start();
+  int64_t ticks = 0;
+  while (!client->AllDone() && ticks < 2'000'000) {
+    stack->machine->Step();
+    ticks++;
+  }
+  EXPECT_TRUE(client->AllDone()) << "run did not quiesce";
+}
+
+TEST(OltpClientRetryTest, MaxRetriesExhaustedWhileCcAborting) {
+  Stack stack = MakeStack(AbortingEngine());
+  OltpClient client(stack.machine.get(), stack.engine.get(), HotYcsbWorkload(),
+                    /*seed=*/77, TightGate());
+  RunToCompletion(&stack, &client);
+
+  // The regime under test actually happened: some arrivals exhausted their
+  // admission retries AND admitted work was CC-aborted in the same run.
+  EXPECT_GT(client.failed(), 0);
+  EXPECT_GT(client.cc_aborts(), 0);
+  EXPECT_GT(client.retries(), 0);
+
+  // Exactly-once accounting across both retry paths.
+  EXPECT_EQ(client.completed() + client.failed(), 300);
+  EXPECT_EQ(client.latencies().count(), client.completed());
+  // Every engine submission terminated exactly once: commit or abort.
+  EXPECT_EQ(client.submitted(), client.completed() + client.cc_aborts());
+  // Every abort was resubmitted exactly once (aborts never count as failed,
+  // failures never reach the engine).
+  EXPECT_EQ(client.cc_retries(), client.cc_aborts());
+  // Each transaction passes the gate at most once; CC resubmissions bypass
+  // it, so admitted arrivals and completions coincide.
+  EXPECT_EQ(client.admission().admitted(), client.completed());
+  // Every shed event either re-entered the schedule as a retry or became a
+  // permanent failure — never both, never neither.
+  EXPECT_EQ(client.shed_events(), client.retries() + client.failed());
+}
+
+TEST(OltpClientRetryTest, InteractionIsDeterministic) {
+  auto run = [] {
+    Stack stack = MakeStack(AbortingEngine());
+    OltpClient client(stack.machine.get(), stack.engine.get(),
+                      HotYcsbWorkload(), /*seed=*/77, TightGate());
+    RunToCompletion(&stack, &client);
+    return std::make_tuple(client.completed(), client.failed(),
+                           client.retries(), client.cc_aborts(),
+                           client.cc_retries(), client.submitted(),
+                           client.shed_events(),
+                           client.latencies().PercentileTicks(0.99));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace elastic::oltp
