@@ -1,0 +1,281 @@
+// arbiter_scale — decision cost of flat vs sharded arbitration as the
+// tenant count grows (10 / 100 / 1000 tenants).
+//
+// The machine behind the arbiter is a SyntheticPlatform: topology, clock
+// and injected per-core utilization, but no scheduler or workload — so the
+// bench measures what it claims to measure, the *arbitration round* cost,
+// not machine-simulation cost. Demand is scripted deterministically: every
+// core runs at a stable 50% load, and for the middle third of the run every
+// tenth core bursts to 95%, driving its owner through the overload →
+// grow → starve path (and, under sharding, the machine-level rebalancer).
+//
+// The JSON records per-round decision *work units* (tenants examined by the
+// polled arbiter — the flat arbiter touches all N per round, a shard only
+// its ~N/S residents), which is deterministic across hosts and therefore
+// safe to gate in the bench trajectory. Wall-clock per round is printed to
+// stdout for the curious but deliberately kept out of the JSON.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/arbiter.h"
+#include "core/sharded_arbiter.h"
+#include "exec/tenant_builder.h"
+#include "platform/synthetic_platform.h"
+#include "simcore/check.h"
+
+namespace elastic {
+namespace {
+
+constexpr int kMonitorPeriodTicks = 20;
+constexpr int kRounds = 60;
+constexpr double kSteadyLoad = 0.50;
+constexpr double kBurstLoad = 0.95;
+
+struct Scale {
+  int tenants = 0;
+  int num_nodes = 0;
+  int cores_per_node = 4;
+  int num_shards = 0;
+};
+
+const Scale kScales[] = {
+    {10, 4, 4, 2},
+    {100, 32, 4, 8},
+    {1000, 256, 4, 16},
+};
+
+struct ModeResult {
+  std::vector<int64_t> round_work;  // tenants examined per round
+  double round_wall_us_mean = 0.0;
+  double fairness = 0.0;
+  int floor_violations = 0;
+  int64_t rebalances = 0;
+  int64_t cores_rebalanced = 0;
+};
+
+int64_t PercentileOf(std::vector<int64_t> values, double p) {
+  ELASTIC_CHECK(!values.empty(), "percentile of nothing");
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               p * static_cast<double>(values.size()) + 0.5)));
+  return values[std::min(rank, values.size()) - 1];
+}
+
+core::ArbiterTenantConfig TenantAt(int i) {
+  core::MechanismConfig mechanism;
+  mechanism.initial_cores = 1;
+  // One growth step per burster keeps the grant multiset identical across
+  // flat and sharded mode (the fairness-gap gate compares the two).
+  mechanism.max_cores = 2;
+  mechanism.monitor_period_ticks = kMonitorPeriodTicks;
+  mechanism.log_transitions = false;
+  return exec::TenantBuilder("t" + std::to_string(i))
+      .mechanism(mechanism)
+      .mode("dense")
+      .Build();
+}
+
+numasim::MachineConfig MachineFor(const Scale& scale) {
+  numasim::MachineConfig config;
+  config.num_nodes = scale.num_nodes;
+  config.cores_per_node = scale.cores_per_node;
+  return config;
+}
+
+/// Applies the scripted load for one monitoring period: steady 50%
+/// everywhere, and during the middle third of the run the listed burst
+/// cores (the home core of every fifth *tenant*, so the bursting tenant set
+/// is identical in flat and sharded mode) run at 95%.
+void ApplyLoad(platform::SyntheticPlatform* platform, int round,
+               const std::vector<int>& burst_cores) {
+  const bool burst = round >= kRounds / 3 && round < 2 * kRounds / 3;
+  const int total = platform->topology().total_cores();
+  for (int core = 0; core < total; ++core) {
+    platform->SetCoreBusyFraction(core, kSteadyLoad);
+  }
+  if (burst) {
+    for (const int core : burst_cores) {
+      platform->SetCoreBusyFraction(core, kBurstLoad);
+    }
+  }
+}
+
+ModeResult RunFlat(const Scale& scale) {
+  platform::SyntheticPlatform platform(MachineFor(scale));
+  core::ArbiterConfig config;
+  config.policy = core::ArbitrationPolicy::kFairShare;
+  config.monitor_period_ticks = kMonitorPeriodTicks;
+  config.log_rounds = false;
+  config.register_tick_hook = false;  // the bench drives Poll itself
+  core::CoreArbiter arbiter(&platform, config);
+  for (int i = 0; i < scale.tenants; ++i) arbiter.AddTenant(TenantAt(i));
+  arbiter.Install();
+  std::vector<int> burst_cores;
+  for (int i = 0; i < scale.tenants; i += 5) {
+    burst_cores.push_back(arbiter.tenant_mask(i).First());
+  }
+
+  ModeResult result;
+  double wall_us = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    ApplyLoad(&platform, round, burst_cores);
+    platform.AdvanceTicks(kMonitorPeriodTicks);
+    const auto t0 = std::chrono::steady_clock::now();
+    arbiter.Poll(platform.Now());
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    result.round_work.push_back(arbiter.num_tenants());
+  }
+  result.round_wall_us_mean = wall_us / kRounds;
+  result.fairness = arbiter.FairnessIndex();
+  for (int i = 0; i < scale.tenants; ++i) {
+    if (arbiter.tenant_active(i) && arbiter.nalloc(i) < 1) {
+      result.floor_violations++;
+    }
+  }
+  return result;
+}
+
+ModeResult RunSharded(const Scale& scale) {
+  platform::SyntheticPlatform platform(MachineFor(scale));
+  core::ShardedArbiterConfig config;
+  config.arbiter.policy = core::ArbitrationPolicy::kFairShare;
+  config.arbiter.monitor_period_ticks = kMonitorPeriodTicks;
+  config.arbiter.log_rounds = false;
+  config.arbiter.register_tick_hook = false;  // bench-driven Poll
+  config.num_shards = scale.num_shards;
+  core::ShardedArbiter arbiter(&platform, config);
+  for (int i = 0; i < scale.tenants; ++i) arbiter.AddTenant(TenantAt(i));
+  arbiter.Install();
+  std::vector<int> burst_cores;
+  for (int i = 0; i < scale.tenants; i += 5) {
+    burst_cores.push_back(arbiter.tenant_mask(i).First());
+  }
+
+  ModeResult result;
+  double wall_us = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    ApplyLoad(&platform, round, burst_cores);
+    platform.AdvanceTicks(kMonitorPeriodTicks);
+    const int polled = round % arbiter.num_shards();
+    const auto t0 = std::chrono::steady_clock::now();
+    arbiter.Poll(platform.Now());
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_us += std::chrono::duration<double, std::micro>(t1 - t0).count();
+    result.round_work.push_back(arbiter.shard(polled).num_tenants());
+  }
+  result.round_wall_us_mean = wall_us / kRounds;
+  result.fairness = arbiter.FairnessIndex();
+  for (int i = 0; i < scale.tenants; ++i) {
+    if (arbiter.tenant_active(i) && arbiter.nalloc(i) < 1) {
+      result.floor_violations++;
+    }
+  }
+  result.rebalances = arbiter.rebalances();
+  result.cores_rebalanced = arbiter.cores_rebalanced();
+  return result;
+}
+
+void EmitMode(std::FILE* f, const char* name, const ModeResult& r,
+              bool sharded) {
+  std::fprintf(f,
+               "    \"%s\": {\"work_p50\": %lld, \"work_p95\": %lld, "
+               "\"work_p99\": %lld, \"fairness\": %.6f, "
+               "\"floor_violations\": %d",
+               name, static_cast<long long>(PercentileOf(r.round_work, 0.50)),
+               static_cast<long long>(PercentileOf(r.round_work, 0.95)),
+               static_cast<long long>(PercentileOf(r.round_work, 0.99)),
+               r.fairness, r.floor_violations);
+  if (sharded) {
+    std::fprintf(f, ", \"rebalances\": %lld, \"cores_rebalanced\": %lld",
+                 static_cast<long long>(r.rebalances),
+                 static_cast<long long>(r.cores_rebalanced));
+  }
+  std::fprintf(f, "}");
+}
+
+}  // namespace
+}  // namespace elastic
+
+int main(int argc, char** argv) {
+  using namespace elastic;
+  const std::string out =
+      bench::JsonOutPath(argc, argv, "BENCH_arbiter_scale.json");
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  ELASTIC_CHECK(f != nullptr, "cannot open bench output file");
+  std::fprintf(f, "{\n  \"bench\": \"arbiter_scale\",\n  \"rounds\": %d,\n",
+               kRounds);
+  std::fprintf(f, "  \"scales\": {\n");
+
+  bool latency_5x_at_1000 = false;
+  bool fairness_within_2pct = true;
+  bool zero_floor_violations = true;
+
+  for (size_t s = 0; s < sizeof(kScales) / sizeof(kScales[0]); ++s) {
+    const Scale& scale = kScales[s];
+    std::printf("running scale %d tenants (%d cores, %d shards) ...\n",
+                scale.tenants, scale.num_nodes * scale.cores_per_node,
+                scale.num_shards);
+    const ModeResult flat = RunFlat(scale);
+    const ModeResult sharded = RunSharded(scale);
+    std::printf(
+        "  flat:    work/round p99 %lld, %.1f us/round wall, fairness %.4f\n",
+        static_cast<long long>(PercentileOf(flat.round_work, 0.99)),
+        flat.round_wall_us_mean, flat.fairness);
+    std::printf(
+        "  sharded: work/round p99 %lld, %.1f us/round wall, fairness %.4f, "
+        "%lld rebalance(s) moving %lld core(s)\n",
+        static_cast<long long>(PercentileOf(sharded.round_work, 0.99)),
+        sharded.round_wall_us_mean, sharded.fairness,
+        static_cast<long long>(sharded.rebalances),
+        static_cast<long long>(sharded.cores_rebalanced));
+
+    const double ratio =
+        static_cast<double>(PercentileOf(flat.round_work, 0.99)) /
+        static_cast<double>(PercentileOf(sharded.round_work, 0.99));
+    const double gap =
+        flat.fairness > 0.0
+            ? std::max(flat.fairness, sharded.fairness) /
+                      std::min(flat.fairness, sharded.fairness) -
+                  1.0
+            : 1.0;
+    if (scale.tenants == 1000 && ratio >= 5.0) latency_5x_at_1000 = true;
+    if (gap > 0.02) fairness_within_2pct = false;
+    if (flat.floor_violations > 0 || sharded.floor_violations > 0) {
+      zero_floor_violations = false;
+    }
+
+    std::fprintf(f, "  \"%d\": {\n", scale.tenants);
+    std::fprintf(f, "    \"cores\": %d, \"shards\": %d,\n",
+                 scale.num_nodes * scale.cores_per_node, scale.num_shards);
+    EmitMode(f, "flat", flat, /*sharded=*/false);
+    std::fprintf(f, ",\n");
+    EmitMode(f, "sharded", sharded, /*sharded=*/true);
+    std::fprintf(f, ",\n    \"work_ratio_p99\": %.4f, \"fairness_gap\": %.6f\n",
+                 ratio, gap);
+    std::fprintf(f, "  }%s\n",
+                 s + 1 < sizeof(kScales) / sizeof(kScales[0]) ? "," : "");
+  }
+
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"verdict\": {\"latency_5x_at_1000\": %s, "
+               "\"fairness_within_2pct\": %s, \"zero_floor_violations\": "
+               "%s}\n}\n",
+               latency_5x_at_1000 ? "true" : "false",
+               fairness_within_2pct ? "true" : "false",
+               zero_floor_violations ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  ELASTIC_CHECK(latency_5x_at_1000 && fairness_within_2pct &&
+                    zero_floor_violations,
+                "arbiter_scale acceptance verdict failed");
+  return 0;
+}

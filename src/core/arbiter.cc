@@ -62,7 +62,10 @@ ArbitrationPolicy ArbitrationPolicyFromName(const std::string& name) {
 
 CoreArbiter::CoreArbiter(platform::Platform* platform,
                          const ArbiterConfig& config)
-    : platform_(platform), config_(config), jitter_rng_(config.fault_seed) {
+    : platform_(platform),
+      config_(config),
+      domain_(platform::CpuMask::AllOf(platform->topology())),
+      jitter_rng_(config.fault_seed) {
   ELASTIC_CHECK(config_.monitor_period_ticks >= 1, "monitoring period >= 1");
   ELASTIC_CHECK(config_.stale_ttl_rounds >= 0, "stale TTL >= 0");
   ELASTIC_CHECK(config_.install_retry_base_rounds >= 1 &&
@@ -83,11 +86,71 @@ CoreArbiter::CoreArbiter(platform::Platform* platform,
                 "contention controller knobs must be non-negative");
 }
 
+void CoreArbiter::SetDomain(const platform::CpuMask& domain) {
+  ELASTIC_CHECK(!installed_, "SetDomain after Install");
+  ELASTIC_CHECK(!domain.Empty(), "empty arbitration domain");
+  ELASTIC_CHECK(
+      domain.IsSubsetOf(platform::CpuMask::AllOf(platform_->topology())),
+      "arbitration domain outside the machine");
+  domain_ = domain;
+}
+
+bool CoreArbiter::TryResizeDomain(const platform::CpuMask& new_domain) {
+  if (new_domain.Empty()) return false;
+  platform::CpuMask owned;
+  for (const Tenant& tenant : tenants_) owned = owned.Union(tenant.mask);
+  if (!owned.IsSubsetOf(new_domain)) return false;
+  domain_ = new_domain;
+  return true;
+}
+
+/// Deprecated-probe shim: folds whichever of the four legacy callbacks are
+/// set into one TelemetrySource. Removed together with the probe fields.
+namespace {
+TelemetrySource SynthesizeLegacyTelemetry(const ArbiterTenantConfig& config,
+                                          uint32_t* caps) {
+  const auto tail = config.tail_latency_probe;
+  const auto shed = config.shed_rate_probe;
+  const auto abort_fraction = config.abort_fraction_probe;
+  const auto goodput = config.goodput_probe;
+  *caps = 0;
+  if (tail) *caps |= TelemetrySnapshot::kTail;
+  if (shed) *caps |= TelemetrySnapshot::kShed;
+  if (abort_fraction) *caps |= TelemetrySnapshot::kAbort;
+  if (goodput) *caps |= TelemetrySnapshot::kGoodput;
+  if (*caps == 0) return TelemetrySource();
+  return [tail, shed, abort_fraction, goodput](simcore::Tick now) {
+    TelemetrySnapshot snap;
+    if (tail) {
+      snap.p99_s = tail(now);
+      snap.valid_mask |= TelemetrySnapshot::kTail;
+    }
+    if (shed) {
+      snap.shed_rate = shed(now);
+      snap.valid_mask |= TelemetrySnapshot::kShed;
+    }
+    if (abort_fraction) {
+      snap.abort_fraction = abort_fraction(now);
+      snap.valid_mask |= TelemetrySnapshot::kAbort;
+    }
+    if (goodput) {
+      snap.goodput = goodput(now);
+      snap.valid_mask |= TelemetrySnapshot::kGoodput;
+    }
+    return snap;
+  };
+}
+}  // namespace
+
 int CoreArbiter::AddTenant(const ArbiterTenantConfig& config) {
   ELASTIC_CHECK(!installed_, "AddTenant after Install");
   ELASTIC_CHECK(config.weight > 0.0, "tenant weight must be positive");
   Tenant tenant;
   tenant.config = config;
+  if (!tenant.config.telemetry) {
+    tenant.config.telemetry = SynthesizeLegacyTelemetry(
+        config, &tenant.config.telemetry_caps);
+  }
   tenant.mechanism = std::make_unique<ElasticMechanism>(
       platform_, MakeMode(config.mode, &platform_->topology()),
       config.mechanism);
@@ -121,9 +184,7 @@ int CoreArbiter::nalloc(int tenant) const {
 platform::CpuMask CoreArbiter::FreePool() const {
   platform::CpuMask owned;
   for (const Tenant& tenant : tenants_) owned = owned.Union(tenant.mask);
-  const platform::CpuMask all =
-      platform::CpuMask::AllOf(platform_->topology());
-  return platform::CpuMask(all.bits() & ~owned.bits());
+  return domain_.Difference(owned);
 }
 
 numasim::CoreId CoreArbiter::PickCoreFor(const Tenant& tenant,
@@ -135,7 +196,7 @@ numasim::CoreId CoreArbiter::PickCoreFor(const Tenant& tenant,
   // the queue itself break towards the lower node id, so handout is fully
   // deterministic.
   NodePriorityQueue queue(topo.num_nodes());
-  const double weight = static_cast<double>(topo.total_cores() + 1);
+  const double weight = static_cast<double>(domain_.Count() + 1);
   for (numasim::NodeId node = 0; node < topo.num_nodes(); ++node) {
     int own = 0;
     int free = 0;
@@ -161,22 +222,25 @@ void CoreArbiter::Install() {
     initial_total += tenant.config.mechanism.initial_cores;
     if (config_.policy == ArbitrationPolicy::kSloAware &&
         tenant.config.slo_p99_s >= 0.0) {
-      ELASTIC_CHECK(static_cast<bool>(tenant.config.tail_latency_probe),
-                    "SLO tenant needs a tail_latency_probe under slo_aware");
+      ELASTIC_CHECK(
+          (tenant.config.telemetry_caps & TelemetrySnapshot::kTail) != 0,
+          "SLO tenant needs tail telemetry under slo_aware");
     }
     if (config_.policy == ArbitrationPolicy::kContentionAware) {
-      ELASTIC_CHECK(static_cast<bool>(tenant.config.abort_fraction_probe) ==
-                        static_cast<bool>(tenant.config.goodput_probe),
-                    "contention_aware needs both probes or neither");
+      ELASTIC_CHECK(
+          ((tenant.config.telemetry_caps & TelemetrySnapshot::kAbort) != 0) ==
+              ((tenant.config.telemetry_caps & TelemetrySnapshot::kGoodput) !=
+               0),
+          "contention_aware needs both contention signals or neither");
     }
   }
-  ELASTIC_CHECK(initial_total <= platform_->topology().total_cores(),
-                "initial cores of all tenants exceed the machine");
+  ELASTIC_CHECK(initial_total <= domain_.Count(),
+                "initial cores of all tenants exceed the domain");
   installed_ = true;
 
   // Hand out the initial disjoint masks; PickCoreFor naturally spreads
   // fresh tenants across sockets (a new tenant prefers the emptiest node).
-  platform::CpuMask pool = platform::CpuMask::AllOf(platform_->topology());
+  platform::CpuMask pool = domain_;
   for (Tenant& tenant : tenants_) {
     for (int i = 0; i < tenant.config.mechanism.initial_cores; ++i) {
       const numasim::CoreId core = PickCoreFor(tenant, pool);
@@ -188,35 +252,61 @@ void CoreArbiter::Install() {
     tenant.mechanism->InstallManaged(tenant.mask);
   }
 
-  platform_->AddTickHook([this](simcore::Tick now) {
-    if (now % config_.monitor_period_ticks == 0 && now > 0) Poll(now);
-  });
+  if (config_.register_tick_hook) {
+    platform_->AddTickHook([this](simcore::Tick now) {
+      if (now % config_.monitor_period_ticks == 0 && now > 0) Poll(now);
+    });
+  }
 }
 
-std::vector<double> CoreArbiter::ShedRates(simcore::Tick now) const {
+std::vector<TelemetrySnapshot> CoreArbiter::CollectTelemetry(
+    simcore::Tick now) const {
+  std::vector<TelemetrySnapshot> snapshots(
+      static_cast<size_t>(num_tenants()));
+  if (config_.policy != ArbitrationPolicy::kSloAware &&
+      config_.policy != ArbitrationPolicy::kContentionAware) {
+    return snapshots;  // static policies never pull telemetry
+  }
+  for (int i = 0; i < num_tenants(); ++i) {
+    const Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    if (!tenant.active || !tenant.config.telemetry) continue;
+    TelemetrySnapshot& snap = snapshots[static_cast<size_t>(i)];
+    snap = tenant.config.telemetry(now);
+    snap.valid_mask &= tenant.config.telemetry_caps;
+    snap.Sanitize();
+  }
+  return snapshots;
+}
+
+std::vector<double> CoreArbiter::ShedRates(
+    const std::vector<TelemetrySnapshot>& snapshots) const {
   std::vector<double> rates(static_cast<size_t>(num_tenants()), 0.0);
   if (config_.policy != ArbitrationPolicy::kSloAware) return rates;
   for (int i = 0; i < num_tenants(); ++i) {
     const Tenant& tenant = tenants_[static_cast<size_t>(i)];
-    if (tenant.active && tenant.config.shed_rate_probe) {
-      rates[static_cast<size_t>(i)] = tenant.config.shed_rate_probe(now);
+    const TelemetrySnapshot& snap = snapshots[static_cast<size_t>(i)];
+    if (tenant.active && snap.has(TelemetrySnapshot::kShed)) {
+      rates[static_cast<size_t>(i)] = snap.shed_rate;
     }
   }
   return rates;
 }
 
 std::vector<double> CoreArbiter::SloRatios(
-    simcore::Tick now, const std::vector<double>& shed_rates) const {
+    const std::vector<TelemetrySnapshot>& snapshots,
+    const std::vector<double>& shed_rates) const {
   std::vector<double> ratios(static_cast<size_t>(num_tenants()), -1.0);
   if (config_.policy != ArbitrationPolicy::kSloAware) return ratios;
-  const double total =
-      static_cast<double>(platform_->topology().total_cores());
+  const double total = static_cast<double>(domain_.Count());
   for (int i = 0; i < num_tenants(); ++i) {
     const Tenant& tenant = tenants_[static_cast<size_t>(i)];
     const ArbiterTenantConfig& config = tenant.config;
+    const TelemetrySnapshot& snap = snapshots[static_cast<size_t>(i)];
     if (!tenant.active) continue;
-    if (config.slo_p99_s < 0.0 || !config.tail_latency_probe) continue;
-    const double p99 = config.tail_latency_probe(now);
+    if (config.slo_p99_s < 0.0 || !snap.has(TelemetrySnapshot::kTail)) {
+      continue;
+    }
+    const double p99 = snap.p99_s;
     double ratio = p99 < 0.0 ? -1.0 : p99 / std::max(config.slo_p99_s, 1e-12);
     // Shed feedback: rejected arrivals never reach the completed-latency
     // percentiles, so a tenant actively shedding is under more pressure
@@ -240,27 +330,30 @@ std::vector<double> CoreArbiter::SloRatios(
   return ratios;
 }
 
-std::vector<double> CoreArbiter::ContentionFractions(simcore::Tick now) const {
+std::vector<double> CoreArbiter::ContentionFractions(
+    const std::vector<TelemetrySnapshot>& snapshots) const {
   std::vector<double> fractions(static_cast<size_t>(num_tenants()), -1.0);
   if (config_.policy != ArbitrationPolicy::kContentionAware) return fractions;
   for (int i = 0; i < num_tenants(); ++i) {
     const Tenant& tenant = tenants_[static_cast<size_t>(i)];
-    if (tenant.active && HasContentionProbes(tenant.config)) {
-      fractions[static_cast<size_t>(i)] =
-          tenant.config.abort_fraction_probe(now);
+    const TelemetrySnapshot& snap = snapshots[static_cast<size_t>(i)];
+    if (tenant.active && HasContentionCaps(tenant.config) &&
+        snap.has(TelemetrySnapshot::kAbort)) {
+      fractions[static_cast<size_t>(i)] = snap.abort_fraction;
     }
   }
   return fractions;
 }
 
 void CoreArbiter::UpdateContentionControllers(
-    simcore::Tick now, const std::vector<ElasticMechanism::Decision>& decisions,
-    const std::vector<double>& abort_fractions) {
+    const std::vector<ElasticMechanism::Decision>& decisions,
+    const std::vector<double>& abort_fractions,
+    const std::vector<TelemetrySnapshot>& snapshots) {
   if (config_.policy != ArbitrationPolicy::kContentionAware) return;
-  const int total = platform_->topology().total_cores();
+  const int total = domain_.Count();
   for (int i = 0; i < num_tenants(); ++i) {
     Tenant& tenant = tenants_[static_cast<size_t>(i)];
-    if (!tenant.active || !HasContentionProbes(tenant.config)) continue;
+    if (!tenant.active || !HasContentionCaps(tenant.config)) continue;
     const int held = tenant.mask.Count();
     const int floor = std::max(1, tenant.config.mechanism.initial_cores);
     const int cap = tenant.config.mechanism.max_cores > 0
@@ -283,7 +376,9 @@ void CoreArbiter::UpdateContentionControllers(
       tenant.hc_settle--;
       continue;
     }
-    const double goodput = tenant.config.goodput_probe(now);
+    const TelemetrySnapshot& snap = snapshots[static_cast<size_t>(i)];
+    if (!snap.has(TelemetrySnapshot::kGoodput)) continue;  // dropout: hold
+    const double goodput = snap.goodput;
     // Evaluate the previous move: if the allocation actually changed and
     // goodput dropped beyond tolerance, revert to the old operating point
     // and block that direction for a while — this is what makes the climber
@@ -331,8 +426,7 @@ std::vector<double> CoreArbiter::Entitlements(
     const std::vector<ElasticMechanism::Decision>& decisions,
     const std::vector<double>& slo_ratios) const {
   const int count = num_tenants();
-  const double total =
-      static_cast<double>(platform_->topology().total_cores());
+  const double total = static_cast<double>(domain_.Count());
   std::vector<double> entitlements(static_cast<size_t>(count), 0.0);
   switch (config_.policy) {
     case ArbitrationPolicy::kFairShare: {
@@ -436,7 +530,7 @@ std::vector<double> CoreArbiter::Entitlements(
       for (int i = 0; i < count; ++i) {
         const Tenant& tenant = tenants_[static_cast<size_t>(i)];
         if (!tenant.active) continue;
-        if (!HasContentionProbes(tenant.config)) {
+        if (!HasContentionCaps(tenant.config)) {
           probe_less++;
           continue;
         }
@@ -450,7 +544,7 @@ std::vector<double> CoreArbiter::Entitlements(
         const double share = std::max(0.0, remaining) / probe_less;
         for (int i = 0; i < count; ++i) {
           const Tenant& tenant = tenants_[static_cast<size_t>(i)];
-          if (tenant.active && !HasContentionProbes(tenant.config)) {
+          if (tenant.active && !HasContentionCaps(tenant.config)) {
             entitlements[static_cast<size_t>(i)] = share;
           }
         }
@@ -516,11 +610,14 @@ void CoreArbiter::Poll(simcore::Tick now) {
     round.handoffs++;
   }
 
-  // Phase 2: grant grows from the pool, most-entitled-deficit first.
-  const std::vector<double> shed_rates = ShedRates(now);
-  const std::vector<double> slo_ratios = SloRatios(now, shed_rates);
-  const std::vector<double> abort_fractions = ContentionFractions(now);
-  UpdateContentionControllers(now, decisions, abort_fractions);
+  // Phase 2: grant grows from the pool, most-entitled-deficit first. All
+  // telemetry of the round is pulled here, once per tenant, through the
+  // unified snapshot; the per-signal views below are read from it.
+  const std::vector<TelemetrySnapshot> snapshots = CollectTelemetry(now);
+  const std::vector<double> shed_rates = ShedRates(snapshots);
+  const std::vector<double> slo_ratios = SloRatios(snapshots, shed_rates);
+  const std::vector<double> abort_fractions = ContentionFractions(snapshots);
+  UpdateContentionControllers(decisions, abort_fractions, snapshots);
   const std::vector<double> entitlements = Entitlements(decisions, slo_ratios);
 
   // Degraded-telemetry decay: a tenant blind past the TTL stops holding its
@@ -552,7 +649,7 @@ void CoreArbiter::Poll(simcore::Tick now) {
     for (int i = 0; i < count; ++i) {
       Tenant& tenant = tenants_[static_cast<size_t>(i)];
       if (!tenant.active || Frozen(tenant)) continue;
-      if (!HasContentionProbes(tenant.config) || tenant.hc_target <= 0) {
+      if (!HasContentionCaps(tenant.config) || tenant.hc_target <= 0) {
         continue;
       }
       if (tenant.mask.Count() <= tenant.hc_target) continue;
@@ -573,7 +670,7 @@ void CoreArbiter::Poll(simcore::Tick now) {
     // grow, whatever its utilization-driven demand says: the controller has
     // measured that more cores past this point cost goodput.
     if (config_.policy == ArbitrationPolicy::kContentionAware &&
-        HasContentionProbes(tenant.config) && tenant.hc_target > 0 &&
+        HasContentionCaps(tenant.config) && tenant.hc_target > 0 &&
         tenant.mask.Count() >= tenant.hc_target) {
       continue;
     }
@@ -642,7 +739,7 @@ void CoreArbiter::Poll(simcore::Tick now) {
       // shield would protect exactly the cores the controller wants gone.
       const bool victim_collapsing =
           config_.policy == ArbitrationPolicy::kContentionAware &&
-          HasContentionProbes(candidate.config) && candidate.hc_target > 0 &&
+          HasContentionCaps(candidate.config) && candidate.hc_target > 0 &&
           candidate.mask.Count() > candidate.hc_target;
       if (shield && !(slo_violating && victim_best_effort) &&
           !victim_collapsing) {
@@ -765,8 +862,9 @@ void CoreArbiter::TryInstall(int index, Tenant& tenant, TenantRound& tr) {
     tenant.quarantined = true;
     stats_.quarantine_entries++;
     tenant.probe_round = round_counter_ + config_.quarantine_probe_rounds;
-    platform_->trace()->Add(platform_->Now(), "arbiter_quarantine", index,
-                            tenant.install_failures, tenant.config.name);
+    platform_->trace()->Add(platform_->Now(), TraceKind("arbiter_quarantine"),
+                            index, tenant.install_failures,
+                            tenant.config.name);
     return;
   }
   // Exponential backoff with seeded jitter; capped so a flapping cgroup
@@ -779,13 +877,18 @@ void CoreArbiter::TryInstall(int index, Tenant& tenant, TenantRound& tr) {
   tenant.next_retry_round = round_counter_ + backoff;
 }
 
+std::string CoreArbiter::TraceKind(const char* kind) const {
+  if (config_.instance_label.empty()) return kind;
+  return config_.instance_label + ":" + kind;
+}
+
 void CoreArbiter::DetachTenant(int tenant) {
   Tenant& t = tenants_[static_cast<size_t>(tenant)];
   if (!t.active) return;
   t.active = false;
   stats_.detached_tenants++;
-  platform_->trace()->Add(platform_->Now(), "arbiter_detach", tenant,
-                          t.mask.Count(), t.config.name);
+  platform_->trace()->Add(platform_->Now(), TraceKind("arbiter_detach"),
+                          tenant, t.mask.Count(), t.config.name);
   // The cores return to the free pool immediately (FreePool unions only the
   // tenants' masks); the platform cpuset is left as-is — it confines nothing.
   t.mask = platform::CpuMask();

@@ -9,6 +9,7 @@
 #include "core/allocation_mode.h"
 #include "core/mechanism.h"
 #include "core/node_priority_queue.h"
+#include "core/telemetry.h"
 #include "platform/platform.h"
 #include "simcore/rng.h"
 
@@ -29,8 +30,8 @@ enum class ArbitrationPolicy {
   /// u_i * nalloc_i, from the last monitoring window). Assumes the tenants
   /// run the kCpuLoad transition strategy.
   kDemandProportional,
-  /// Tail-latency feedback: tenants with an SLO (slo_p99_s >= 0 and a
-  /// tail_latency_probe) are entitled to headroom proportional to how far
+  /// Tail-latency feedback: tenants with an SLO (slo_p99_s >= 0 and tail
+  /// telemetry) are entitled to headroom proportional to how far
   /// their recent p99 sits above the target, and shed one core of slack
   /// when comfortably below it; best-effort tenants split whatever remains.
   /// An SLO tenant past the boost threshold (recent p99 above 3/4 of its
@@ -42,8 +43,8 @@ enum class ArbitrationPolicy {
   /// proportionally less, so two violating tenants no longer starve each
   /// other forever.
   kSloAware,
-  /// Contention feedback: tenants publishing a contention probe pair
-  /// (windowed abort fraction + recent goodput, e.g. from
+  /// Contention feedback: tenants whose telemetry reports the contention
+  /// signal pair (windowed abort fraction + recent goodput, e.g. from
   /// TxnEngine::RecentAbortFraction / RecentCommitRate) are driven by a
   /// per-tenant hill-climbing controller that *shrinks* the entitlement
   /// when the abort fraction is high and the last added core bought no
@@ -75,36 +76,43 @@ struct ArbiterTenantConfig {
   /// Share under kPriorityWeighted (ignored by the other policies).
   double weight = 1.0;
 
-  // -- kSloAware inputs (ignored by the other policies). --
-
   /// Target p99 latency in simulated seconds; < 0 marks a best-effort
-  /// tenant (no SLO).
+  /// tenant (no SLO). Consumed by kSloAware only.
   double slo_p99_s = -1.0;
-  /// Called once per round for the tenant's recent p99 latency in simulated
-  /// seconds; return < 0 while no completions exist in the window. Required
-  /// for SLO tenants under kSloAware.
+
+  /// Unified pull-based telemetry: evaluated at most once per round (only
+  /// under kSloAware / kContentionAware), returning every feedback signal
+  /// the tenant can report in one TelemetrySnapshot. How the fields steer
+  /// arbitration:
+  ///   - p99_s (kTail): required for SLO tenants under kSloAware; the
+  ///     recent-p99 / target ratio drives entitlement boost/shed/hold.
+  ///   - shed_rate (kShed): reshapes the kSloAware latency signal — below
+  ///     max_cores active shedding counts as a violation even when the
+  ///     admitted-only p99 looks fine (shed work is invisible to completed
+  ///     -latency percentiles); at max_cores it switches the tenant to
+  ///     *hold* (cores cannot help, admission is the active lever).
+  ///   - abort_fraction + goodput (kAbort|kGoodput): the kContentionAware
+  ///     hill climber's inputs; publish both or neither.
+  TelemetrySource telemetry;
+  /// Static capability mask (TelemetrySnapshot bits) declaring which fields
+  /// `telemetry` can ever report. Install() validates policy requirements
+  /// and classifies best-effort tenants from this mask without invoking the
+  /// source; a round's valid_mask is intersected with it.
+  uint32_t telemetry_caps = 0;
+
+  // -- Deprecated probe shim. The four per-signal callbacks below collapsed
+  // into `telemetry`; when `telemetry` is empty, AddTenant synthesises a
+  // TelemetrySource (and telemetry_caps) from whichever probes are set, so
+  // out-of-tree callers keep compiling for one more release. New code wires
+  // exec::TenantBuilder / a TelemetrySource directly. --
+
+  /// Deprecated: fold into `telemetry` (TelemetrySnapshot::p99_s).
   std::function<double(simcore::Tick now)> tail_latency_probe;
-  /// Optional: recent shed rate of the tenant's admission controller
-  /// (rejections per simulated second; <= 0 = not shedding / no admission
-  /// gate). Shedding reshapes the kSloAware latency signal in two ways:
-  /// below max_cores it counts as a violation even when the admitted-only
-  /// p99 looks fine (shed work is invisible to completed-latency
-  /// percentiles), and at max_cores it switches the tenant to *hold* —
-  /// cores can no longer help, admission is the active lever, and the
-  /// tenant stops demanding growth it could not be granted.
+  /// Deprecated: fold into `telemetry` (TelemetrySnapshot::shed_rate).
   std::function<double(simcore::Tick now)> shed_rate_probe;
-
-  // -- kContentionAware inputs (ignored by the other policies). Set both or
-  // neither; exec::AttachContentionProbes wires them from a TxnEngine. --
-
-  /// Called once per round for the tenant's windowed CC abort fraction in
-  /// [0, 1]; return < 0 while no attempt finished in the window (no signal
-  /// — the controller holds). Without the probe pair the tenant is
-  /// best-effort under kContentionAware.
+  /// Deprecated: fold into `telemetry` (TelemetrySnapshot::abort_fraction).
   std::function<double(simcore::Tick now)> abort_fraction_probe;
-  /// Called once per round for the tenant's recent goodput (CC commits per
-  /// simulated second over the same window). The controller differentiates
-  /// successive readings to judge whether its last allocation move helped.
+  /// Deprecated: fold into `telemetry` (TelemetrySnapshot::goodput).
   std::function<double(simcore::Tick now)> goodput_probe;
 };
 
@@ -114,6 +122,16 @@ struct ArbiterConfig {
   int monitor_period_ticks = 20;
   /// Keep a per-round decision log.
   bool log_rounds = true;
+
+  /// Namespace of this arbiter instance. Empty (the default, flat mode)
+  /// keeps the historical trace event names ("arbiter_quarantine",
+  /// "arbiter_detach"); a shard arbiter carries e.g. "shard3" and emits
+  /// "shard3:arbiter_quarantine", so chaos/quarantine accounting stays
+  /// attributable to the right shard under a hierarchy.
+  std::string instance_label;
+  /// Register the self-driving monitoring hook at Install(). A hierarchical
+  /// coordinator (ShardedArbiter) sets false and calls Poll() itself.
+  bool register_tick_hook = true;
 
   // -- Degraded-telemetry policy (counts are arbitration rounds). A tenant
   // whose window is implausible (probe dropout, garbage counters) holds its
@@ -241,6 +259,17 @@ class CoreArbiter {
   /// is narrowed to the tenant's initial mask at Install().
   int AddTenant(const ArbiterTenantConfig& config);
 
+  /// Restricts arbitration to a subset of the machine — a shard's domain.
+  /// Every grant, entitlement and the free pool are computed against it.
+  /// Call before Install(); the default is the whole machine (flat mode).
+  void SetDomain(const platform::CpuMask& domain);
+  const platform::CpuMask& domain() const { return domain_; }
+
+  /// Reshapes the domain after Install() (shard-budget rebalance). Fails —
+  /// changing nothing — unless every core currently owned by a tenant stays
+  /// inside the new domain: owned cores move only through arbitration.
+  bool TryResizeDomain(const platform::CpuMask& new_domain);
+
   /// Assigns the initial disjoint masks (initial_cores each, spread across
   /// sockets) and registers the single monitoring hook. Call once, after
   /// every AddTenant and before running workloads.
@@ -355,38 +384,51 @@ class CoreArbiter {
       const std::vector<ElasticMechanism::Decision>& decisions,
       const std::vector<double>& slo_ratios) const;
 
-  /// Recent shed rate per tenant under kSloAware (shed probes fire here);
-  /// 0 for tenants without an admission gate, and everywhere outside
-  /// kSloAware.
-  std::vector<double> ShedRates(simcore::Tick now) const;
+  /// Evaluates every active tenant's TelemetrySource once for this round
+  /// (only under the feedback policies — kSloAware / kContentionAware; the
+  /// static policies never pull telemetry). Each snapshot's valid_mask is
+  /// intersected with the tenant's declared caps and sanitised (NaN/inf
+  /// readings drop their valid bit — the centralised plausibility check).
+  std::vector<TelemetrySnapshot> CollectTelemetry(simcore::Tick now) const;
 
-  /// Recent-p99 / target ratio per tenant under kSloAware (tail probes
-  /// fire here); < 0 for best-effort tenants and SLO tenants without a
-  /// signal. `shed_rates` reshapes the ratio: a shedding tenant below its
-  /// max_cores reads as violating, a shedding tenant at max_cores as
-  /// holding (see ArbiterTenantConfig::shed_rate_probe).
-  std::vector<double> SloRatios(simcore::Tick now,
-                                const std::vector<double>& shed_rates) const;
+  /// Recent shed rate per tenant under kSloAware; 0 for tenants without a
+  /// shed signal, and everywhere outside kSloAware.
+  std::vector<double> ShedRates(
+      const std::vector<TelemetrySnapshot>& snapshots) const;
 
-  /// Whether the tenant publishes the kContentionAware probe pair.
-  static bool HasContentionProbes(const ArbiterTenantConfig& config) {
-    return static_cast<bool>(config.abort_fraction_probe) &&
-           static_cast<bool>(config.goodput_probe);
+  /// Recent-p99 / target ratio per tenant under kSloAware; < 0 for
+  /// best-effort tenants and SLO tenants without a signal. `shed_rates`
+  /// reshapes the ratio: a shedding tenant below its max_cores reads as
+  /// violating, a shedding tenant at max_cores as holding (see the
+  /// telemetry field comment on ArbiterTenantConfig).
+  std::vector<double> SloRatios(
+      const std::vector<TelemetrySnapshot>& snapshots,
+      const std::vector<double>& shed_rates) const;
+
+  /// Whether the tenant declares the kContentionAware signal pair.
+  static bool HasContentionCaps(const ArbiterTenantConfig& config) {
+    return (config.telemetry_caps & TelemetrySnapshot::kAbort) != 0 &&
+           (config.telemetry_caps & TelemetrySnapshot::kGoodput) != 0;
   }
 
-  /// Windowed abort fraction per tenant under kContentionAware (contention
-  /// probes fire here); < 0 for tenants without probes or without traffic,
-  /// and everywhere outside kContentionAware.
-  std::vector<double> ContentionFractions(simcore::Tick now) const;
+  /// Windowed abort fraction per tenant under kContentionAware; < 0 for
+  /// tenants without the signal pair or without traffic, and everywhere
+  /// outside kContentionAware.
+  std::vector<double> ContentionFractions(
+      const std::vector<TelemetrySnapshot>& snapshots) const;
 
   /// One round of every tenant's hill-climbing controller (kContentionAware
   /// only): updates Tenant::hc_* so Entitlements() can read the targets.
   /// See the policy comment on ArbitrationPolicy::kContentionAware for the
   /// climb/hold/revert rules.
   void UpdateContentionControllers(
-      simcore::Tick now,
       const std::vector<ElasticMechanism::Decision>& decisions,
-      const std::vector<double>& abort_fractions);
+      const std::vector<double>& abort_fractions,
+      const std::vector<TelemetrySnapshot>& snapshots);
+
+  /// Trace event kind namespaced by instance_label ("shard3:kind"); the
+  /// bare kind in flat mode.
+  std::string TraceKind(const char* kind) const;
 
   /// NUMA-aware pick of a free-pool core for a tenant: prefer the node where
   /// the tenant already holds the most cores, then the node with the most
@@ -396,6 +438,8 @@ class CoreArbiter {
 
   platform::Platform* platform_;
   ArbiterConfig config_;
+  /// Cores this arbiter may hand out (the whole machine in flat mode).
+  platform::CpuMask domain_;
   std::vector<Tenant> tenants_;
   bool installed_ = false;
 

@@ -1,0 +1,58 @@
+#ifndef ELASTICORE_CORE_TELEMETRY_H_
+#define ELASTICORE_CORE_TELEMETRY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "simcore/clock.h"
+
+namespace elastic::core {
+
+/// One tenant's feedback signals for one arbitration round, pulled through a
+/// single TelemetrySource instead of four separate probe callbacks. A field
+/// is meaningful only when its bit is set in valid_mask: the bit says "this
+/// tenant's source can report the field and this round's value is plausible";
+/// sentinel values inside a valid field (p99_s < 0, abort_fraction < 0) keep
+/// their historical meaning of "no completions in the window yet".
+struct TelemetrySnapshot {
+  static constexpr uint32_t kTail = 1u << 0;
+  static constexpr uint32_t kShed = 1u << 1;
+  static constexpr uint32_t kAbort = 1u << 2;
+  static constexpr uint32_t kGoodput = 1u << 3;
+
+  /// Recent p99 latency in simulated seconds; < 0 = no signal yet.
+  double p99_s = -1.0;
+  /// Recent admission-shed rate (rejections per simulated second); <= 0 =
+  /// not shedding / no admission gate.
+  double shed_rate = 0.0;
+  /// Windowed CC abort fraction in [0, 1]; < 0 = no attempt in the window.
+  double abort_fraction = -1.0;
+  /// Recent goodput (CC commits per simulated second).
+  double goodput = 0.0;
+  /// Which fields above carry a meaningful value this round.
+  uint32_t valid_mask = 0;
+
+  bool has(uint32_t bit) const { return (valid_mask & bit) != 0; }
+
+  /// Centralised plausibility check: a NaN or infinite reading clears the
+  /// field's valid bit (the arbiter then treats it as probe dropout) instead
+  /// of leaking into ratio arithmetic where NaN comparisons silently pick a
+  /// branch. Finite values pass through untouched.
+  void Sanitize() {
+    if (has(kTail) && !std::isfinite(p99_s)) valid_mask &= ~kTail;
+    if (has(kShed) && !std::isfinite(shed_rate)) valid_mask &= ~kShed;
+    if (has(kAbort) && !std::isfinite(abort_fraction)) valid_mask &= ~kAbort;
+    if (has(kGoodput) && !std::isfinite(goodput)) valid_mask &= ~kGoodput;
+  }
+};
+
+/// Pull-based per-tenant telemetry: called at most once per tenant per
+/// arbitration round (only under the policies that consume feedback), must be
+/// a pure read of the tenant's instrumentation — no side effects, so the
+/// arbiter is free to skip or reorder calls.
+using TelemetrySource = std::function<TelemetrySnapshot(simcore::Tick now)>;
+
+}  // namespace elastic::core
+
+#endif  // ELASTICORE_CORE_TELEMETRY_H_

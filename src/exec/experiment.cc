@@ -1,7 +1,7 @@
 #include "exec/experiment.h"
 
 #include "core/allocation_mode.h"
-#include "exec/tenant_wiring.h"
+#include "exec/tenant_builder.h"
 #include "simcore/check.h"
 
 namespace elastic::exec {
@@ -101,13 +101,16 @@ int MultiTenantExperiment::AddTenant(const TenantSpec& spec) {
   Tenant tenant;
   tenant.spec = spec;
 
-  tenant.arbiter_index = arbiter_->AddTenant(
-      MakeArbiterTenant(spec.name, spec.mechanism, spec.mode, spec.weight));
+  tenant.arbiter_index = arbiter_->AddTenant(TenantBuilder(spec.name)
+                                                 .mechanism(spec.mechanism)
+                                                 .mode(spec.mode)
+                                                 .weight(spec.weight)
+                                                 .Build());
   tenant.engine = std::make_unique<DbmsEngine>(
       machine_.get(), catalog_.get(),
-      MakeTenantEngineOptions(spec.engine_model, spec.pool_size,
-                              spec.task_graph,
-                              arbiter_->tenant_cpuset(tenant.arbiter_index)));
+      TenantBuilder::BoundEngineOptions(
+          spec.engine_model, spec.pool_size, spec.task_graph,
+          arbiter_->tenant_cpuset(tenant.arbiter_index)));
 
   tenants_.push_back(std::move(tenant));
   return num_tenants() - 1;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "exec/tenant_wiring.h"
+#include "exec/tenant_builder.h"
 #include "simcore/check.h"
 
 namespace elastic::exec {
@@ -33,9 +33,8 @@ HtapExperiment::HtapExperiment(const db::Database* database,
     ELASTIC_CHECK(oltp_n >= 1 && oltp_n < total,
                   "static split needs 1 <= oltp initial_cores < machine");
     const platform::CpuMask oltp_mask = platform::CpuMask::FirstN(oltp_n);
-    const platform::CpuMask olap_mask(
-        platform::CpuMask::AllOf(machine_->topology()).bits() &
-        ~oltp_mask.bits());
+    const platform::CpuMask olap_mask =
+        platform::CpuMask::AllOf(machine_->topology()).Difference(oltp_mask);
     static_oltp_cpuset_ = platform_->CreateCpuset(oltp_spec_.name, oltp_mask);
     static_olap_cpuset_ = platform_->CreateCpuset(olap_spec_.name, olap_mask);
     oltp_cpuset = static_oltp_cpuset_;
@@ -48,35 +47,28 @@ HtapExperiment::HtapExperiment(const db::Database* database,
     arbiter_ =
         std::make_unique<core::CoreArbiter>(platform_.get(), arbiter_config);
 
-    core::ArbiterTenantConfig oltp_tenant = MakeArbiterTenant(
-        oltp_spec_.name, oltp_spec_.mechanism, oltp_spec_.mode,
-        oltp_spec_.weight);
-    oltp_tenant.slo_p99_s = oltp_spec_.slo_p99_s;
+    TenantBuilder oltp_builder = TenantBuilder(oltp_spec_.name)
+                                     .mechanism(oltp_spec_.mechanism)
+                                     .mode(oltp_spec_.mode)
+                                     .weight(oltp_spec_.weight)
+                                     .slo(oltp_spec_.slo_p99_s);
     if (oltp_spec_.slo_p99_s >= 0.0) {
-      const int64_t window = oltp_spec_.probe_window_ticks;
-      // Two tail signals, take the worse: the recent completed-latency p99
-      // (the SLO as measured) and the oldest in-flight age (its leading
-      // indicator — during queue buildup the delayed transactions have not
-      // completed yet, so the completed p99 alone reports the violation
-      // only after it is already history).
-      oltp_tenant.tail_latency_probe = [this, window](simcore::Tick now) {
-        if (!oltp_client_) return -1.0;
-        return oltp_client_->TailSignalSeconds(now, window);
-      };
-      // Close the overload-control loop: shedding reported back into the
-      // entitlement decisions (see ArbiterTenantConfig::shed_rate_probe).
-      if (oltp_spec_.admission.policy != oltp::AdmissionPolicy::kNone) {
-        oltp_tenant.shed_rate_probe = [this, window](simcore::Tick now) {
-          if (!oltp_client_) return 0.0;
-          return oltp_client_->RecentShedRate(now, window);
-        };
-      }
+      // The tail signal is the client's max(windowed p99, oldest in-flight
+      // age); shed-rate telemetry additionally closes the overload-control
+      // loop when an admission gate is configured (see TenantBuilder).
+      oltp_builder.telemetry(
+          [this]() { return oltp_client_.get(); },
+          oltp_spec_.probe_window_ticks,
+          /*report_shed_rate=*/oltp_spec_.admission.policy !=
+              oltp::AdmissionPolicy::kNone);
     }
-    oltp_arbiter_index_ = arbiter_->AddTenant(oltp_tenant);
+    oltp_arbiter_index_ = arbiter_->AddTenant(oltp_builder.Build());
 
-    olap_arbiter_index_ = arbiter_->AddTenant(
-        MakeArbiterTenant(olap_spec_.name, olap_spec_.mechanism,
-                          olap_spec_.mode, olap_spec_.weight));
+    olap_arbiter_index_ = arbiter_->AddTenant(TenantBuilder(olap_spec_.name)
+                                                  .mechanism(olap_spec_.mechanism)
+                                                  .mode(olap_spec_.mode)
+                                                  .weight(olap_spec_.weight)
+                                                  .Build());
 
     oltp_cpuset = arbiter_->tenant_cpuset(oltp_arbiter_index_);
     olap_cpuset = arbiter_->tenant_cpuset(olap_arbiter_index_);
@@ -84,13 +76,14 @@ HtapExperiment::HtapExperiment(const db::Database* database,
 
   oltp_engine_ = std::make_unique<oltp::TxnEngine>(
       machine_.get(), catalog_.get(),
-      MakeOltpTenantEngineOptions(oltp_spec_.engine, oltp_spec_.workload,
-                                  oltp_cpuset));
+      TenantBuilder::BoundOltpEngineOptions(oltp_spec_.engine,
+                                            oltp_spec_.workload, oltp_cpuset));
 
   olap_engine_ = std::make_unique<DbmsEngine>(
       machine_.get(), catalog_.get(),
-      MakeTenantEngineOptions(olap_spec_.engine_model, olap_spec_.pool_size,
-                              olap_spec_.task_graph, olap_cpuset));
+      TenantBuilder::BoundEngineOptions(olap_spec_.engine_model,
+                                        olap_spec_.pool_size,
+                                        olap_spec_.task_graph, olap_cpuset));
 }
 
 void HtapExperiment::Start() {
@@ -107,9 +100,17 @@ void HtapExperiment::Start() {
     admission.target_tail_s = oltp_spec_.slo_p99_s;
     admission.probe_window_ticks = oltp_spec_.probe_window_ticks;
   }
+  oltp::LatencyRecorder::Config latency;
+  if (oltp_spec_.sketch_latency) {
+    latency.use_sketch = true;
+    latency.epsilon = oltp_spec_.sketch_epsilon;
+    // One window, every consumer: the arbiter's tail probe and the adaptive
+    // admission gate query the sketch with the same probe window.
+    latency.window_ticks = oltp_spec_.probe_window_ticks;
+  }
   oltp_client_ = std::make_unique<oltp::OltpClient>(
       machine_.get(), oltp_engine_.get(), oltp_spec_.workload,
-      options_.seed ^ 0x0117, admission);
+      options_.seed ^ 0x0117, admission, latency);
   olap_driver_ = std::make_unique<ClientDriver>(
       machine_.get(), olap_engine_.get(), olap_spec_.workload,
       olap_spec_.num_clients, options_.seed ^ 0x01A9);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "exec/tenant_wiring.h"
+#include "exec/tenant_builder.h"
 #include "oltp/cc/workload.h"
 #include "simcore/check.h"
 
@@ -177,19 +177,21 @@ ContentionArbiterExperiment::ContentionArbiterExperiment(
     TenantRt rt;
     rt.spec = spec;
 
-    core::ArbiterTenantConfig tenant_config =
-        MakeArbiterTenant(spec.name, spec.mechanism, spec.mode, spec.weight);
-    // Probes resolve the engine at call time: the engine is built after
-    // AddTenant below (it needs the tenant's cpuset), and the arbiter only
-    // fires these under the contention_aware policy.
+    // Telemetry resolves the engine at probe time: the engine is built
+    // after AddTenant below (it needs the tenant's cpuset), and the arbiter
+    // only pulls these signals under the contention_aware policy.
     const int index = static_cast<int>(i);
-    AttachContentionProbes(
-        &tenant_config,
-        [this, index]() {
-          return tenants_[static_cast<size_t>(index)].engine.get();
-        },
-        spec.probe_window_ticks);
-    rt.arbiter_index = arbiter_->AddTenant(tenant_config);
+    rt.arbiter_index = arbiter_->AddTenant(
+        TenantBuilder(spec.name)
+            .mechanism(spec.mechanism)
+            .mode(spec.mode)
+            .weight(spec.weight)
+            .telemetry(
+                [this, index]() {
+                  return tenants_[static_cast<size_t>(index)].engine.get();
+                },
+                spec.probe_window_ticks)
+            .Build());
 
     oltp::TxnEngineOptions engine_options;
     engine_options.cpuset = arbiter_->tenant_cpuset(rt.arbiter_index);

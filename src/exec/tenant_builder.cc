@@ -1,0 +1,138 @@
+#include "exec/tenant_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "simcore/check.h"
+
+namespace elastic::exec {
+
+TenantBuilder::TenantBuilder(std::string name) : name_(std::move(name)) {}
+
+TenantBuilder& TenantBuilder::mechanism(
+    const core::MechanismConfig& mechanism) {
+  mechanism_ = mechanism;
+  return *this;
+}
+
+TenantBuilder& TenantBuilder::mode(std::string mode) {
+  mode_ = std::move(mode);
+  return *this;
+}
+
+TenantBuilder& TenantBuilder::weight(double weight) {
+  weight_ = weight;
+  return *this;
+}
+
+TenantBuilder& TenantBuilder::slo(double p99_s) {
+  slo_p99_s_ = p99_s;
+  return *this;
+}
+
+TenantBuilder& TenantBuilder::telemetry(core::TelemetrySource source,
+                                        uint32_t caps) {
+  ELASTIC_CHECK(fillers_.empty(),
+                "raw telemetry source cannot mix with probe telemetry");
+  ELASTIC_CHECK(static_cast<bool>(source), "null telemetry source");
+  raw_source_ = std::move(source);
+  caps_ = caps;
+  return *this;
+}
+
+TenantBuilder& TenantBuilder::telemetry(
+    std::function<oltp::OltpClient*()> client, int64_t probe_window_ticks,
+    bool report_shed_rate) {
+  ELASTIC_CHECK(!raw_source_,
+                "probe telemetry cannot mix with a raw telemetry source");
+  caps_ |= core::TelemetrySnapshot::kTail;
+  fillers_.push_back([client, probe_window_ticks](
+                         simcore::Tick now, core::TelemetrySnapshot* snap) {
+    const oltp::OltpClient* c = client();
+    snap->p99_s =
+        c == nullptr ? -1.0 : c->TailSignalSeconds(now, probe_window_ticks);
+    snap->valid_mask |= core::TelemetrySnapshot::kTail;
+  });
+  if (report_shed_rate) {
+    caps_ |= core::TelemetrySnapshot::kShed;
+    fillers_.push_back([client, probe_window_ticks](
+                           simcore::Tick now, core::TelemetrySnapshot* snap) {
+      const oltp::OltpClient* c = client();
+      snap->shed_rate =
+          c == nullptr ? 0.0 : c->RecentShedRate(now, probe_window_ticks);
+      snap->valid_mask |= core::TelemetrySnapshot::kShed;
+    });
+  }
+  return *this;
+}
+
+TenantBuilder& TenantBuilder::telemetry(
+    std::function<oltp::TxnEngine*()> engine, int64_t probe_window_ticks) {
+  ELASTIC_CHECK(!raw_source_,
+                "probe telemetry cannot mix with a raw telemetry source");
+  caps_ |= core::TelemetrySnapshot::kAbort | core::TelemetrySnapshot::kGoodput;
+  fillers_.push_back([engine, probe_window_ticks](
+                         simcore::Tick now, core::TelemetrySnapshot* snap) {
+    const oltp::TxnEngine* e = engine();
+    if (e == nullptr || e->RecentAttempts(now, probe_window_ticks) == 0) {
+      snap->abort_fraction = -1.0;
+    } else {
+      snap->abort_fraction = e->RecentAbortFraction(now, probe_window_ticks);
+    }
+    snap->valid_mask |= core::TelemetrySnapshot::kAbort;
+    snap->goodput =
+        e == nullptr ? 0.0 : e->RecentCommitRate(now, probe_window_ticks);
+    snap->valid_mask |= core::TelemetrySnapshot::kGoodput;
+  });
+  return *this;
+}
+
+core::ArbiterTenantConfig TenantBuilder::Build() const {
+  core::ArbiterTenantConfig config;
+  config.name = name_;
+  config.mechanism = mechanism_;
+  config.mode = mode_;
+  config.weight = weight_;
+  config.slo_p99_s = slo_p99_s_;
+  config.telemetry_caps = caps_;
+  if (raw_source_) {
+    config.telemetry = raw_source_;
+  } else if (!fillers_.empty()) {
+    const std::vector<Filler> fillers = fillers_;
+    config.telemetry = [fillers](simcore::Tick now) {
+      core::TelemetrySnapshot snap;
+      for (const Filler& fill : fillers) fill(now, &snap);
+      return snap;
+    };
+  }
+  return config;
+}
+
+EngineOptions TenantBuilder::BoundEngineOptions(
+    ThreadModel model, int pool_size, const TaskGraphOptions& task_graph,
+    platform::CpusetId cpuset) {
+  EngineOptions options;
+  options.model = model;
+  options.pool_size = pool_size;
+  options.task_graph = task_graph;
+  options.cpuset = cpuset;
+  return options;
+}
+
+oltp::TxnEngineOptions TenantBuilder::BoundOltpEngineOptions(
+    const oltp::TxnEngineOptions& base, const oltp::OltpWorkload& workload,
+    platform::CpusetId cpuset) {
+  oltp::TxnEngineOptions options = base;
+  options.cpuset = cpuset;
+  if (workload.kind == oltp::cc::WorkloadKind::kYcsb) {
+    options.cc.num_records =
+        std::max(options.cc.num_records, workload.ycsb.num_records);
+  } else if (workload.kind == oltp::cc::WorkloadKind::kSmallBank) {
+    options.cc.num_records =
+        std::max(options.cc.num_records,
+                 oltp::cc::SmallBankNumRecords(workload.smallbank));
+  }
+  return options;
+}
+
+}  // namespace elastic::exec

@@ -1,0 +1,104 @@
+#ifndef ELASTICORE_EXEC_TENANT_BUILDER_H_
+#define ELASTICORE_EXEC_TENANT_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/arbiter.h"
+#include "core/telemetry.h"
+#include "exec/dbms_engine.h"
+#include "oltp/oltp_client.h"
+#include "oltp/txn_engine.h"
+
+namespace elastic::exec {
+
+/// Fluent construction of an arbiter tenant — the one seam through which
+/// every experiment (generic multi-tenant OLAP, HTAP, contention sweep) and
+/// the production daemon wire a tenant into the CoreArbiter, so the
+/// constructors cannot drift apart. Replaces the former MakeArbiterTenant /
+/// AttachContentionProbes / MakeTenantEngineOptions trio.
+///
+///   int index = arbiter->AddTenant(
+///       TenantBuilder("oltp")
+///           .mechanism(spec.mechanism)
+///           .mode("dense")
+///           .weight(2.0)
+///           .slo(0.060)
+///           .telemetry([this]() { return oltp_client_.get(); }, window)
+///           .Build());
+///
+/// The telemetry overloads compose: each call appends its signals to the
+/// tenant's single pull-based core::TelemetrySource and widens the
+/// advertised capability mask, so a tenant can report tail + shed (OLTP
+/// client) and abort + goodput (transaction engine) through one snapshot.
+/// Engine resolvers are invoked at probe time, not build time — the engine
+/// is usually constructed after AddTenant, since it needs the tenant's
+/// cpuset — and a null engine reads as "no signal yet".
+class TenantBuilder {
+ public:
+  explicit TenantBuilder(std::string name);
+
+  TenantBuilder& mechanism(const core::MechanismConfig& mechanism);
+  /// Core release order: "dense" | "adaptive" | ... (see core::MakeMode).
+  TenantBuilder& mode(std::string mode);
+  TenantBuilder& weight(double weight);
+  /// Target p99 in simulated seconds the slo_aware policy defends.
+  TenantBuilder& slo(double p99_s);
+
+  /// Raw telemetry source with an explicit capability mask (advanced use —
+  /// tests and tenants whose signals come from outside the OLTP stack).
+  /// Exclusive with the probe-composing overloads below.
+  TenantBuilder& telemetry(core::TelemetrySource source, uint32_t caps);
+
+  /// Tail-latency (and, when `report_shed_rate`, shed-rate) telemetry from
+  /// an OLTP client, windowed over `probe_window_ticks`. The tail signal is
+  /// the client's max(windowed p99, oldest in-flight age); shed rate closes
+  /// the overload-control loop (a shedding tenant has demand its
+  /// admitted-only latency cannot show).
+  TenantBuilder& telemetry(std::function<oltp::OltpClient*()> client,
+                           int64_t probe_window_ticks,
+                           bool report_shed_rate = false);
+
+  /// Contention telemetry (windowed abort fraction + commit rate) from a
+  /// transaction engine — the pair the contention_aware policy reads. A
+  /// window with no finished attempt reads as no-signal (-1) rather than 0,
+  /// which the policy could mistake for "contention cleared".
+  TenantBuilder& telemetry(std::function<oltp::TxnEngine*()> engine,
+                           int64_t probe_window_ticks);
+
+  core::ArbiterTenantConfig Build() const;
+
+  // -- Engine binding (the non-arbiter half of tenant wiring) --
+
+  /// OLAP engine options bound to the cpuset the arbiter handed back.
+  static EngineOptions BoundEngineOptions(ThreadModel model, int pool_size,
+                                          const TaskGraphOptions& task_graph,
+                                          platform::CpusetId cpuset);
+
+  /// OLTP engine options bound to a tenant's cpuset, with the CC key space
+  /// grown to cover the configured workload (a YCSB key space or SmallBank
+  /// account range larger than the default table would otherwise fail the
+  /// client's size check).
+  static oltp::TxnEngineOptions BoundOltpEngineOptions(
+      const oltp::TxnEngineOptions& base, const oltp::OltpWorkload& workload,
+      platform::CpusetId cpuset);
+
+ private:
+  using Filler =
+      std::function<void(simcore::Tick, core::TelemetrySnapshot*)>;
+
+  std::string name_;
+  core::MechanismConfig mechanism_;
+  std::string mode_ = "adaptive";
+  double weight_ = 1.0;
+  double slo_p99_s_ = -1.0;
+
+  core::TelemetrySource raw_source_;
+  uint32_t caps_ = 0;
+  std::vector<Filler> fillers_;
+};
+
+}  // namespace elastic::exec
+
+#endif  // ELASTICORE_EXEC_TENANT_BUILDER_H_

@@ -1,0 +1,174 @@
+#include "oltp/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/check.h"
+
+namespace elastic::oltp {
+
+GkSketch::GkSketch(double epsilon) : epsilon_(epsilon) {
+  ELASTIC_CHECK(epsilon > 0.0 && epsilon < 0.5, "epsilon in (0, 0.5)");
+}
+
+int64_t GkSketch::MaxDelta() const {
+  return static_cast<int64_t>(2.0 * epsilon_ * static_cast<double>(n_));
+}
+
+void GkSketch::Insert(int64_t value) {
+  const auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, int64_t v) { return t.v < v; });
+  Tuple tuple{value, 1, 0};
+  // A new extreme pins the summary's min/max exactly (Δ = 0); an interior
+  // insert inherits the full uncertainty budget of its position.
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    tuple.delta = std::max<int64_t>(0, MaxDelta() - 1);
+  }
+  tuples_.insert(it, tuple);
+  n_++;
+  const auto period =
+      std::max<int64_t>(1, static_cast<int64_t>(1.0 / (2.0 * epsilon_)));
+  if (++inserts_since_compress_ >= period) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const int64_t max_delta = MaxDelta();
+  // Right-to-left greedy pass: absorb a tuple into its right neighbour
+  // while the merged tuple's rank uncertainty (g_left + g_right + Δ_right)
+  // stays within budget. The first tuple is never absorbed, so the summary
+  // always answers the exact minimum.
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  size_t i = tuples_.size() - 1;
+  Tuple current = tuples_[i];
+  while (i > 0) {
+    const Tuple& left = tuples_[i - 1];
+    if (i - 1 > 0 && left.g + current.g + current.delta <= max_delta) {
+      current.g += left.g;
+    } else {
+      out.push_back(current);
+      current = left;
+    }
+    --i;
+  }
+  out.push_back(current);
+  std::reverse(out.begin(), out.end());
+  tuples_ = std::move(out);
+}
+
+void GkSketch::Merge(const GkSketch& other) {
+  ELASTIC_CHECK(epsilon_ == other.epsilon_, "merging sketches of different epsilon");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    tuples_ = other.tuples_;
+    n_ = other.n_;
+    return;
+  }
+  // Interleave the two sorted summaries. A tuple keeps its own Δ plus the
+  // rank slack of the *next* tuple from the other summary (g + Δ - 1): the
+  // other stream's observations between this value and that next tuple are
+  // invisible to this tuple's rank bounds.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < tuples_.size() || j < other.tuples_.size()) {
+    const bool take_own =
+        j >= other.tuples_.size() ||
+        (i < tuples_.size() && tuples_[i].v <= other.tuples_[j].v);
+    Tuple t = take_own ? tuples_[i] : other.tuples_[j];
+    const std::vector<Tuple>& peers = take_own ? other.tuples_ : tuples_;
+    const size_t next_peer = take_own ? j : i;
+    if (next_peer < peers.size()) {
+      t.delta += peers[next_peer].g + peers[next_peer].delta - 1;
+    }
+    merged.push_back(t);
+    if (take_own) {
+      i++;
+    } else {
+      j++;
+    }
+  }
+  tuples_ = std::move(merged);
+  n_ += other.n_;
+  Compress();
+  inserts_since_compress_ = 0;
+}
+
+int64_t GkSketch::Quantile(double p) const {
+  if (n_ == 0 || p <= 0.0) return -1;
+  if (p > 1.0) p = 1.0;
+  // Nearest-rank target, matching LatencyRecorder::PercentileOf: rank
+  // ceil(p * n), 1-based.
+  const auto exact = static_cast<double>(n_) * p;
+  auto rank = static_cast<int64_t>(exact);
+  if (static_cast<double>(rank) < exact) rank++;  // ceil
+  if (rank < 1) rank = 1;
+  const double margin = epsilon_ * static_cast<double>(n_);
+  int64_t rmin = 0;
+  int64_t result = tuples_.front().v;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    if (static_cast<double>(rmin + t.delta) >
+        static_cast<double>(rank) + margin) {
+      break;
+    }
+    result = t.v;
+  }
+  return result;
+}
+
+int64_t GkSketch::EstimateRankAtMost(int64_t value) const {
+  int64_t rmin = 0;
+  int64_t last_delta = 0;
+  for (const Tuple& t : tuples_) {
+    if (t.v > value) break;
+    rmin += t.g;
+    last_delta = t.delta;
+  }
+  // Midpoint of the [rmin, rmin + Δ] bracket of the last covered tuple.
+  return std::min(n_, rmin + last_delta / 2);
+}
+
+WindowedQuantileSketch::WindowedQuantileSketch(double epsilon,
+                                               simcore::Tick window_ticks,
+                                               int num_buckets)
+    : epsilon_(epsilon), window_ticks_(window_ticks) {
+  ELASTIC_CHECK(window_ticks >= 1, "window >= 1 tick");
+  ELASTIC_CHECK(num_buckets >= 1, "at least one window bucket");
+  bucket_width_ = std::max<simcore::Tick>(
+      1, window_ticks / static_cast<simcore::Tick>(num_buckets));
+  ring_.resize(static_cast<size_t>(num_buckets) + 1);
+  for (Bucket& bucket : ring_) bucket.sketch = GkSketch(epsilon_);
+}
+
+void WindowedQuantileSketch::Insert(simcore::Tick completed, int64_t value) {
+  const int64_t id = BucketIdOf(completed);
+  Bucket& bucket = ring_[static_cast<size_t>(id) % ring_.size()];
+  if (bucket.id != id) {
+    bucket.id = id;
+    bucket.sketch = GkSketch(epsilon_);  // the slot's old epoch expired
+  }
+  bucket.sketch.Insert(value);
+}
+
+int64_t WindowedQuantileSketch::WindowQuantile(double p,
+                                               simcore::Tick now) const {
+  const int64_t newest = BucketIdOf(now);
+  const int64_t oldest =
+      BucketIdOf(std::max<simcore::Tick>(0, now - window_ticks_ + 1));
+  GkSketch merged(epsilon_);
+  for (const Bucket& bucket : ring_) {
+    if (bucket.id < oldest || bucket.id > newest) continue;
+    merged.Merge(bucket.sketch);
+  }
+  if (merged.count() == 0) return -1;
+  return merged.Quantile(p);
+}
+
+}  // namespace elastic::oltp

@@ -1,0 +1,115 @@
+#ifndef ELASTICORE_OLTP_QUANTILE_SKETCH_H_
+#define ELASTICORE_OLTP_QUANTILE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simcore/clock.h"
+
+namespace elastic::oltp {
+
+/// Greenwald–Khanna quantile sketch over int64 values (latency ticks).
+///
+/// The summary is a sorted list of tuples (v, g, Δ) where g is the number of
+/// observations the tuple covers and Δ bounds the uncertainty of its rank:
+/// rmin(i) = Σ_{j<=i} g_j and rmax(i) = rmin(i) + Δ_i bracket the true rank
+/// of v_i. Compression keeps g + Δ <= 2εn for every interior tuple, which
+/// yields the classic guarantee:
+///
+///   *rank error bound*: Quantile(p) returns a value whose true rank is
+///   within ε·n of the nearest-rank target ceil(p·n) — for a single
+///   unmerged stream. Merging sketches adds the components' absolute
+///   errors: merging k sketches built with the same ε over n_1..n_k
+///   observations bounds the error by ε·(n_1+...+n_k) plus one g-unit of
+///   interleave slack per boundary, so callers that merge (the windowed
+///   sketch) should budget ~2ε·n.
+///
+/// Space is O((1/ε)·log(εn)); with the default ε = 0.005 a million-sample
+/// stream keeps a few hundred tuples instead of a million samples.
+///
+/// Determinism: inserts, compression and merge are pure integer/O(1) float
+/// arithmetic with no randomization or iteration-order dependence — equal
+/// input sequences produce byte-identical summaries on every run.
+class GkSketch {
+ public:
+  static constexpr double kDefaultEpsilon = 0.005;
+
+  explicit GkSketch(double epsilon = kDefaultEpsilon);
+
+  void Insert(int64_t value);
+
+  /// Folds `other` into this sketch (tuple-interleave merge with adjusted
+  /// deltas; see the class comment for the merged error bound). Both
+  /// sketches must use the same ε.
+  void Merge(const GkSketch& other);
+
+  /// Nearest-rank quantile: the recorded value whose estimated rank is
+  /// closest below ceil(p·n) + ε·n. p in (0, 1]; -1 when empty (matching
+  /// LatencyRecorder's empty sentinel).
+  int64_t Quantile(double p) const;
+
+  /// Estimated number of observations <= value (±ε·n).
+  int64_t EstimateRankAtMost(int64_t value) const;
+
+  int64_t count() const { return n_; }
+  double epsilon() const { return epsilon_; }
+  /// Summary size — what the sketch trades the exact sample log for.
+  size_t tuple_count() const { return tuples_.size(); }
+
+ private:
+  struct Tuple {
+    int64_t v = 0;
+    int64_t g = 0;
+    int64_t delta = 0;
+  };
+
+  /// floor(2εn): the compression threshold and new-tuple delta budget.
+  int64_t MaxDelta() const;
+  void Compress();
+
+  std::vector<Tuple> tuples_;  // ascending v
+  int64_t n_ = 0;
+  int64_t inserts_since_compress_ = 0;
+  double epsilon_;
+};
+
+/// Sliding-window percentile estimation as a ring of time-bucketed GkSketch
+/// sub-sketches: inserts land in the bucket of their completion tick, a
+/// query merges the buckets overlapping (now - window, now]. This is what
+/// makes the GK summary (which cannot forget) usable for the arbiter's
+/// *recent*-tail probe. The window boundary is bucket-granular: a query may
+/// include up to one bucket width of samples older than the exact window —
+/// the price of O(buckets/ε) space instead of an unbounded sample log.
+class WindowedQuantileSketch {
+ public:
+  WindowedQuantileSketch(double epsilon, simcore::Tick window_ticks,
+                         int num_buckets = 8);
+
+  void Insert(simcore::Tick completed, int64_t value);
+
+  /// Nearest-rank quantile over completions in roughly (now - window, now]
+  /// (bucket-granular; see the class comment). -1 when the window is empty.
+  int64_t WindowQuantile(double p, simcore::Tick now) const;
+
+  simcore::Tick window_ticks() const { return window_ticks_; }
+
+ private:
+  struct Bucket {
+    int64_t id = -1;  // completion-time bucket index; -1 = never used
+    GkSketch sketch;
+  };
+
+  int64_t BucketIdOf(simcore::Tick t) const { return t / bucket_width_; }
+
+  double epsilon_;
+  simcore::Tick window_ticks_;
+  simcore::Tick bucket_width_;
+  /// num_buckets + 1 slots: the full window stays covered while the
+  /// youngest bucket fills.
+  std::vector<Bucket> ring_;
+};
+
+}  // namespace elastic::oltp
+
+#endif  // ELASTICORE_OLTP_QUANTILE_SKETCH_H_

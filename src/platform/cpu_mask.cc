@@ -7,15 +7,21 @@
 namespace elastic::platform {
 
 CpuMask CpuMask::FirstN(int n) {
-  ELASTIC_CHECK(n >= 0 && n <= 64, "mask supports up to 64 cores");
-  if (n == 64) return CpuMask(~uint64_t{0});
-  return CpuMask((uint64_t{1} << n) - 1);
+  ELASTIC_CHECK(n >= 0 && n <= kMaxCores, "mask supports up to kMaxCores");
+  CpuMask mask;
+  int w = 0;
+  while (n >= 64) {
+    mask.words_[static_cast<size_t>(w++)] = ~uint64_t{0};
+    n -= 64;
+  }
+  if (n > 0) mask.words_[static_cast<size_t>(w)] = (uint64_t{1} << n) - 1;
+  return mask;
 }
 
 CpuMask CpuMask::Of(const std::vector<numasim::CoreId>& cores) {
   CpuMask mask;
   for (numasim::CoreId c : cores) {
-    ELASTIC_CHECK(c >= 0 && c < 64, "core id out of mask range");
+    ELASTIC_CHECK(c >= 0 && c < kMaxCores, "core id out of mask range");
     mask.Set(c);
   }
   return mask;
@@ -35,12 +41,12 @@ std::optional<CpuMask> CpuMask::TryFromCpuList(const std::string& list) {
   while (*p != '\0') {
     char* end = nullptr;
     const long first = std::strtol(p, &end, 10);
-    if (end == p || first < 0 || first >= 64) return std::nullopt;
+    if (end == p || first < 0 || first >= kMaxCores) return std::nullopt;
     long last = first;
     p = end;
     if (*p == '-') {
       last = std::strtol(p + 1, &end, 10);
-      if (end == p + 1 || last < first || last >= 64) return std::nullopt;
+      if (end == p + 1 || last < first || last >= kMaxCores) return std::nullopt;
       p = end;
     }
     for (long c = first; c <= last; ++c) mask.Set(static_cast<int>(c));
@@ -58,18 +64,24 @@ CpuMask CpuMask::FromCpuList(const std::string& list) {
 
 std::vector<numasim::CoreId> CpuMask::ToCores() const {
   std::vector<numasim::CoreId> cores;
-  uint64_t bits = bits_;
-  while (bits != 0) {
-    const int c = __builtin_ctzll(bits);
-    cores.push_back(c);
-    bits &= bits - 1;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t bits = words_[w];
+    while (bits != 0) {
+      const int c = __builtin_ctzll(bits);
+      cores.push_back(static_cast<int>(w) * 64 + c);
+      bits &= bits - 1;
+    }
   }
   return cores;
 }
 
 numasim::CoreId CpuMask::First() const {
-  if (bits_ == 0) return numasim::kInvalidCore;
-  return __builtin_ctzll(bits_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w) * 64 + __builtin_ctzll(words_[w]);
+    }
+  }
+  return numasim::kInvalidCore;
 }
 
 std::string CpuMask::ToString() const {

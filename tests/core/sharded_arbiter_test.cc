@@ -1,0 +1,238 @@
+// Hierarchical arbitration: round-robin tenant placement into node-aligned
+// shard domains, machine-level rebalancing of free cores towards starved
+// shards, and the regression that a faulted tenant quarantines *inside its
+// shard* — per-shard stats and shard-namespaced trace events — while every
+// other shard stays untouched.
+
+#include "core/sharded_arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "platform/fault_injection_platform.h"
+#include "platform/synthetic_platform.h"
+
+namespace elastic::core {
+namespace {
+
+numasim::MachineConfig FourNodeMachine() {
+  numasim::MachineConfig config;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  return config;
+}
+
+ArbiterTenantConfig Tenant(const std::string& name, int initial_cores,
+                           int max_cores = -1) {
+  ArbiterTenantConfig config;
+  config.name = name;
+  config.mechanism.initial_cores = initial_cores;
+  config.mechanism.max_cores = max_cores;
+  return config;
+}
+
+ShardedArbiterConfig TwoShards() {
+  ShardedArbiterConfig config;
+  config.num_shards = 2;
+  config.arbiter.register_tick_hook = false;  // tests drive Poll themselves
+  config.arbiter.log_rounds = false;
+  return config;
+}
+
+/// Scripts per-tenant demand: every core idles at 5% (below thmin, and a
+/// non-zero floor so SyntheticPlatform's busy-core list never re-registers
+/// a core), each active tenant's current cores run at its listed load.
+void ScriptLoad(platform::SyntheticPlatform* platform,
+                const ShardedArbiter& arbiter,
+                const std::vector<double>& per_tenant) {
+  for (int core = 0; core < platform->topology().total_cores(); ++core) {
+    platform->SetCoreBusyFraction(core, 0.05);
+  }
+  for (int t = 0; t < arbiter.num_tenants(); ++t) {
+    if (!arbiter.tenant_active(t)) continue;
+    for (numasim::CoreId core : arbiter.tenant_mask(t).ToCores()) {
+      platform->SetCoreBusyFraction(core, per_tenant[static_cast<size_t>(t)]);
+    }
+  }
+}
+
+/// One coordinator round: script the loads, advance one monitoring period,
+/// poll (the coordinator picks the next shard itself).
+void LoadAndPoll(platform::SyntheticPlatform* platform,
+                 ShardedArbiter* arbiter,
+                 const std::vector<double>& per_tenant) {
+  ScriptLoad(platform, *arbiter, per_tenant);
+  platform->AdvanceTicks(20);
+  arbiter->Poll(platform->Now());
+}
+
+TEST(ShardedArbiterTest, RoundRobinAssignmentAndNodeAlignedDomains) {
+  platform::SyntheticPlatform platform(FourNodeMachine());
+  ShardedArbiter arbiter(&platform, TwoShards());
+  for (int i = 0; i < 8; ++i) {
+    arbiter.AddTenant(Tenant("t" + std::to_string(i), 1));
+  }
+  arbiter.Install();
+
+  // Deterministic round-robin: tenant i lands in shard i % 2, and local
+  // indices count up within each shard.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(arbiter.shard_of(i), i % 2) << "tenant " << i;
+    EXPECT_EQ(arbiter.local_index(i), i / 2) << "tenant " << i;
+  }
+  EXPECT_EQ(arbiter.shard(0).num_tenants(), 4);
+  EXPECT_EQ(arbiter.shard(1).num_tenants(), 4);
+
+  // Node-aligned carve: two disjoint 8-core domains covering the machine.
+  const platform::CpuMask d0 = arbiter.shard(0).domain();
+  const platform::CpuMask d1 = arbiter.shard(1).domain();
+  EXPECT_EQ(d0.Count(), 8);
+  EXPECT_EQ(d1.Count(), 8);
+  EXPECT_TRUE(d0.Intersect(d1).Empty());
+  EXPECT_EQ(d0.Union(d1).Count(),
+            platform::CpuMask::AllOf(platform.topology()).Count());
+
+  // Every tenant starts at its floor, confined to its shard's domain.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(arbiter.nalloc(i), 1);
+    EXPECT_TRUE(arbiter.tenant_mask(i).IsSubsetOf(
+        arbiter.shard(arbiter.shard_of(i)).domain()));
+  }
+}
+
+TEST(ShardedArbiterTest, SteadyLoadHoldsFloorsAndPerfectFairness) {
+  platform::SyntheticPlatform platform(FourNodeMachine());
+  ShardedArbiter arbiter(&platform, TwoShards());
+  for (int i = 0; i < 8; ++i) {
+    arbiter.AddTenant(Tenant("t" + std::to_string(i), 1));
+  }
+  arbiter.Install();
+
+  // 50% load sits inside the stable band: nobody grows, nobody shrinks
+  // below the floor, and symmetric tenants keep a perfect Jain index.
+  const std::vector<double> steady(8, 0.50);
+  for (int round = 0; round < 16; ++round) {
+    LoadAndPoll(&platform, &arbiter, steady);
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(arbiter.nalloc(i), 1) << "tenant " << i;
+  }
+  EXPECT_DOUBLE_EQ(arbiter.FairnessIndex(), 1.0);
+  const ArbiterStats stats = arbiter.AggregateStats();
+  EXPECT_EQ(stats.failed_installs, 0);
+  EXPECT_EQ(stats.quarantine_entries, 0);
+  EXPECT_EQ(stats.detached_tenants, 0);
+}
+
+TEST(ShardedArbiterTest, RebalanceMovesFreeCoresTowardStarvedShard) {
+  platform::SyntheticPlatform platform(FourNodeMachine());
+  ShardedArbiter arbiter(&platform, TwoShards());
+  // Shard 0 (tenants 0 and 2): hungry — grow far past the 8-core domain.
+  // Shard 1 (tenants 1 and 3): capped at one core each, leaving 6 cores of
+  // free-pool slack in its domain for the machine level to harvest.
+  arbiter.AddTenant(Tenant("hot-a", 3, /*max_cores=*/8));
+  arbiter.AddTenant(Tenant("cool-a", 1, /*max_cores=*/1));
+  arbiter.AddTenant(Tenant("hot-b", 3, /*max_cores=*/8));
+  arbiter.AddTenant(Tenant("cool-b", 1, /*max_cores=*/1));
+  arbiter.Install();
+  const int shard0_initial_domain = arbiter.shard(0).domain().Count();
+  ASSERT_EQ(shard0_initial_domain, 8);
+
+  // Hot tenants saturated (overload -> grow every round), cool tenants in
+  // the stable band (hold).
+  const std::vector<double> loads = {0.95, 0.30, 0.95, 0.30};
+  for (int round = 0; round < 40; ++round) {
+    LoadAndPoll(&platform, &arbiter, loads);
+  }
+
+  // The hot shard exhausted its domain, starved, and the rebalancer moved
+  // free cores over from the slack shard.
+  EXPECT_GT(arbiter.shard(0).starved_rounds(), 0);
+  EXPECT_GT(arbiter.rebalances(), 0);
+  EXPECT_GT(arbiter.cores_rebalanced(), 0);
+  EXPECT_GT(arbiter.shard(0).domain().Count(), shard0_initial_domain);
+  EXPECT_EQ(arbiter.shard(0).domain().Count() +
+                arbiter.shard(1).domain().Count(),
+            16);
+  EXPECT_TRUE(arbiter.shard(0)
+                  .domain()
+                  .Intersect(arbiter.shard(1).domain())
+                  .Empty());
+
+  // Floors and ownership invariants survive the domain reshaping.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(arbiter.nalloc(i), 1) << "tenant " << i;
+    EXPECT_TRUE(arbiter.tenant_mask(i).IsSubsetOf(
+        arbiter.shard(arbiter.shard_of(i)).domain()));
+  }
+  // The donor shard never gave away owned cores: its capped tenants still
+  // hold exactly one core each.
+  EXPECT_EQ(arbiter.nalloc(1), 1);
+  EXPECT_EQ(arbiter.nalloc(3), 1);
+}
+
+TEST(ShardedArbiterTest, FaultedTenantQuarantinesInsideItsShardOnly) {
+  platform::SyntheticPlatform synthetic(FourNodeMachine());
+  platform::FaultSchedule schedule;
+  // Tenant 0's cpuset (creation index 0 — cpusets are created in global
+  // AddTenant order) rejects every write, from Install() onwards.
+  platform::FaultRule rule;
+  rule.kind = platform::FaultKind::kCpusetWriteFail;
+  rule.from = 0;
+  rule.until = 1'000'000;
+  rule.target = 0;
+  schedule.rules.push_back(rule);
+  platform::FaultInjectionPlatform platform(&synthetic, schedule);
+
+  ShardedArbiterConfig config = TwoShards();
+  config.arbiter.quarantine_after_failures = 2;
+  config.arbiter.quarantine_probe_rounds = 3;
+  ShardedArbiter arbiter(&platform, config);
+  for (int i = 0; i < 4; ++i) {
+    arbiter.AddTenant(Tenant("t" + std::to_string(i), 1));
+  }
+  arbiter.Install();
+
+  const std::vector<double> steady(4, 0.50);
+  for (int round = 0; round < 30; ++round) {
+    LoadAndPoll(&synthetic, &arbiter, steady);
+  }
+
+  // The faulted tenant crossed the consecutive-failure threshold and only
+  // it is quarantined.
+  EXPECT_TRUE(arbiter.tenant_quarantined(0));
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_FALSE(arbiter.tenant_quarantined(i)) << "tenant " << i;
+    EXPECT_TRUE(arbiter.tenant_active(i));
+  }
+
+  // The health counters are namespaced per shard: the fault shows up in
+  // shard 0's ArbiterStats and nowhere else, and the machine-level
+  // aggregate is exactly the per-shard sum.
+  const ArbiterStats& s0 = arbiter.shard(0).stats();
+  const ArbiterStats& s1 = arbiter.shard(1).stats();
+  EXPECT_GT(s0.failed_installs, 0);
+  EXPECT_EQ(s0.quarantine_entries, 1);
+  EXPECT_GT(s0.quarantined_rounds, 0);
+  EXPECT_EQ(s1.failed_installs, 0);
+  EXPECT_EQ(s1.quarantine_entries, 0);
+  EXPECT_EQ(s1.quarantined_rounds, 0);
+  const ArbiterStats total = arbiter.AggregateStats();
+  EXPECT_EQ(total.failed_installs, s0.failed_installs);
+  EXPECT_EQ(total.quarantine_entries, 1);
+  EXPECT_EQ(total.quarantined_rounds, s0.quarantined_rounds);
+
+  // Trace events carry the owning shard's namespace — not the flat name,
+  // and not another shard's.
+  EXPECT_FALSE(
+      synthetic.trace()->EventsOfKind("shard0:arbiter_quarantine").empty());
+  EXPECT_TRUE(
+      synthetic.trace()->EventsOfKind("arbiter_quarantine").empty());
+  EXPECT_TRUE(
+      synthetic.trace()->EventsOfKind("shard1:arbiter_quarantine").empty());
+}
+
+}  // namespace
+}  // namespace elastic::core

@@ -1,0 +1,157 @@
+// The two burst-response extensions of the adaptive admission gate: the
+// leading arrival-rate-derivative signal (back off while a burst is still
+// ramping, before its latency echo arrives) and cross-tenant priority-aware
+// shedding through the ShedCoordinator (batch-class windows tighten before
+// paying-class windows do). Pure-controller tests — no machine behind them.
+
+#include "oltp/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace elastic::oltp {
+namespace {
+
+AdmissionConfig Adaptive(int priority_class = 0) {
+  AdmissionConfig config;
+  config.policy = AdmissionPolicy::kAdaptive;
+  config.target_tail_s = 0.100;
+  config.backoff_ratio = 0.7;  // back off past 70 ms
+  config.initial_window = 32;
+  config.min_window = 4;
+  config.max_window = 64;
+  config.additive_increase = 1;
+  config.multiplicative_decrease = 0.5;
+  config.update_period_ticks = 10;
+  config.priority_class = priority_class;
+  return config;
+}
+
+TEST(RateDerivativeTest, FlatArrivalRateAddsNoBoost) {
+  AdmissionConfig config = Adaptive();
+  config.derivative_gain = 2.0;
+  config.rate_window_ticks = 100;
+  double tail = -1.0;
+  AdmissionController controller(config,
+                                 [&tail](simcore::Tick) { return tail; });
+  // Warm up a steady once-per-period arrival history before the probe has
+  // a signal, then keep the rate flat with a sub-threshold tail: the two
+  // half-windows balance, the boost is 1, the window never moves.
+  for (simcore::Tick t = 0; t <= 90; t += 10) controller.Admit(t, 0);
+  tail = 0.055;  // below the 70 ms backoff threshold
+  controller.Admit(100, 0);
+  controller.Admit(110, 0);
+  // Two healthy updates: additive increase only, no boosted backoff.
+  EXPECT_EQ(controller.window(), 34);
+}
+
+TEST(RateDerivativeTest, ClosesWindowDuringRampBeforeTailCrosses) {
+  // Two controllers over the same sub-threshold tail and the same arrival
+  // schedule; only the gain differs. During the ramp the derivative-aware
+  // one backs off while the lagging-signal one still sees a healthy tail.
+  double tail = -1.0;
+  AdmissionConfig lagging = Adaptive();
+  AdmissionConfig leading = Adaptive();
+  leading.derivative_gain = 2.0;
+  leading.rate_window_ticks = 100;
+  AdmissionController without(lagging,
+                              [&tail](simcore::Tick) { return tail; });
+  AdmissionController with(leading, [&tail](simcore::Tick) { return tail; });
+
+  auto arrive = [&](simcore::Tick t) {
+    without.Admit(t, 0);
+    with.Admit(t, 0);
+  };
+  // Steady phase: one arrival per update period.
+  for (simcore::Tick t = 0; t <= 90; t += 10) arrive(t);
+  tail = 0.055;
+  arrive(100);
+  ASSERT_EQ(with.window(), 33);  // flat rate: no boost, additive increase
+
+  // Burst ramp: arrivals five times denser. The tail probe still reads
+  // 55 ms (the delayed transactions have not completed), but the rate
+  // derivative inflates the perceived tail past the threshold.
+  for (simcore::Tick t = 112; t <= 150; t += 2) arrive(t);
+  EXPECT_LT(with.window(), leading.initial_window);
+  EXPECT_GE(without.window(), lagging.initial_window);
+}
+
+TEST(ShedCoordinatorTest, BatchWindowTightensBeforePayingWindow) {
+  ShedCoordinator coordinator;
+  // Paying tenant's tail is blowing; the batch tenant is healthy.
+  AdmissionController paying(Adaptive(/*priority_class=*/0),
+                             [](simcore::Tick) { return 0.090; });
+  // The batch probe has no signal of its own (no signal = hold): its
+  // window moves only when the coordinator raids it.
+  AdmissionController batch(Adaptive(/*priority_class=*/1),
+                            [](simcore::Tick) { return -1.0; });
+  coordinator.Register(&paying);
+  coordinator.Register(&batch);
+  paying.set_coordinator(&coordinator);
+
+  // Each paying-class AIMD update defers its decrease onto the batch
+  // window: batch halves, paying holds.
+  paying.Admit(10, 0);
+  EXPECT_EQ(paying.window(), 32);
+  EXPECT_EQ(batch.window(), 16);
+  paying.Admit(20, 0);
+  paying.Admit(30, 0);
+  EXPECT_EQ(paying.window(), 32);
+  EXPECT_EQ(batch.window(), 4);
+
+  // The shed order this buys: at the same in-flight depth the batch gate
+  // refuses while the paying gate still admits.
+  EXPECT_FALSE(batch.Admit(35, /*in_flight=*/10));
+  EXPECT_TRUE(paying.Admit(36, /*in_flight=*/10));
+
+  // Batch is at its floor — nothing left to raid — so the next decrease
+  // lands on the paying window itself.
+  paying.Admit(50, 0);
+  EXPECT_EQ(paying.window(), 16);
+  EXPECT_EQ(batch.window(), 4);
+}
+
+TEST(ShedCoordinatorTest, OnlyStrictlyLowerPriorityIsRaided) {
+  ShedCoordinator coordinator;
+  // The requester is itself batch-class; its peers are another batch
+  // tenant of the same class and a paying tenant. Neither may absorb the
+  // decrease — same class is not raided, and paying is *higher* priority.
+  AdmissionController requester(Adaptive(/*priority_class=*/1),
+                                [](simcore::Tick) { return 0.090; });
+  AdmissionController peer(Adaptive(/*priority_class=*/1),
+                           [](simcore::Tick) { return 0.010; });
+  AdmissionController paying(Adaptive(/*priority_class=*/0),
+                             [](simcore::Tick) { return 0.010; });
+  coordinator.Register(&requester);
+  coordinator.Register(&peer);
+  coordinator.Register(&paying);
+  requester.set_coordinator(&coordinator);
+
+  requester.Admit(10, 0);
+  EXPECT_EQ(requester.window(), 16);  // backed off itself
+  EXPECT_EQ(peer.window(), 32);
+  EXPECT_EQ(paying.window(), 32);
+}
+
+TEST(ShedCoordinatorTest, ForceBackoffIsANoOpOffTheAdaptivePolicy) {
+  // A queue-depth batch tenant has no AIMD window to tighten: ForceBackoff
+  // must not touch it, and it cannot absorb a paying-class decrease.
+  AdmissionConfig depth;
+  depth.policy = AdmissionPolicy::kQueueDepth;
+  depth.max_in_flight = 8;
+  depth.priority_class = 1;
+  AdmissionController batch(depth, nullptr);
+  batch.ForceBackoff();
+  EXPECT_TRUE(batch.Admit(0, 7));  // threshold unchanged
+
+  ShedCoordinator coordinator;
+  AdmissionController paying(Adaptive(/*priority_class=*/0),
+                             [](simcore::Tick) { return 0.090; });
+  coordinator.Register(&paying);
+  coordinator.Register(&batch);
+  paying.set_coordinator(&coordinator);
+  paying.Admit(10, 0);
+  EXPECT_EQ(paying.window(), 16);  // nobody absorbed it
+}
+
+}  // namespace
+}  // namespace elastic::oltp

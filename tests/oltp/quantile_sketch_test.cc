@@ -1,0 +1,272 @@
+// Property tests for the Greenwald–Khanna quantile sketch behind
+// LatencyRecorder's sketch backend: the documented rank-error bound against
+// exact nearest-rank percentiles on seeded uniform and Zipfian streams,
+// merge associativity within the merged error budget, bit-level determinism
+// across runs, and the end-to-end regression that slo_aware arbitration
+// decisions on sketch-p99 match the exact-p99 decisions on the two-tenant
+// HTAP trace.
+
+#include "oltp/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "db/queries.h"
+#include "exec/htap_experiment.h"
+#include "tests/db/test_db.h"
+
+namespace elastic::oltp {
+namespace {
+
+/// Exact nearest-rank percentile (the LatencyRecorder convention:
+/// rank = ceil(p * n), 1-based).
+int64_t ExactQuantile(std::vector<int64_t> values, double p) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  return values[std::max<size_t>(rank, 1) - 1];
+}
+
+/// True rank (1-based, count of values <= v) of `v` in the stream.
+int64_t RankOf(const std::vector<int64_t>& sorted, int64_t v) {
+  return std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin();
+}
+
+std::vector<int64_t> UniformStream(uint64_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(1, 1'000'000);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(dist(rng));
+  return values;
+}
+
+/// Heavy-tailed stream via inverse-CDF power law — the latency-like shape
+/// where a sketch's rank guarantee actually gets exercised at p99.
+std::vector<int64_t> ZipfianStream(uint64_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(1e-6, 1.0);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<int64_t>(10.0 / std::pow(dist(rng), 0.7)));
+  }
+  return values;
+}
+
+void ExpectRankErrorWithin(const std::vector<int64_t>& stream, double epsilon,
+                           double budget_fraction) {
+  GkSketch sketch(epsilon);
+  for (int64_t v : stream) sketch.Insert(v);
+  std::vector<int64_t> sorted = stream;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(stream.size());
+  for (double p : {0.50, 0.90, 0.95, 0.99}) {
+    const int64_t estimate = sketch.Quantile(p);
+    const double target_rank = std::ceil(p * n);
+    const double rank = static_cast<double>(RankOf(sorted, estimate));
+    // The value exists with rank within budget_fraction * n of the target.
+    // (RankOf returns the highest rank of a duplicated value, so allow the
+    // duplicate span on the high side by checking the lower bound too.)
+    const double lo = static_cast<double>(
+        std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+        sorted.begin() + 1);
+    EXPECT_LE(lo - budget_fraction * n, target_rank)
+        << "p=" << p << " estimate=" << estimate;
+    EXPECT_GE(rank + budget_fraction * n, target_rank)
+        << "p=" << p << " estimate=" << estimate;
+  }
+}
+
+TEST(GkSketchTest, RankErrorBoundOnUniformStream) {
+  ExpectRankErrorWithin(UniformStream(/*seed=*/7, 50'000),
+                        GkSketch::kDefaultEpsilon,
+                        GkSketch::kDefaultEpsilon);
+}
+
+TEST(GkSketchTest, RankErrorBoundOnZipfianStream) {
+  ExpectRankErrorWithin(ZipfianStream(/*seed=*/11, 50'000),
+                        GkSketch::kDefaultEpsilon,
+                        GkSketch::kDefaultEpsilon);
+}
+
+TEST(GkSketchTest, AgreesWithExactOnSmallStreams) {
+  // Below 1/(2 epsilon) observations nothing compresses, so the sketch
+  // must reproduce the exact nearest-rank answer bit for bit.
+  const std::vector<int64_t> stream = UniformStream(/*seed=*/3, 80);
+  GkSketch sketch(GkSketch::kDefaultEpsilon);
+  for (int64_t v : stream) sketch.Insert(v);
+  for (double p : {0.01, 0.25, 0.50, 0.90, 0.99, 1.0}) {
+    EXPECT_EQ(sketch.Quantile(p), ExactQuantile(stream, p)) << "p=" << p;
+  }
+}
+
+TEST(GkSketchTest, MergeStaysWithinMergedErrorBudget) {
+  const std::vector<int64_t> a = ZipfianStream(21, 20'000);
+  const std::vector<int64_t> b = UniformStream(22, 15'000);
+  const std::vector<int64_t> c = ZipfianStream(23, 5'000);
+
+  GkSketch sa(GkSketch::kDefaultEpsilon);
+  GkSketch sb(GkSketch::kDefaultEpsilon);
+  GkSketch sc(GkSketch::kDefaultEpsilon);
+  for (int64_t v : a) sa.Insert(v);
+  for (int64_t v : b) sb.Insert(v);
+  for (int64_t v : c) sc.Insert(v);
+
+  std::vector<int64_t> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  all.insert(all.end(), c.begin(), c.end());
+  std::vector<int64_t> sorted = all;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(all.size());
+
+  // Merge in both association orders: (a + b) + c and a + (b + c).
+  GkSketch left = sa;
+  left.Merge(sb);
+  left.Merge(sc);
+  GkSketch bc = sb;
+  bc.Merge(sc);
+  GkSketch right = sa;
+  right.Merge(bc);
+
+  ASSERT_EQ(left.count(), static_cast<int64_t>(all.size()));
+  ASSERT_EQ(right.count(), static_cast<int64_t>(all.size()));
+  for (double p : {0.50, 0.90, 0.99}) {
+    const double target_rank = std::ceil(p * n);
+    // Both association orders answer within the documented ~2 epsilon n
+    // merged budget of the exact rank.
+    for (const GkSketch* merged : {&left, &right}) {
+      const int64_t estimate = merged->Quantile(p);
+      const double hi = static_cast<double>(RankOf(sorted, estimate));
+      const double lo = static_cast<double>(
+          std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+          sorted.begin() + 1);
+      const double budget = 2.0 * GkSketch::kDefaultEpsilon * n;
+      EXPECT_LE(lo - budget, target_rank) << "p=" << p;
+      EXPECT_GE(hi + budget, target_rank) << "p=" << p;
+    }
+  }
+}
+
+TEST(GkSketchTest, DeterministicAcrossRuns) {
+  const std::vector<int64_t> stream = ZipfianStream(/*seed=*/5, 30'000);
+  auto build = [&stream]() {
+    GkSketch sketch(GkSketch::kDefaultEpsilon);
+    for (int64_t v : stream) sketch.Insert(v);
+    return sketch;
+  };
+  const GkSketch first = build();
+  const GkSketch second = build();
+  ASSERT_EQ(first.tuple_count(), second.tuple_count());
+  ASSERT_EQ(first.count(), second.count());
+  for (int i = 1; i <= 100; ++i) {
+    const double p = static_cast<double>(i) / 100.0;
+    EXPECT_EQ(first.Quantile(p), second.Quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(GkSketchTest, EstimateRankAtMostTracksExactCounts) {
+  const std::vector<int64_t> stream = UniformStream(/*seed=*/17, 20'000);
+  GkSketch sketch(GkSketch::kDefaultEpsilon);
+  for (int64_t v : stream) sketch.Insert(v);
+  std::vector<int64_t> sorted = stream;
+  std::sort(sorted.begin(), sorted.end());
+  // The estimate is the midpoint of a tuple's [rmin, rmin + delta] bracket;
+  // the bracket itself is bounded by the g + delta <= 2 epsilon n
+  // compression invariant, so a point-rank query budgets 2 epsilon n.
+  const double budget =
+      2.0 * GkSketch::kDefaultEpsilon * static_cast<double>(stream.size());
+  for (int64_t probe : {1'000, 250'000, 500'000, 900'000}) {
+    const auto exact = static_cast<double>(RankOf(sorted, probe));
+    const auto estimate = static_cast<double>(sketch.EstimateRankAtMost(probe));
+    EXPECT_NEAR(estimate, exact, budget + 1.0) << "probe=" << probe;
+  }
+}
+
+TEST(GkSketchTest, SummaryStaysCompact) {
+  GkSketch sketch(GkSketch::kDefaultEpsilon);
+  for (int64_t v : ZipfianStream(/*seed=*/29, 200'000)) sketch.Insert(v);
+  // O((1/eps) log(eps n)): a 200k stream must keep thousands of times fewer
+  // tuples than samples. The bound here is deliberately loose — the point
+  // is the asymptotic class, not the constant.
+  EXPECT_LT(sketch.tuple_count(), 2'000u);
+}
+
+TEST(WindowedQuantileSketchTest, OldSamplesAgeOut) {
+  WindowedQuantileSketch sketch(GkSketch::kDefaultEpsilon,
+                                /*window_ticks=*/400, /*num_buckets=*/8);
+  // A burst of slow completions early: queried during the burst, the
+  // window reports the slow tail.
+  for (simcore::Tick t = 0; t < 100; ++t) sketch.Insert(t, 1'000);
+  EXPECT_EQ(sketch.WindowQuantile(0.99, /*now=*/99), 1'000);
+  // Fast completions later: the slow burst has aged out of the window
+  // (its ring buckets are reused), only the fast samples remain.
+  for (simcore::Tick t = 600; t < 1'000; ++t) sketch.Insert(t, 10);
+  EXPECT_EQ(sketch.WindowQuantile(0.99, /*now=*/999), 10);
+}
+
+TEST(WindowedQuantileSketchTest, EmptyWindowReturnsSentinel) {
+  WindowedQuantileSketch sketch(GkSketch::kDefaultEpsilon, 400, 8);
+  EXPECT_EQ(sketch.WindowQuantile(0.99, 0), -1);
+  sketch.Insert(10, 50);
+  EXPECT_EQ(sketch.WindowQuantile(0.99, 10), 50);
+  // Far past the window the sample has aged out again.
+  EXPECT_EQ(sketch.WindowQuantile(0.99, 10'000), -1);
+}
+
+/// The regression the sketch backend must pass before it may stand in for
+/// the exact recorder: on the two-tenant HTAP scenario, slo_aware
+/// arbitration driven by sketch-p99 makes the same core-allocation
+/// decisions as arbitration driven by exact-p99.
+TEST(SketchParityTest, SloAwareDecisionsMatchExactOnHtapTrace) {
+  auto run = [](bool sketch) {
+    exec::HtapOltpTenant oltp;
+    oltp.mechanism.initial_cores = 2;
+    oltp.slo_p99_s = 0.050;
+    oltp.sketch_latency = sketch;
+    oltp.engine.num_partitions = 8;
+    oltp.engine.pool_size = 4;
+    oltp.engine.cpu_cycles_per_page = 3'000'000;
+    oltp.workload.total_txns = 300;
+    oltp.workload.arrival_interval_ticks = 3;
+
+    exec::HtapOlapTenant olap;
+    olap.mechanism.initial_cores = 2;
+    olap.workload.mode = exec::WorkloadMode::kFixedQuery;
+    static const db::PlanTrace* kTrace = new db::PlanTrace(
+        db::RunTpchQuery(testutil::TestDb(), 6).trace);
+    olap.workload.traces = {kTrace};
+    olap.workload.queries_per_client = 4;
+    olap.num_clients = 4;
+
+    exec::HtapOptions options;
+    options.policy = core::ArbitrationPolicy::kSloAware;
+    options.seed = 99;
+    exec::HtapExperiment experiment(&testutil::TestDb(), options, oltp, olap);
+    experiment.Start();
+    experiment.RunUntilDone(1'000'000);
+
+    // The decision trajectory: OLTP core count after every arbitration
+    // round, plus the final completion accounting.
+    std::vector<int> cores;
+    for (const core::ArbiterRound& round : experiment.arbiter()->log()) {
+      cores.push_back(round.tenants[0].granted);
+    }
+    return std::make_tuple(cores, experiment.oltp_client().completed(),
+                           experiment.oltp_finished_tick());
+  };
+  const auto exact = run(/*sketch=*/false);
+  const auto sketched = run(/*sketch=*/true);
+  EXPECT_EQ(std::get<0>(exact), std::get<0>(sketched));
+  EXPECT_EQ(std::get<1>(exact), std::get<1>(sketched));
+  EXPECT_EQ(std::get<2>(exact), std::get<2>(sketched));
+}
+
+}  // namespace
+}  // namespace elastic::oltp

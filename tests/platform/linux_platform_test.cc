@@ -42,11 +42,15 @@ TEST(CpuListTest, TryFromCpuListRejectsMalformedInput) {
   // The fallible parser turns corrupt sysfs/cgroupfs content into nullopt
   // instead of aborting the daemon.
   for (const std::string& bad :
-       {"x", "0-", "-3", "3-1", "0;2", "64", "0-64", "1,,2", "0-1-2"}) {
+       {"x", "0-", "-3", "3-1", "0;2", "1024", "0-1024", "1,,2", "0-1-2"}) {
     EXPECT_FALSE(CpuMask::TryFromCpuList(bad).has_value()) << bad;
   }
   ASSERT_TRUE(CpuMask::TryFromCpuList("0-1,63").has_value());
   EXPECT_EQ(*CpuMask::TryFromCpuList("0-1,63"), CpuMask::Of({0, 1, 63}));
+  // Cores past the historical 64-core bound parse since the mask widened.
+  ASSERT_TRUE(CpuMask::TryFromCpuList("64,100-102,1023").has_value());
+  EXPECT_EQ(*CpuMask::TryFromCpuList("64,100-102,1023"),
+            CpuMask::Of({64, 100, 101, 102, 1023}));
 }
 
 TEST(LinuxPlatformTest, TopologyOverrideSkipsDiscovery) {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/arbiter.h"
+#include "exec/tenant_builder.h"
 #include "platform/fault_injection_platform.h"
 #include "platform/linux_platform.h"
 
@@ -236,13 +237,14 @@ int main(int argc, char** argv) {
   arbiter_config.monitor_period_ticks = 1;
   core::CoreArbiter arbiter(arbiter_platform, arbiter_config);
   for (const TenantFlag& tenant : tenants) {
-    core::ArbiterTenantConfig config;
-    config.name = tenant.name;
-    config.mode = tenant.mode;
-    config.weight = tenant.weight;
-    config.mechanism.initial_cores = tenant.initial;
-    config.mechanism.max_cores = tenant.max;
-    arbiter.AddTenant(config);
+    core::MechanismConfig mechanism;
+    mechanism.initial_cores = tenant.initial;
+    mechanism.max_cores = tenant.max;
+    arbiter.AddTenant(exec::TenantBuilder(tenant.name)
+                          .mechanism(mechanism)
+                          .mode(tenant.mode)
+                          .weight(tenant.weight)
+                          .Build());
   }
   arbiter.Install();
   for (size_t i = 0; i < tenants.size(); ++i) {
