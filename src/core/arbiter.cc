@@ -104,53 +104,11 @@ bool CoreArbiter::TryResizeDomain(const platform::CpuMask& new_domain) {
   return true;
 }
 
-/// Deprecated-probe shim: folds whichever of the four legacy callbacks are
-/// set into one TelemetrySource. Removed together with the probe fields.
-namespace {
-TelemetrySource SynthesizeLegacyTelemetry(const ArbiterTenantConfig& config,
-                                          uint32_t* caps) {
-  const auto tail = config.tail_latency_probe;
-  const auto shed = config.shed_rate_probe;
-  const auto abort_fraction = config.abort_fraction_probe;
-  const auto goodput = config.goodput_probe;
-  *caps = 0;
-  if (tail) *caps |= TelemetrySnapshot::kTail;
-  if (shed) *caps |= TelemetrySnapshot::kShed;
-  if (abort_fraction) *caps |= TelemetrySnapshot::kAbort;
-  if (goodput) *caps |= TelemetrySnapshot::kGoodput;
-  if (*caps == 0) return TelemetrySource();
-  return [tail, shed, abort_fraction, goodput](simcore::Tick now) {
-    TelemetrySnapshot snap;
-    if (tail) {
-      snap.p99_s = tail(now);
-      snap.valid_mask |= TelemetrySnapshot::kTail;
-    }
-    if (shed) {
-      snap.shed_rate = shed(now);
-      snap.valid_mask |= TelemetrySnapshot::kShed;
-    }
-    if (abort_fraction) {
-      snap.abort_fraction = abort_fraction(now);
-      snap.valid_mask |= TelemetrySnapshot::kAbort;
-    }
-    if (goodput) {
-      snap.goodput = goodput(now);
-      snap.valid_mask |= TelemetrySnapshot::kGoodput;
-    }
-    return snap;
-  };
-}
-}  // namespace
-
 int CoreArbiter::AddTenant(const ArbiterTenantConfig& config) {
   ELASTIC_CHECK(!installed_, "AddTenant after Install");
   ELASTIC_CHECK(config.weight > 0.0, "tenant weight must be positive");
   Tenant tenant;
   tenant.config = config;
-  if (!tenant.config.telemetry) {
-    tenant.config.telemetry = SynthesizeLegacyTelemetry(
-        config, &tenant.config.telemetry_caps);
-  }
   tenant.mechanism = std::make_unique<ElasticMechanism>(
       platform_, MakeMode(config.mode, &platform_->topology()),
       config.mechanism);
@@ -204,7 +162,17 @@ numasim::CoreId CoreArbiter::PickCoreFor(const Tenant& tenant,
       if (tenant.mask.Has(core)) own++;
       if (pool.Has(core)) free++;
     }
-    queue.SetScore(node, own * weight + free);
+    double score = own * weight + free;
+    if (config_.numa_affinity_weight > 0.0 &&
+        node < static_cast<numasim::NodeId>(tenant.mem_fraction.size())) {
+      // Island-affinity term: a node holding the tenant's whole resident
+      // set scores like numa_affinity_weight already-owned cores, so fresh
+      // grants land where the pages are instead of wherever the free pool
+      // happens to start.
+      score += config_.numa_affinity_weight * weight *
+               tenant.mem_fraction[static_cast<size_t>(node)];
+    }
+    queue.SetScore(node, score);
   }
   for (numasim::NodeId node : queue.ByPriorityDescending()) {
     for (numasim::CoreId core : topo.CoresOfNode(node)) {
@@ -263,9 +231,12 @@ std::vector<TelemetrySnapshot> CoreArbiter::CollectTelemetry(
     simcore::Tick now) const {
   std::vector<TelemetrySnapshot> snapshots(
       static_cast<size_t>(num_tenants()));
+  // Static policies never pull telemetry — unless the island-affinity term
+  // is armed, which needs the kMemory signal regardless of policy.
   if (config_.policy != ArbitrationPolicy::kSloAware &&
-      config_.policy != ArbitrationPolicy::kContentionAware) {
-    return snapshots;  // static policies never pull telemetry
+      config_.policy != ArbitrationPolicy::kContentionAware &&
+      config_.numa_affinity_weight <= 0.0) {
+    return snapshots;
   }
   for (int i = 0; i < num_tenants(); ++i) {
     const Tenant& tenant = tenants_[static_cast<size_t>(i)];
@@ -276,6 +247,45 @@ std::vector<TelemetrySnapshot> CoreArbiter::CollectTelemetry(
     snap.Sanitize();
   }
   return snapshots;
+}
+
+void CoreArbiter::UpdateMemoryResidency(
+    const std::vector<TelemetrySnapshot>& snapshots) {
+  if (config_.numa_affinity_weight <= 0.0) return;
+  const int num_nodes = platform_->topology().num_nodes();
+  for (int i = 0; i < num_tenants(); ++i) {
+    Tenant& tenant = tenants_[static_cast<size_t>(i)];
+    const TelemetrySnapshot& snap = snapshots[static_cast<size_t>(i)];
+    if (!tenant.active || !snap.has(TelemetrySnapshot::kMemory)) continue;
+    // A residency vector that does not match the machine is garbage — keep
+    // the last good reading rather than steering on it.
+    if (static_cast<int>(snap.resident_pages_per_node.size()) != num_nodes) {
+      continue;
+    }
+    int64_t total = 0;
+    for (const int64_t pages : snap.resident_pages_per_node) total += pages;
+    if (total <= 0) continue;  // nothing resident yet: no preference
+    tenant.mem_fraction.assign(static_cast<size_t>(num_nodes), 0.0);
+    for (int node = 0; node < num_nodes; ++node) {
+      tenant.mem_fraction[static_cast<size_t>(node)] =
+          static_cast<double>(
+              snap.resident_pages_per_node[static_cast<size_t>(node)]) /
+          static_cast<double>(total);
+    }
+  }
+}
+
+double CoreArbiter::MemAffinity(const Tenant& tenant,
+                                numasim::CoreId core) const {
+  if (config_.numa_affinity_weight <= 0.0 || tenant.mem_fraction.empty()) {
+    return 0.0;
+  }
+  const numasim::NodeId node = platform_->topology().NodeOfCore(core);
+  if (node < 0 ||
+      node >= static_cast<numasim::NodeId>(tenant.mem_fraction.size())) {
+    return 0.0;
+  }
+  return tenant.mem_fraction[static_cast<size_t>(node)];
 }
 
 std::vector<double> CoreArbiter::ShedRates(
@@ -614,6 +624,7 @@ void CoreArbiter::Poll(simcore::Tick now) {
   // telemetry of the round is pulled here, once per tenant, through the
   // unified snapshot; the per-signal views below are read from it.
   const std::vector<TelemetrySnapshot> snapshots = CollectTelemetry(now);
+  UpdateMemoryResidency(snapshots);
   const std::vector<double> shed_rates = ShedRates(snapshots);
   const std::vector<double> slo_ratios = SloRatios(snapshots, shed_rates);
   const std::vector<double> abort_fractions = ContentionFractions(snapshots);
@@ -679,11 +690,38 @@ void CoreArbiter::Poll(simcore::Tick now) {
       growers.push_back(i);
     }
   }
+  platform::CpuMask pool = FreePool();
+  // Island-affinity bonus on the grant ordering: the locality a tenant can
+  // realize from the current pool (the largest resident-page share among
+  // nodes with a free core). Identically 0.0 at affinity weight 0, so the
+  // legacy deficit ordering is reproduced exactly.
+  auto pool_affinity = [&](const Tenant& tenant) {
+    if (config_.numa_affinity_weight <= 0.0 || tenant.mem_fraction.empty()) {
+      return 0.0;
+    }
+    const numasim::Topology& topo = platform_->topology();
+    double best = 0.0;
+    for (numasim::NodeId node = 0; node < topo.num_nodes(); ++node) {
+      if (node >= static_cast<numasim::NodeId>(tenant.mem_fraction.size())) {
+        break;
+      }
+      for (numasim::CoreId core : topo.CoresOfNode(node)) {
+        if (pool.Has(core)) {
+          best = std::max(best,
+                          tenant.mem_fraction[static_cast<size_t>(node)]);
+          break;
+        }
+      }
+    }
+    return config_.numa_affinity_weight * best;
+  };
   std::sort(growers.begin(), growers.end(), [&](int a, int b) {
     const double da = entitlements[static_cast<size_t>(a)] -
-                      tenants_[static_cast<size_t>(a)].mask.Count();
+                      tenants_[static_cast<size_t>(a)].mask.Count() +
+                      pool_affinity(tenants_[static_cast<size_t>(a)]);
     const double db = entitlements[static_cast<size_t>(b)] -
-                      tenants_[static_cast<size_t>(b)].mask.Count();
+                      tenants_[static_cast<size_t>(b)].mask.Count() +
+                      pool_affinity(tenants_[static_cast<size_t>(b)]);
     if (da != db) return da > db;
     const int na = tenants_[static_cast<size_t>(a)].mask.Count();
     const int nb = tenants_[static_cast<size_t>(b)].mask.Count();
@@ -691,7 +729,6 @@ void CoreArbiter::Poll(simcore::Tick now) {
     return a < b;
   });
 
-  platform::CpuMask pool = FreePool();
   std::vector<int> unmet;
   for (int grower : growers) {
     Tenant& tenant = tenants_[static_cast<size_t>(grower)];
@@ -747,7 +784,23 @@ void CoreArbiter::Poll(simcore::Tick now) {
       }
       const int held = candidate.mask.Count();
       if (held <= std::max(1, candidate.config.mechanism.initial_cores)) continue;
-      const double excess = held - entitlements[static_cast<size_t>(v)];
+      double excess = held - entitlements[static_cast<size_t>(v)];
+      // Cross-island migration penalty: preempting a core on a node that
+      // holds none of the grower's pages must clear numa_affinity_weight
+      // extra excess — moving onto a remote island trades arbitration
+      // fairness for remote-DRAM latency, so it has to be clearly worth it.
+      // NextToRelease is a pure query here; the actual release below asks
+      // the same mode again.
+      if (config_.numa_affinity_weight > 0.0 &&
+          !tenants_[static_cast<size_t>(grower)].mem_fraction.empty()) {
+        const numasim::CoreId released =
+            candidate.mechanism->mode().NextToRelease(candidate.mask);
+        if (released != numasim::kInvalidCore) {
+          const double affinity =
+              MemAffinity(tenants_[static_cast<size_t>(grower)], released);
+          excess -= config_.numa_affinity_weight * (1.0 - affinity);
+        }
+      }
       if (excess <= 0.0) continue;
       if (victim < 0 || excess > worst_excess) {
         victim = v;

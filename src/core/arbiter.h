@@ -99,21 +99,6 @@ struct ArbiterTenantConfig {
   /// and classifies best-effort tenants from this mask without invoking the
   /// source; a round's valid_mask is intersected with it.
   uint32_t telemetry_caps = 0;
-
-  // -- Deprecated probe shim. The four per-signal callbacks below collapsed
-  // into `telemetry`; when `telemetry` is empty, AddTenant synthesises a
-  // TelemetrySource (and telemetry_caps) from whichever probes are set, so
-  // out-of-tree callers keep compiling for one more release. New code wires
-  // exec::TenantBuilder / a TelemetrySource directly. --
-
-  /// Deprecated: fold into `telemetry` (TelemetrySnapshot::p99_s).
-  std::function<double(simcore::Tick now)> tail_latency_probe;
-  /// Deprecated: fold into `telemetry` (TelemetrySnapshot::shed_rate).
-  std::function<double(simcore::Tick now)> shed_rate_probe;
-  /// Deprecated: fold into `telemetry` (TelemetrySnapshot::abort_fraction).
-  std::function<double(simcore::Tick now)> abort_fraction_probe;
-  /// Deprecated: fold into `telemetry` (TelemetrySnapshot::goodput).
-  std::function<double(simcore::Tick now)> goodput_probe;
 };
 
 struct ArbiterConfig {
@@ -176,6 +161,19 @@ struct ArbiterConfig {
   /// Relative goodput drop below which a move is judged harmless (noise
   /// band of the accept/revert decision).
   double contention_goodput_tolerance = 0.05;
+
+  // -- Island-affinity term (NUMA memory as an arbitrated resource). --
+
+  /// Strength of the memory-affinity steer, in units of "owned cores": in
+  /// the handout score a node holding the tenant's whole resident set
+  /// counts like this many already-owned cores, and a preemption must
+  /// clear this much extra excess to take a core on a node holding none of
+  /// the grower's pages (the cross-island migration penalty). Tenants feed
+  /// the signal through kMemory telemetry (remote-access fraction +
+  /// per-node residency). 0 — the default — disables the term entirely:
+  /// no telemetry is pulled for it and every trace reproduces the
+  /// affinity-oblivious arbiter byte-identically.
+  double numa_affinity_weight = 0.0;
 };
 
 /// Control-plane health counters (all monotonic). stale/held/quarantined
@@ -363,6 +361,12 @@ class CoreArbiter {
     /// (the direction was tried and cost goodput).
     int hc_shrink_block = 0;
     int hc_grow_block = 0;
+
+    /// Share of the tenant's resident pages per NUMA node (sums to 1 when
+    /// any page is resident), cached from the last kMemory snapshot. Empty
+    /// until memory telemetry reports — the affinity term then adds
+    /// nothing, like weight 0.
+    std::vector<double> mem_fraction;
   };
 
   /// A frozen tenant's mask must not change: its cpuset is quarantined or
@@ -385,11 +389,22 @@ class CoreArbiter {
       const std::vector<double>& slo_ratios) const;
 
   /// Evaluates every active tenant's TelemetrySource once for this round
-  /// (only under the feedback policies — kSloAware / kContentionAware; the
-  /// static policies never pull telemetry). Each snapshot's valid_mask is
-  /// intersected with the tenant's declared caps and sanitised (NaN/inf
-  /// readings drop their valid bit — the centralised plausibility check).
+  /// (only under the feedback policies — kSloAware / kContentionAware — or
+  /// when the island-affinity term needs the kMemory signal; the static
+  /// policies at affinity weight 0 never pull telemetry). Each snapshot's
+  /// valid_mask is intersected with the tenant's declared caps and
+  /// sanitised (NaN/inf readings drop their valid bit — the centralised
+  /// plausibility check).
   std::vector<TelemetrySnapshot> CollectTelemetry(simcore::Tick now) const;
+
+  /// Caches each tenant's per-node resident-page share from this round's
+  /// kMemory snapshots (Tenant::mem_fraction). No-op at affinity weight 0.
+  void UpdateMemoryResidency(const std::vector<TelemetrySnapshot>& snapshots);
+
+  /// Affinity bonus of granting `core` to the tenant: the share of the
+  /// tenant's resident pages homed on the core's node, in [0, 1]. 0 when
+  /// the term is off or the tenant has no memory signal.
+  double MemAffinity(const Tenant& tenant, numasim::CoreId core) const;
 
   /// Recent shed rate per tenant under kSloAware; 0 for tenants without a
   /// shed signal, and everywhere outside kSloAware.

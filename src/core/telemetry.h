@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "simcore/clock.h"
 
@@ -20,6 +21,7 @@ struct TelemetrySnapshot {
   static constexpr uint32_t kShed = 1u << 1;
   static constexpr uint32_t kAbort = 1u << 2;
   static constexpr uint32_t kGoodput = 1u << 3;
+  static constexpr uint32_t kMemory = 1u << 4;
 
   /// Recent p99 latency in simulated seconds; < 0 = no signal yet.
   double p99_s = -1.0;
@@ -30,6 +32,13 @@ struct TelemetrySnapshot {
   double abort_fraction = -1.0;
   /// Recent goodput (CC commits per simulated second).
   double goodput = 0.0;
+  /// Fraction of page accesses served from a remote NUMA node, in [0, 1];
+  /// < 0 = no access yet.
+  double remote_access_fraction = -1.0;
+  /// Resident pages of the tenant's buffers per NUMA node (index = node).
+  /// Together with remote_access_fraction this is the kMemory signal the
+  /// island-affinity term consumes.
+  std::vector<int64_t> resident_pages_per_node;
   /// Which fields above carry a meaningful value this round.
   uint32_t valid_mask = 0;
 
@@ -44,6 +53,13 @@ struct TelemetrySnapshot {
     if (has(kShed) && !std::isfinite(shed_rate)) valid_mask &= ~kShed;
     if (has(kAbort) && !std::isfinite(abort_fraction)) valid_mask &= ~kAbort;
     if (has(kGoodput) && !std::isfinite(goodput)) valid_mask &= ~kGoodput;
+    if (has(kMemory)) {
+      bool ok = std::isfinite(remote_access_fraction);
+      for (const int64_t pages : resident_pages_per_node) {
+        if (pages < 0) ok = false;
+      }
+      if (!ok) valid_mask &= ~kMemory;
+    }
   }
 };
 

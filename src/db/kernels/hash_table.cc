@@ -4,12 +4,29 @@
 
 namespace elastic::db::kernels {
 
+void JoinHashTable::Reserve(size_t expected_rows) {
+  // Dense mode may need up to 2n+16 slots (the range admission bound);
+  // sparse mode needs the next power of two above 2n. Reserve the larger so
+  // either addressing mode of the coming Build() allocates nothing.
+  const size_t slot_cap =
+      std::max(NextPow2Capacity(expected_rows * 2), expected_rows * 2 + 16);
+  if (slot_cap > slots_.capacity()) {
+    build_allocations_++;
+    slots_.reserve(slot_cap);
+  }
+  if (expected_rows > rows_.capacity()) {
+    build_allocations_++;
+    rows_.reserve(expected_rows);
+  }
+}
+
 void JoinHashTable::Build(const std::vector<int64_t>& keys,
                           const std::vector<int64_t>* rows) {
   const int64_t n = rows != nullptr ? static_cast<int64_t>(rows->size())
                                     : static_cast<int64_t>(keys.size());
   ELASTIC_CHECK(n <= INT32_MAX, "join build side exceeds 2^31 rows");
   num_keys_ = 0;
+  if (static_cast<size_t>(n) > rows_.capacity()) build_allocations_++;
   rows_.resize(static_cast<size_t>(n));
 
   auto row_at = [&](int64_t i) {
@@ -29,9 +46,12 @@ void JoinHashTable::Build(const std::vector<int64_t>& keys,
   // range == 0 can only mean uint64 wrap-around (full int64 span): sparse.
   dense_ = n > 0 && range != 0 && range <= 2 * static_cast<uint64_t>(n) + 16;
 
+  // assign() reuses the existing heap block whenever it is large enough, so
+  // steady-state rebuilds at a stable cardinality allocate nothing.
   if (dense_) {
     min_key_ = mn;
     max_key_ = mx;
+    if (static_cast<size_t>(range) > slots_.capacity()) build_allocations_++;
     slots_.assign(static_cast<size_t>(range), Slot{});
     mask_ = 0;
     for (int64_t i = 0; i < n; ++i) {
@@ -44,6 +64,7 @@ void JoinHashTable::Build(const std::vector<int64_t>& keys,
     min_key_ = 0;
     max_key_ = -1;
     const size_t cap = NextPow2Capacity(static_cast<size_t>(n) * 2);
+    if (cap > slots_.capacity()) build_allocations_++;
     slots_.assign(cap, Slot{});
     mask_ = cap - 1;
     // Pass 1: claim a slot per distinct key and count its entries.

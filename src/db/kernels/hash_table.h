@@ -7,6 +7,13 @@
 // arrays, and no deletion support (tombstone-free: query-lifetime build
 // sides are built once and dropped whole). See README.md in this directory
 // for the design rationale.
+//
+// Both tables optionally draw their slot/payload storage from a
+// mem::NumaArena, which places the memory under the tenant's NUMA policy
+// (node-bound or interleaved); with no arena they use the global allocator,
+// unchanged. Rebuilding a table never shrinks its storage: steady-state
+// Build() calls at a stable cardinality perform zero allocations and zero
+// rehashes (see build_allocations() / rehashes()).
 
 #include <algorithm>
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "db/kernels/hash.h"
+#include "mem/numa_arena.h"
 #include "simcore/check.h"
 
 namespace elastic::db::kernels {
@@ -32,6 +40,11 @@ namespace elastic::db::kernels {
 /// sets fall back to linear probing on a Mix64-scattered index.
 class JoinHashTable {
  public:
+  JoinHashTable() = default;
+  explicit JoinHashTable(mem::NumaArena* arena)
+      : slots_(mem::ArenaAllocator<Slot>(arena)),
+        rows_(mem::ArenaAllocator<int64_t>(arena)) {}
+
   /// Contiguous, immutable view of the build rows holding one key.
   struct RowSpan {
     const int64_t* data = nullptr;
@@ -44,8 +57,13 @@ class JoinHashTable {
     int64_t operator[](size_t i) const { return data[i]; }
   };
 
+  /// Pre-reserves storage for a build side of `expected_rows` entries, so
+  /// the following Build() of at most that cardinality allocates nothing.
+  void Reserve(size_t expected_rows);
+
   /// (Re)builds from `keys`, restricted to the candidate rows when `rows`
   /// is non-null. Stored row ids are positions in the underlying column.
+  /// Storage is retained across rebuilds (never shrunk).
   void Build(const std::vector<int64_t>& keys,
              const std::vector<int64_t>* rows = nullptr);
 
@@ -70,6 +88,9 @@ class JoinHashTable {
   size_t capacity() const { return slots_.size(); }
   /// Direct-addressing (dense key range) mode is active.
   bool is_dense() const { return dense_; }
+  /// Times Build()/Reserve() had to grow the slot or payload storage.
+  /// Flat across steady-state rebuilds at a stable cardinality.
+  int64_t build_allocations() const { return build_allocations_; }
 
  private:
   struct Slot {
@@ -94,13 +115,14 @@ class JoinHashTable {
     return -1;
   }
 
-  std::vector<Slot> slots_;
-  std::vector<int64_t> rows_;
+  std::vector<Slot, mem::ArenaAllocator<Slot>> slots_;
+  std::vector<int64_t, mem::ArenaAllocator<int64_t>> rows_;
   uint64_t mask_ = 0;
   size_t num_keys_ = 0;
   bool dense_ = false;
   int64_t min_key_ = 0;
   int64_t max_key_ = -1;
+  int64_t build_allocations_ = 0;
 };
 
 inline bool operator==(const JoinHashTable::RowSpan& span,
@@ -115,10 +137,19 @@ inline bool operator==(const JoinHashTable::RowSpan& span,
 /// representative row, so results are independent of hash quality.
 class GroupKeyTable {
  public:
-  explicit GroupKeyTable(size_t expected_groups = 0) {
+  explicit GroupKeyTable(size_t expected_groups = 0,
+                         mem::NumaArena* arena = nullptr)
+      : slots_(mem::ArenaAllocator<Slot>(arena)) {
     const size_t cap = NextPow2Capacity(expected_groups * 2);
     slots_.assign(cap, Slot{});
     mask_ = cap - 1;
+  }
+
+  /// Grows capacity (once, up front) so `expected_groups` insertions stay
+  /// under the 3/4 load factor without any doubling rehash.
+  void Reserve(size_t expected_groups) {
+    const size_t cap = NextPow2Capacity(expected_groups * 2);
+    if (cap > slots_.size()) Rehash(cap);
   }
 
   /// Returns the group id of `h` if present (per `equals_rep`, called with a
@@ -135,7 +166,7 @@ class GroupKeyTable {
   template <typename EqRep>
   int64_t FindOrInsertHashed(uint64_t hv, int64_t next_gid,
                              EqRep&& equals_rep) {
-    if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
+    if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
     size_t i = hv & mask_;
     while (slots_[i].gid >= 0) {
       if (slots_[i].hash == hv && equals_rep(slots_[i].gid)) {
@@ -151,6 +182,9 @@ class GroupKeyTable {
 
   size_t size() const { return size_; }
   size_t capacity() const { return slots_.size(); }
+  /// Doubling rehashes since construction; 0 when the initial
+  /// expected_groups hint (or Reserve) covered every insertion.
+  int64_t rehashes() const { return rehashes_; }
 
  private:
   struct Slot {
@@ -158,9 +192,10 @@ class GroupKeyTable {
     int64_t gid = -1;  // -1 marks an empty slot
   };
 
-  void Grow() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.size() * 2, Slot{});
+  void Rehash(size_t new_cap) {
+    std::vector<Slot, mem::ArenaAllocator<Slot>> old = std::move(slots_);
+    slots_ = std::vector<Slot, mem::ArenaAllocator<Slot>>(old.get_allocator());
+    slots_.assign(new_cap, Slot{});
     mask_ = slots_.size() - 1;
     for (const Slot& s : old) {
       if (s.gid < 0) continue;
@@ -168,11 +203,13 @@ class GroupKeyTable {
       while (slots_[i].gid >= 0) i = (i + 1) & mask_;
       slots_[i] = s;
     }
+    if (size_ != 0) rehashes_++;  // empty-table reserve is not a rehash
   }
 
-  std::vector<Slot> slots_;
+  std::vector<Slot, mem::ArenaAllocator<Slot>> slots_;
   uint64_t mask_ = 0;
   size_t size_ = 0;
+  int64_t rehashes_ = 0;
 };
 
 }  // namespace elastic::db::kernels

@@ -107,9 +107,9 @@ bool Grouper::FinishPacked() {
   if (num_cols > kMaxCols) return false;
   size_t stride = 0;  // packed words per row
   for (const KeyCol& key : keys_) stride += key.is_str ? 2 : 1;
-  kernels::GroupKeyTable table(/*expected_groups=*/64);
+  kernels::GroupKeyTable table(static_cast<size_t>(expected_groups_), arena_);
   std::vector<uint64_t> group_words;  // `stride` packed words per group
-  group_words.reserve(64 * stride);
+  group_words.reserve(static_cast<size_t>(expected_groups_) * stride);
   group_of_.resize(static_cast<size_t>(num_rows_));
   for (int64_t row = 0; row < num_rows_; ++row) {
     const size_t r = static_cast<size_t>(row);
@@ -150,6 +150,7 @@ bool Grouper::FinishPacked() {
     }
     group_of_[r] = gid;
   }
+  table_rehashes_ = table.rehashes();
   return true;
 }
 
@@ -157,7 +158,7 @@ bool Grouper::FinishPacked() {
 // with exact comparison against the representative row.
 void Grouper::FinishGeneric() {
   const size_t num_cols = keys_.size();
-  kernels::GroupKeyTable table(/*expected_groups=*/64);
+  kernels::GroupKeyTable table(static_cast<size_t>(expected_groups_), arena_);
   group_of_.resize(static_cast<size_t>(num_rows_));
   for (int64_t row = 0; row < num_rows_; ++row) {
     const size_t r = static_cast<size_t>(row);
@@ -188,6 +189,7 @@ void Grouper::FinishGeneric() {
     }
     group_of_[r] = gid;
   }
+  table_rehashes_ = table.rehashes();
 }
 
 int64_t Grouper::I64KeyOfGroup(int key_index, int64_t group) const {

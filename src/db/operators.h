@@ -43,11 +43,19 @@ class HashJoin {
  public:
   using RowSpan = kernels::JoinHashTable::RowSpan;
 
+  HashJoin() = default;
+  /// Draws the build-side storage from `arena` (NUMA-placed); null keeps
+  /// the global allocator.
+  explicit HashJoin(mem::NumaArena* arena) : table_(arena) {}
+
   /// Builds on `keys` (optionally restricted to `rows`). The stored build
   /// row ids are positions in the underlying table.
   void Build(const std::vector<int64_t>& keys, const SelVec* rows = nullptr) {
     table_.Build(keys, rows);
   }
+
+  /// Pre-reserves the build side for `expected_rows` entries.
+  void Reserve(size_t expected_rows) { table_.Reserve(expected_rows); }
 
   struct Pairs {
     SelVec build_rows;
@@ -73,6 +81,9 @@ class HashJoin {
 
   size_t num_keys() const { return table_.num_keys(); }
 
+  /// Storage growths across Build()/Reserve() calls (see JoinHashTable).
+  int64_t build_allocations() const { return table_.build_allocations(); }
+
  private:
   kernels::JoinHashTable table_;
 };
@@ -87,8 +98,19 @@ class HashJoin {
 /// instead of heap-encoding a std::string per row.
 class Grouper {
  public:
+  Grouper() = default;
+  /// Draws the group-key table's storage from `arena`; null keeps the
+  /// global allocator.
+  explicit Grouper(mem::NumaArena* arena) : arena_(arena) {}
+
   void AddI64Key(std::vector<int64_t> values);
   void AddStrKey(std::vector<std::string> values);
+
+  /// Cardinality hint: Finish() sizes its group-key table for this many
+  /// groups up front, so an accurate hint means zero doubling rehashes.
+  void set_expected_groups(int64_t groups) {
+    expected_groups_ = std::max<int64_t>(groups, 1);
+  }
 
   /// Computes group ids; all key columns must have equal length.
   void Finish();
@@ -102,6 +124,9 @@ class Grouper {
 
   int64_t I64KeyOfGroup(int key_index, int64_t group) const;
   const std::string& StrKeyOfGroup(int key_index, int64_t group) const;
+
+  /// Doubling rehashes the group-key table performed during Finish().
+  int64_t table_rehashes() const { return table_rehashes_; }
 
  private:
   struct KeyCol {
@@ -118,8 +143,11 @@ class Grouper {
   std::vector<KeyCol> keys_;
   std::vector<int64_t> group_of_;
   std::vector<int64_t> rep_rows_;
+  mem::NumaArena* arena_ = nullptr;
+  int64_t expected_groups_ = 64;
   int64_t num_rows_ = 0;
   int64_t num_groups_ = 0;
+  int64_t table_rehashes_ = 0;
   bool finished_ = false;
 };
 

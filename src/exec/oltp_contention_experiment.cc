@@ -157,14 +157,22 @@ ContentionArbiterExperiment::ContentionArbiterExperiment(
     : options_(options) {
   ELASTIC_CHECK(!specs.empty(), "need at least one tenant");
   ELASTIC_CHECK(options_.cores >= 1, "need at least one core");
-  ELASTIC_CHECK(options_.cores <= 4 || options_.cores % 4 == 0,
-                "above 4 cores the machine is built from 4-core nodes");
 
   ossim::MachineOptions machine_options;
-  machine_options.config.num_nodes =
-      options_.cores <= 4 ? 1 : options_.cores / 4;
-  machine_options.config.cores_per_node =
-      options_.cores <= 4 ? options_.cores : 4;
+  if (options_.cores_per_node > 0) {
+    ELASTIC_CHECK(options_.cores % options_.cores_per_node == 0,
+                  "cores must be a multiple of cores_per_node");
+    machine_options.config.num_nodes =
+        options_.cores / options_.cores_per_node;
+    machine_options.config.cores_per_node = options_.cores_per_node;
+  } else {
+    ELASTIC_CHECK(options_.cores <= 4 || options_.cores % 4 == 0,
+                  "above 4 cores the machine is built from 4-core nodes");
+    machine_options.config.num_nodes =
+        options_.cores <= 4 ? 1 : options_.cores / 4;
+    machine_options.config.cores_per_node =
+        options_.cores <= 4 ? options_.cores : 4;
+  }
   machine_options.seed = options_.machine_seed;
   machine_ = std::make_unique<ossim::Machine>(machine_options);
   platform_ = std::make_unique<platform::SimPlatform>(machine_.get());
@@ -181,17 +189,17 @@ ContentionArbiterExperiment::ContentionArbiterExperiment(
     // after AddTenant below (it needs the tenant's cpuset), and the arbiter
     // only pulls these signals under the contention_aware policy.
     const int index = static_cast<int>(i);
-    rt.arbiter_index = arbiter_->AddTenant(
-        TenantBuilder(spec.name)
-            .mechanism(spec.mechanism)
-            .mode(spec.mode)
-            .weight(spec.weight)
-            .telemetry(
-                [this, index]() {
-                  return tenants_[static_cast<size_t>(index)].engine.get();
-                },
-                spec.probe_window_ticks)
-            .Build());
+    const auto engine_of = [this, index]() {
+      return tenants_[static_cast<size_t>(index)].engine.get();
+    };
+    TenantBuilder builder = TenantBuilder(spec.name)
+                                .mechanism(spec.mechanism)
+                                .mode(spec.mode)
+                                .weight(spec.weight)
+                                .telemetry(engine_of, spec.probe_window_ticks)
+                                .memory(spec.mem_policy, spec.mem_island);
+    if (spec.memory_telemetry) builder.memory_telemetry(engine_of);
+    rt.arbiter_index = arbiter_->AddTenant(builder.Build());
 
     oltp::TxnEngineOptions engine_options;
     engine_options.cpuset = arbiter_->tenant_cpuset(rt.arbiter_index);
@@ -202,6 +210,7 @@ ContentionArbiterExperiment::ContentionArbiterExperiment(
     engine_options.cc.protocol = spec.protocol;
     engine_options.cc.num_records = spec.ycsb.num_records;
     engine_options.cc.retry_backoff_ticks = options_.retry_backoff_ticks;
+    builder.ApplyMemory(&engine_options);
     rt.engine = std::make_unique<oltp::TxnEngine>(machine_.get(),
                                                   /*catalog=*/nullptr,
                                                   engine_options);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/arbiter.h"
+#include "mem/policy.h"
 #include "oltp/txn_engine.h"
 #include "ossim/machine.h"
 #include "platform/sim_platform.h"
@@ -115,11 +116,22 @@ struct ContentionTenantSpec {
   /// Window of the contention probes (abort fraction + goodput) this tenant
   /// feeds the contention_aware policy.
   int64_t probe_window_ticks = 200;
+  /// Placement of the tenant's engine-owned slabs (log + CC table). The
+  /// default leaves the engine byte-identical to the pre-placement builds.
+  mem::Policy mem_policy = mem::Policy::kLocalFirstTouch;
+  numasim::NodeId mem_island = numasim::kInvalidNode;
+  /// Feed the kMemory signal (remote-access fraction + per-node residency)
+  /// so the arbiter's island-affinity term can see this tenant's pages.
+  bool memory_telemetry = false;
 };
 
 struct ContentionArbiterOptions {
   /// Machine size; <= 4 cores one node, above: 4-core nodes.
   int cores = 16;
+  /// Override the node shape: > 0 builds `cores / cores_per_node` nodes of
+  /// this many cores each (the NUMA-island bench wants 2 sockets x 8 cores,
+  /// not 4 x 4). 0 keeps the legacy shape above.
+  int cores_per_node = 0;
   /// Policy, monitor period and the contention-controller knobs all live in
   /// the arbiter config.
   core::ArbiterConfig arbiter;

@@ -87,6 +87,33 @@ TenantBuilder& TenantBuilder::telemetry(
   return *this;
 }
 
+TenantBuilder& TenantBuilder::memory(mem::Policy policy,
+                                     numasim::NodeId island) {
+  mem_policy_ = policy;
+  mem_island_ = island;
+  mem_set_ = true;
+  return *this;
+}
+
+TenantBuilder& TenantBuilder::memory_telemetry(
+    std::function<oltp::TxnEngine*()> engine) {
+  ELASTIC_CHECK(!raw_source_,
+                "probe telemetry cannot mix with a raw telemetry source");
+  caps_ |= core::TelemetrySnapshot::kMemory;
+  fillers_.push_back(
+      [engine](simcore::Tick, core::TelemetrySnapshot* snap) {
+        oltp::TxnEngine* e = engine();
+        if (e == nullptr) {
+          snap->remote_access_fraction = -1.0;
+        } else {
+          snap->remote_access_fraction = e->RemotePageFraction();
+          snap->resident_pages_per_node = e->ResidentPagesPerNode();
+        }
+        snap->valid_mask |= core::TelemetrySnapshot::kMemory;
+      });
+  return *this;
+}
+
 core::ArbiterTenantConfig TenantBuilder::Build() const {
   core::ArbiterTenantConfig config;
   config.name = name_;
@@ -133,6 +160,12 @@ oltp::TxnEngineOptions TenantBuilder::BoundOltpEngineOptions(
                  oltp::cc::SmallBankNumRecords(workload.smallbank));
   }
   return options;
+}
+
+void TenantBuilder::ApplyMemory(oltp::TxnEngineOptions* options) const {
+  if (!mem_set_) return;
+  options->mem_policy = mem_policy_;
+  options->mem_island = mem_island_;
 }
 
 }  // namespace elastic::exec

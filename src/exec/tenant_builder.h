@@ -8,6 +8,7 @@
 #include "core/arbiter.h"
 #include "core/telemetry.h"
 #include "exec/dbms_engine.h"
+#include "mem/policy.h"
 #include "oltp/oltp_client.h"
 #include "oltp/txn_engine.h"
 
@@ -67,6 +68,19 @@ class TenantBuilder {
   TenantBuilder& telemetry(std::function<oltp::TxnEngine*()> engine,
                            int64_t probe_window_ticks);
 
+  /// Memory-placement policy for the tenant's engine-owned slabs (applied
+  /// through ApplyMemory below) — island_bound pins them to `island`.
+  TenantBuilder& memory(mem::Policy policy,
+                        numasim::NodeId island = numasim::kInvalidNode);
+
+  /// Memory telemetry (remote-access fraction + per-node residency) from a
+  /// transaction engine — the kMemory signal the island-affinity term in
+  /// the arbiter's core handout consumes.
+  TenantBuilder& memory_telemetry(std::function<oltp::TxnEngine*()> engine);
+
+  mem::Policy memory_policy() const { return mem_policy_; }
+  numasim::NodeId memory_island() const { return mem_island_; }
+
   core::ArbiterTenantConfig Build() const;
 
   // -- Engine binding (the non-arbiter half of tenant wiring) --
@@ -84,6 +98,10 @@ class TenantBuilder {
       const oltp::TxnEngineOptions& base, const oltp::OltpWorkload& workload,
       platform::CpusetId cpuset);
 
+  /// Applies the memory() policy to OLTP engine options (no-op when
+  /// memory() was never called: the options keep their own defaults).
+  void ApplyMemory(oltp::TxnEngineOptions* options) const;
+
  private:
   using Filler =
       std::function<void(simcore::Tick, core::TelemetrySnapshot*)>;
@@ -97,6 +115,10 @@ class TenantBuilder {
   core::TelemetrySource raw_source_;
   uint32_t caps_ = 0;
   std::vector<Filler> fillers_;
+
+  mem::Policy mem_policy_ = mem::Policy::kLocalFirstTouch;
+  numasim::NodeId mem_island_ = numasim::kInvalidNode;
+  bool mem_set_ = false;
 };
 
 }  // namespace elastic::exec

@@ -1,0 +1,147 @@
+#include "mem/numa_arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "simcore/check.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+// Raw mbind(2): bind freshly mapped, untouched chunks so the kernel homes
+// their pages on fault. Values from <linux/mempolicy.h>, declared here to
+// avoid depending on libnuma headers being installed.
+#ifndef MPOL_BIND
+#define MPOL_BIND 2
+#endif
+#ifndef MPOL_INTERLEAVE
+#define MPOL_INTERLEAVE 3
+#endif
+#endif  // __linux__
+
+namespace elastic::mem {
+namespace {
+
+size_t AlignUp(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
+
+#if defined(__linux__)
+/// Applies the arena policy to [base, base+bytes). Returns false when the
+/// kernel rejects the binding (no NUMA support, invalid node, EPERM) — the
+/// chunk then stays usable as plain first-touch memory.
+bool BindChunk(void* base, size_t bytes, const NumaArenaOptions& options) {
+  unsigned long nodemask = 0;
+  int mode;
+  if (options.policy == Policy::kIslandBound) {
+    if (options.island_node < 0 ||
+        options.island_node >= static_cast<int>(8 * sizeof(nodemask))) {
+      return false;
+    }
+    mode = MPOL_BIND;
+    nodemask = 1ul << options.island_node;
+  } else if (options.policy == Policy::kInterleave) {
+    mode = MPOL_INTERLEAVE;
+    const int n =
+        std::min<int>(std::max(options.num_nodes, 1), 8 * sizeof(nodemask));
+    for (int i = 0; i < n; ++i) nodemask |= 1ul << i;
+  } else {
+    return false;  // local_first_touch: nothing to bind
+  }
+  const long rc = syscall(SYS_mbind, base, bytes, mode, &nodemask,
+                          8 * sizeof(nodemask) + 1, 0u);
+  return rc == 0;
+}
+#endif  // __linux__
+
+}  // namespace
+
+NumaArena::NumaArena(const NumaArenaOptions& options) : options_(options) {
+  ELASTIC_CHECK(options_.chunk_bytes >= 4096, "arena chunk below one page");
+}
+
+NumaArena::~NumaArena() { Reset(); }
+
+void NumaArena::Reset() {
+  for (const Chunk& chunk : chunks_) {
+    if (chunk.mapped) {
+#if defined(__linux__)
+      munmap(chunk.base, chunk.bytes);
+#endif
+    } else {
+      ::operator delete(chunk.base);
+    }
+  }
+  chunks_.clear();
+  cursor_ = nullptr;
+  limit_ = nullptr;
+  allocated_bytes_ = 0;
+  reserved_bytes_ = 0;
+}
+
+NumaArena::Chunk NumaArena::NewChunk(size_t min_bytes) {
+  Chunk chunk;
+  chunk.bytes = std::max(min_bytes, options_.chunk_bytes);
+#if defined(__linux__)
+  void* mapped = mmap(nullptr, chunk.bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mapped != MAP_FAILED) {
+    chunk.base = mapped;
+    chunk.mapped = true;
+    if (BindChunk(mapped, chunk.bytes, options_)) {
+      chunks_bound_++;
+    } else {
+      chunks_fallback_++;
+    }
+    return chunk;
+  }
+#endif
+  // Graceful fallback: plain heap memory, placement left to the allocator.
+  chunk.base = ::operator new(chunk.bytes);
+  chunk.mapped = false;
+  chunks_fallback_++;
+  return chunk;
+}
+
+void* NumaArena::Allocate(size_t bytes, size_t align) {
+  ELASTIC_CHECK(align != 0 && (align & (align - 1)) == 0,
+                "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  char* aligned = cursor_ == nullptr
+                      ? nullptr
+                      : reinterpret_cast<char*>(AlignUp(
+                            reinterpret_cast<uintptr_t>(cursor_), align));
+  if (aligned == nullptr || aligned + bytes > limit_) {
+    // New chunks come from mmap/new and are at least page aligned.
+    Chunk chunk = NewChunk(AlignUp(bytes, align));
+    chunks_.push_back(chunk);
+    reserved_bytes_ += chunk.bytes;
+    cursor_ = static_cast<char*>(chunk.base);
+    limit_ = cursor_ + chunk.bytes;
+    aligned = reinterpret_cast<char*>(
+        AlignUp(reinterpret_cast<uintptr_t>(cursor_), align));
+  }
+  cursor_ = aligned + bytes;
+  allocated_bytes_ += bytes;
+  return aligned;
+}
+
+std::vector<int64_t> NumaArena::ReservedBytesPerNode() const {
+  std::vector<int64_t> bytes;
+  if (options_.policy == Policy::kIslandBound && options_.island_node >= 0) {
+    bytes.assign(static_cast<size_t>(options_.island_node) + 1, 0);
+    bytes[static_cast<size_t>(options_.island_node)] =
+        static_cast<int64_t>(reserved_bytes_);
+  } else if (options_.policy == Policy::kInterleave && options_.num_nodes > 0) {
+    const int n = options_.num_nodes;
+    bytes.assign(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      bytes[static_cast<size_t>(i)] =
+          static_cast<int64_t>(reserved_bytes_ / static_cast<size_t>(n));
+    }
+  }
+  return bytes;  // local_first_touch: homes unknown until pages are touched
+}
+
+}  // namespace elastic::mem

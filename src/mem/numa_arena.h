@@ -1,0 +1,134 @@
+#ifndef ELASTICORE_MEM_NUMA_ARENA_H_
+#define ELASTICORE_MEM_NUMA_ARENA_H_
+
+// Node-aware bump arena for query-lifetime allocations (join/group hash
+// tables, per-partition log slabs). Chunks are carved with the configured
+// placement policy and never freed individually: build sides are built once
+// and dropped whole, so Deallocate is a no-op and the whole arena is
+// released on destruction (or Reset()).
+//
+// Placement seam:
+//  - On Linux, chunks are mmap'd and bound with the mbind(2) raw syscall
+//    (MPOL_BIND for island_bound, MPOL_INTERLEAVE for interleave) — no
+//    libnuma dependency. When mbind is unavailable (no CONFIG_NUMA, CAP
+//    denied, non-Linux host) the arena degrades to plain operator new and
+//    counts the fallback in chunks_fallback().
+//  - In the simulator the arena only tracks byte placement for telemetry;
+//    actual page homing of simulated buffers goes through
+//    mem::ApplyPlacement (sim_placement.h) on the owning numasim
+//    PageTable, so MemorySystem::Access charges real remote/congestion
+//    cycles.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/policy.h"
+
+namespace elastic::mem {
+
+struct NumaArenaOptions {
+  Policy policy = Policy::kLocalFirstTouch;
+  /// Target node for Policy::kIslandBound; ignored otherwise. A negative
+  /// island downgrades island_bound to local_first_touch.
+  int island_node = -1;
+  /// Interleave width (number of NUMA nodes to rotate across).
+  int num_nodes = 1;
+  /// Granularity of one placement-bound mapping.
+  size_t chunk_bytes = size_t{1} << 20;
+};
+
+class NumaArena {
+ public:
+  explicit NumaArena(const NumaArenaOptions& options = NumaArenaOptions());
+  ~NumaArena();
+
+  NumaArena(const NumaArena&) = delete;
+  NumaArena& operator=(const NumaArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (power of two). Requests
+  /// larger than the chunk size get a dedicated chunk.
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Releases every chunk. Outstanding pointers become invalid.
+  void Reset();
+
+  const NumaArenaOptions& options() const { return options_; }
+  /// Bytes handed out by Allocate since construction / last Reset.
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  /// Bytes reserved from the system (>= allocated_bytes).
+  size_t reserved_bytes() const { return reserved_bytes_; }
+  /// Chunks whose node binding was applied by the OS.
+  int64_t chunks_bound() const { return chunks_bound_; }
+  /// Chunks that fell back to plain malloc / unbound mappings.
+  int64_t chunks_fallback() const { return chunks_fallback_; }
+
+  /// Reserved bytes attributed per node under the placement policy:
+  /// island_bound charges everything to the island, interleave spreads
+  /// evenly, local_first_touch reports an empty vector (homes unknown
+  /// until touch).
+  std::vector<int64_t> ReservedBytesPerNode() const;
+
+ private:
+  struct Chunk {
+    void* base = nullptr;
+    size_t bytes = 0;
+    bool mapped = false;  // mmap (munmap on free) vs operator new
+  };
+
+  /// Maps and binds a new chunk of at least `min_bytes`.
+  Chunk NewChunk(size_t min_bytes);
+
+  NumaArenaOptions options_;
+  std::vector<Chunk> chunks_;
+  char* cursor_ = nullptr;
+  char* limit_ = nullptr;
+  size_t allocated_bytes_ = 0;
+  size_t reserved_bytes_ = 0;
+  int64_t chunks_bound_ = 0;
+  int64_t chunks_fallback_ = 0;
+};
+
+/// Minimal std-allocator adaptor. With a null arena it forwards to the
+/// global operator new/delete — byte-for-byte the default-allocator
+/// behavior, so arena-less containers are unchanged. With an arena, memory
+/// is bump-allocated and deallocate is a no-op (freed on arena Reset).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(NumaArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  NumaArena* arena() const { return arena_; }
+
+ private:
+  NumaArena* arena_ = nullptr;
+};
+
+template <typename T, typename U>
+bool operator==(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) {
+  return a.arena() == b.arena();
+}
+template <typename T, typename U>
+bool operator!=(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b) {
+  return !(a == b);
+}
+
+}  // namespace elastic::mem
+
+#endif  // ELASTICORE_MEM_NUMA_ARENA_H_

@@ -1,0 +1,26 @@
+#include "mem/sim_placement.h"
+
+#include "simcore/check.h"
+
+namespace elastic::mem {
+
+void ApplyPlacement(numasim::PageTable* pages, numasim::BufferId buffer,
+                    Policy policy, numasim::NodeId island) {
+  ELASTIC_CHECK(pages != nullptr, "null page table");
+  switch (policy) {
+    case Policy::kLocalFirstTouch:
+      return;
+    case Policy::kInterleave:
+      pages->PlaceChunkedRoundRobin(buffer, /*chunk_pages=*/1);
+      return;
+    case Policy::kIslandBound:
+      if (island >= 0 && island < pages->num_nodes()) {
+        pages->PlaceAllOn(buffer, island);
+      } else {
+        pages->PlaceChunkedRoundRobin(buffer, /*chunk_pages=*/1);
+      }
+      return;
+  }
+}
+
+}  // namespace elastic::mem

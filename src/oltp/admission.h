@@ -131,7 +131,7 @@ class ShedCoordinator {
 class AdmissionController {
  public:
   /// Recent tail signal in simulated seconds (< 0 = no signal yet); same
-  /// contract as core::ArbiterTenantConfig::tail_latency_probe.
+  /// contract as the kTail field of a core::TelemetrySource snapshot.
   using TailProbe = std::function<double(simcore::Tick now)>;
 
   /// `probe` may be empty for kNone / kQueueDepth; kAdaptive requires it.

@@ -130,8 +130,8 @@ class OltpClient {
   }
 
   /// Sheds per simulated second over the trailing window (see
-  /// AdmissionController::RecentShedRate); the slo_aware arbiter's
-  /// shed_rate_probe.
+  /// AdmissionController::RecentShedRate); the slo_aware arbiter's kShed
+  /// telemetry signal.
   double RecentShedRate(simcore::Tick now, simcore::Tick window_ticks) const {
     return admission_.RecentShedRate(now, window_ticks);
   }

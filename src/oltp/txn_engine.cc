@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "mem/sim_placement.h"
 #include "simcore/check.h"
 
 namespace elastic::oltp {
@@ -31,6 +32,8 @@ TxnEngine::TxnEngine(ossim::Machine* machine,
       static_cast<int64_t>(options_.num_partitions) *
           options_.log_pages_per_partition,
       "oltp.log");
+  mem::ApplyPlacement(&machine_->page_table(), log_buffer_,
+                      options_.mem_policy, options_.mem_island);
   log_cursor_.assign(static_cast<size_t>(options_.num_partitions), 0);
   latch_busy_.assign(static_cast<size_t>(options_.num_partitions), false);
   latch_queue_.resize(static_cast<size_t>(options_.num_partitions));
@@ -167,6 +170,32 @@ void TxnEngine::EnsureCcState() {
       (options_.cc.num_records + options_.cc.rows_per_page - 1) /
       options_.cc.rows_per_page;
   cc_state_->buffer = machine_->page_table().CreateBuffer(pages, "oltp.cc");
+  mem::ApplyPlacement(&machine_->page_table(), cc_state_->buffer,
+                      options_.mem_policy, options_.mem_island);
+}
+
+double TxnEngine::RemotePageFraction() const {
+  int64_t pages = 0;
+  int64_t remote = 0;
+  const ossim::Scheduler& scheduler = machine_->scheduler();
+  for (const ossim::ThreadId id : workers_) {
+    const ossim::Thread& worker = scheduler.thread(id);
+    pages += worker.pages_processed;
+    remote += worker.remote_pages;
+  }
+  if (pages == 0) return -1.0;
+  return static_cast<double>(remote) / static_cast<double>(pages);
+}
+
+std::vector<int64_t> TxnEngine::ResidentPagesPerNode() const {
+  const numasim::PageTable& pages = machine_->page_table();
+  std::vector<int64_t> resident(static_cast<size_t>(pages.num_nodes()), 0);
+  for (int node = 0; node < pages.num_nodes(); ++node) {
+    resident[static_cast<size_t>(node)] =
+        pages.ResidentPagesOfBuffer(log_buffer_, node) +
+        (cc_state_ ? pages.ResidentPagesOfBuffer(cc_state_->buffer, node) : 0);
+  }
+  return resident;
 }
 
 cc::CcTxn TxnEngine::DeriveClassicCcTxn(const TxnRequest& request) const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/base_catalog.h"
+#include "mem/policy.h"
 #include "oltp/abort_window.h"
 #include "oltp/cc/protocol.h"
 #include "oltp/cc/workload.h"
@@ -54,6 +55,14 @@ struct TxnEngineOptions {
   /// Pages of the engine-owned write area each partition appends order and
   /// line rows into (cycled deterministically, modelling a redo log slab).
   int64_t log_pages_per_partition = 32;
+  /// NUMA placement of the engine-owned slabs (the per-partition log slab
+  /// and the lazily created CC key-space buffer). The default first-touch
+  /// policy leaves the simulator's first-touch rule in charge —
+  /// byte-identical to the pre-placement engine; island_bound homes every
+  /// page on mem_island, modelling a tenant whose working set was loaded on
+  /// one socket.
+  mem::Policy mem_policy = mem::Policy::kLocalFirstTouch;
+  numasim::NodeId mem_island = numasim::kInvalidNode;
 
   /// Concurrency-control layer. With the default (kPartitionLock) protocol
   /// the classic NewOrder/Payment workload runs on the original
@@ -141,6 +150,15 @@ class TxnEngine {
   /// CC attempts finishing in the window (distinguishes "no aborts" from
   /// "no traffic" — RecentAbortFraction reads 0 in both cases).
   int64_t RecentAttempts(simcore::Tick now, simcore::Tick window_ticks) const;
+
+  // -- Memory-placement statistics (the kMemory telemetry signal) --
+
+  /// Fraction of the workers' page accesses so far that were served from a
+  /// remote NUMA node; < 0 when no page has been accessed yet.
+  double RemotePageFraction() const;
+  /// Resident pages of the engine-owned buffers (log slab + CC key space)
+  /// per NUMA node. Index = node id; untouched pages count nowhere.
+  std::vector<int64_t> ResidentPagesPerNode() const;
 
   /// The CC table (created on first use). Exposed so workload setup can
   /// seed initial values (e.g. SmallBank balances) and tests can check

@@ -326,6 +326,7 @@ int64_t Scheduler::RunThreadOnCore(ThreadId id, numasim::CoreId core,
       counters_->stream_busy_cycles[job.stream] += cycles;
       thread.range_pos[r]++;
       thread.pages_processed++;
+      if (access.remote) thread.remote_pages++;
       advanced = true;
       break;
     }

@@ -99,6 +99,7 @@ struct Thread {
 
   // -- statistics --
   int64_t pages_processed = 0;
+  int64_t remote_pages = 0;  // pages whose home node != the accessing core's
   int64_t migrations = 0;
   int64_t consecutive_ticks_on_core = 0;
 

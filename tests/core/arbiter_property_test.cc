@@ -149,16 +149,28 @@ std::vector<RoundSnapshot> RunSequence(ArbitrationPolicy policy,
     tenant.mechanism.max_cores = shape.max_cores;
     tenant.slo_p99_s = shape.slo_p99_s;
     if (shape.slo_p99_s >= 0.0) {
-      tenant.tail_latency_probe = [probe_state, t](simcore::Tick) {
-        return probe_state->tail_latency[static_cast<size_t>(t)];
-      };
+      tenant.telemetry_caps |= TelemetrySnapshot::kTail;
     }
     if (shape.contention_probes) {
-      tenant.abort_fraction_probe = [probe_state, t](simcore::Tick) {
-        return probe_state->abort_fraction[static_cast<size_t>(t)];
-      };
-      tenant.goodput_probe = [probe_state, t](simcore::Tick) {
-        return probe_state->goodput[static_cast<size_t>(t)];
+      tenant.telemetry_caps |=
+          TelemetrySnapshot::kAbort | TelemetrySnapshot::kGoodput;
+    }
+    if (tenant.telemetry_caps != 0) {
+      const uint32_t caps = tenant.telemetry_caps;
+      tenant.telemetry = [probe_state, t, caps](simcore::Tick) {
+        TelemetrySnapshot snap;
+        if ((caps & TelemetrySnapshot::kTail) != 0) {
+          snap.p99_s = probe_state->tail_latency[static_cast<size_t>(t)];
+          snap.valid_mask |= TelemetrySnapshot::kTail;
+        }
+        if ((caps & TelemetrySnapshot::kAbort) != 0) {
+          snap.abort_fraction =
+              probe_state->abort_fraction[static_cast<size_t>(t)];
+          snap.valid_mask |= TelemetrySnapshot::kAbort;
+          snap.goodput = probe_state->goodput[static_cast<size_t>(t)];
+          snap.valid_mask |= TelemetrySnapshot::kGoodput;
+        }
+        return snap;
       };
     }
     arbiter.AddTenant(tenant);

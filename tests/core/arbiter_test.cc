@@ -307,13 +307,17 @@ TEST(ArbiterTest, PolicyNamesRoundTrip) {
   }
 }
 
-/// An SLO tenant whose probe returns a controllable p99.
+/// An SLO tenant whose telemetry source returns a controllable p99.
 ArbiterTenantConfig SloTenant(const std::string& name, int initial_cores,
                               double slo_s, const double* probe_value) {
   ArbiterTenantConfig config = Tenant(name, initial_cores);
   config.slo_p99_s = slo_s;
-  config.tail_latency_probe = [probe_value](simcore::Tick) {
-    return *probe_value;
+  config.telemetry_caps = TelemetrySnapshot::kTail;
+  config.telemetry = [probe_value](simcore::Tick) {
+    TelemetrySnapshot snap;
+    snap.p99_s = *probe_value;
+    snap.valid_mask = TelemetrySnapshot::kTail;
+    return snap;
   };
   return config;
 }
@@ -581,13 +585,21 @@ TEST(ArbiterTest, SloVsSloBoostedButMeetingCannotRaid) {
   EXPECT_EQ(arbiter.preemptions(), 0);
 }
 
-/// An SLO tenant with controllable tail and shed-rate probes.
+/// An SLO tenant with controllable tail and shed-rate signals.
 ArbiterTenantConfig SheddingSloTenant(const std::string& name,
                                       int initial_cores, double slo_s,
                                       const double* p99,
                                       const double* shed_rate) {
-  ArbiterTenantConfig config = SloTenant(name, initial_cores, slo_s, p99);
-  config.shed_rate_probe = [shed_rate](simcore::Tick) { return *shed_rate; };
+  ArbiterTenantConfig config = Tenant(name, initial_cores);
+  config.slo_p99_s = slo_s;
+  config.telemetry_caps = TelemetrySnapshot::kTail | TelemetrySnapshot::kShed;
+  config.telemetry = [p99, shed_rate](simcore::Tick) {
+    TelemetrySnapshot snap;
+    snap.p99_s = *p99;
+    snap.shed_rate = *shed_rate;
+    snap.valid_mask = TelemetrySnapshot::kTail | TelemetrySnapshot::kShed;
+    return snap;
+  };
   return config;
 }
 
@@ -744,8 +756,15 @@ TEST(ArbiterTest, SheddingAtCapIsNotATieBreakVictim) {
 ArbiterTenantConfig ProbeTenant(const std::string& name, int initial_cores,
                                 double* fraction, double* goodput) {
   ArbiterTenantConfig config = Tenant(name, initial_cores);
-  config.abort_fraction_probe = [fraction](simcore::Tick) { return *fraction; };
-  config.goodput_probe = [goodput](simcore::Tick) { return *goodput; };
+  config.telemetry_caps =
+      TelemetrySnapshot::kAbort | TelemetrySnapshot::kGoodput;
+  config.telemetry = [fraction, goodput](simcore::Tick) {
+    TelemetrySnapshot snap;
+    snap.abort_fraction = *fraction;
+    snap.goodput = *goodput;
+    snap.valid_mask = TelemetrySnapshot::kAbort | TelemetrySnapshot::kGoodput;
+    return snap;
+  };
   return config;
 }
 
@@ -863,6 +882,115 @@ TEST(ArbiterTest, InstalledHookPollsOnPeriod) {
   arbiter.Install();
   machine->RunFor(11);  // polls at ticks 5 and 10
   EXPECT_EQ(arbiter.log().size(), 2u);
+}
+
+// ---- Island-affinity term (numa_affinity_weight) ----
+
+/// A tenant whose kMemory telemetry reports every resident page on
+/// `page_node` — the islanded-slab scenario the affinity term consumes.
+ArbiterTenantConfig MemTenant(const std::string& name, int initial_cores,
+                              numasim::NodeId page_node) {
+  ArbiterTenantConfig config = Tenant(name, initial_cores);
+  config.telemetry_caps = TelemetrySnapshot::kMemory;
+  config.telemetry = [page_node](simcore::Tick) {
+    TelemetrySnapshot snap;
+    snap.remote_access_fraction = 0.8;
+    snap.resident_pages_per_node.assign(2, 0);
+    snap.resident_pages_per_node[static_cast<size_t>(page_node)] = 100;
+    snap.valid_mask = TelemetrySnapshot::kMemory;
+    return snap;
+  };
+  return config;
+}
+
+std::unique_ptr<ossim::Machine> TwoSocketMachine() {
+  ossim::MachineOptions options;
+  options.config.num_nodes = 2;
+  options.config.cores_per_node = 4;
+  return std::make_unique<ossim::Machine>(options);
+}
+
+/// One overload round for a single-tenant arbiter on a two-socket machine;
+/// returns the tenant's mask after the grant.
+ossim::CpuMask GrowOnce(double affinity_weight,
+                        const ArbiterTenantConfig& tenant) {
+  auto machine = TwoSocketMachine();
+  platform::SimPlatform platform(machine.get());
+  ArbiterConfig config;
+  config.numa_affinity_weight = affinity_weight;
+  CoreArbiter arbiter(&platform, config);
+  arbiter.AddTenant(tenant);
+  arbiter.Install();
+  EXPECT_EQ(arbiter.tenant_mask(0), ossim::CpuMask::Of({0}));
+  FakeLoad(machine.get(), arbiter.tenant_mask(0), 99.0, 20);
+  machine->clock().Advance(20);
+  arbiter.Poll(machine->clock().now());
+  return arbiter.tenant_mask(0);
+}
+
+TEST(ArbiterTest, AffinityWeightZeroReproducesObliviousHandout) {
+  // At weight 0 the kMemory signal must be inert: the grower clusters next
+  // to its own core on node 0, exactly like a tenant with no telemetry.
+  const ossim::CpuMask with_signal = GrowOnce(0.0, MemTenant("m", 1, 1));
+  const ossim::CpuMask without = GrowOnce(0.0, Tenant("m", 1));
+  EXPECT_EQ(with_signal, without);
+  EXPECT_EQ(with_signal, ossim::CpuMask::Of({0, 1}));
+}
+
+TEST(ArbiterTest, AffinityWeightSteersGrowthToPageNode) {
+  // With the term on, the node holding the tenant's pages outscores the
+  // own-core clustering bonus and growth lands on node 1.
+  const ossim::CpuMask mask = GrowOnce(4.0, MemTenant("m", 1, 1));
+  EXPECT_EQ(mask, ossim::CpuMask::Of({0, 4}));
+  // Pages on node 0 reinforce the cluster instead: no behaviour change.
+  EXPECT_EQ(GrowOnce(4.0, MemTenant("m", 1, 0)), ossim::CpuMask::Of({0, 1}));
+}
+
+TEST(ArbiterTest, AffinityIgnoresImplausibleResidencyVector) {
+  // A residency vector whose size does not match the machine's node count
+  // fails TelemetrySnapshot::Sanitize / the arbiter's own size check and
+  // must leave the handout oblivious even at a large weight.
+  ArbiterTenantConfig config = Tenant("m", 1);
+  config.telemetry_caps = TelemetrySnapshot::kMemory;
+  config.telemetry = [](simcore::Tick) {
+    TelemetrySnapshot snap;
+    snap.remote_access_fraction = 0.9;
+    snap.resident_pages_per_node = {7, 7, 7, 7, 7};  // 5 nodes on a 2-node box
+    snap.valid_mask = TelemetrySnapshot::kMemory;
+    return snap;
+  };
+  EXPECT_EQ(GrowOnce(8.0, config), ossim::CpuMask::Of({0, 1}));
+}
+
+TEST(ArbiterTest, AffinityMultiRoundTraceMatchesAtWeightZero) {
+  // Round-for-round parity over a longer two-tenant trace: weight 0 with
+  // live kMemory telemetry must reproduce the no-telemetry trace exactly.
+  std::vector<std::string> traces[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    auto machine = TwoSocketMachine();
+    platform::SimPlatform platform(machine.get());
+    ArbiterConfig config;
+    config.numa_affinity_weight = 0.0;
+    CoreArbiter arbiter(&platform, config);
+    if (variant == 0) {
+      arbiter.AddTenant(MemTenant("a", 2, 1));
+      arbiter.AddTenant(MemTenant("b", 1, 0));
+    } else {
+      arbiter.AddTenant(Tenant("a", 2));
+      arbiter.AddTenant(Tenant("b", 1));
+    }
+    arbiter.Install();
+    for (int round = 1; round <= 12; ++round) {
+      FakeLoad(machine.get(), arbiter.tenant_mask(0),
+               round <= 6 ? 99.0 : 5.0, 20);
+      FakeLoad(machine.get(), arbiter.tenant_mask(1), 99.0, 20);
+      machine->clock().Advance(20);
+      arbiter.Poll(machine->clock().now());
+      traces[variant].push_back(arbiter.tenant_mask(0).ToString() + "/" +
+                                arbiter.tenant_mask(1).ToString());
+    }
+  }
+  EXPECT_EQ(traces[0], traces[1]);
 }
 
 }  // namespace

@@ -91,6 +91,54 @@ TEST(JoinHashTableTest, RebuildDropsPreviousContents) {
   EXPECT_EQ(table.RowsOf(9), (std::vector<int64_t>{0}));
 }
 
+TEST(JoinHashTableTest, ReserveMakesSteadyStateRebuildsAllocationFree) {
+  std::mt19937_64 rng(3);
+  std::vector<int64_t> sparse_keys(4000);
+  for (auto& k : sparse_keys) k = static_cast<int64_t>(rng());  // sparse mode
+  std::vector<int64_t> dense_keys(4000);
+  for (size_t i = 0; i < dense_keys.size(); ++i) {
+    dense_keys[i] = static_cast<int64_t>(i) + 1;  // dense 1..N mode
+  }
+
+  JoinHashTable table;
+  table.Reserve(4000);
+  const int64_t after_reserve = table.build_allocations();
+  for (int rep = 0; rep < 5; ++rep) {
+    table.Build(rep % 2 == 0 ? sparse_keys : dense_keys);
+    EXPECT_EQ(table.build_allocations(), after_reserve)
+        << "rebuild " << rep << " allocated";
+  }
+  EXPECT_EQ(table.num_keys(), 4000u);
+}
+
+TEST(JoinHashTableTest, UnreservedGrowthIsCountedThenFlat) {
+  std::vector<int64_t> keys(1000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(i * 7919);  // sparse
+  }
+  JoinHashTable table;
+  EXPECT_EQ(table.build_allocations(), 0);
+  table.Build(keys);
+  const int64_t first_build = table.build_allocations();
+  EXPECT_GT(first_build, 0);  // cold build had to allocate
+  table.Build(keys);
+  EXPECT_EQ(table.build_allocations(), first_build);  // warm: storage reused
+}
+
+TEST(JoinHashTableTest, ArenaBackedTableMatchesDefaultAllocator) {
+  mem::NumaArena arena{mem::NumaArenaOptions{}};
+  JoinHashTable on_arena(&arena);
+  JoinHashTable plain;
+  const std::vector<int64_t> keys = {5, 9, 5, 42, 9, 5};
+  on_arena.Build(keys);
+  plain.Build(keys);
+  EXPECT_EQ(on_arena.num_keys(), plain.num_keys());
+  for (const int64_t key : {5, 9, 42, 7}) {
+    EXPECT_EQ(on_arena.CountOf(key), plain.CountOf(key)) << key;
+  }
+  EXPECT_GT(arena.allocated_bytes(), 0);
+}
+
 TEST(HashJoinTest, ProbeMatchesScalarReferenceOnRandomData) {
   std::mt19937_64 rng(42);
   std::vector<int64_t> build_keys(2000);
@@ -159,6 +207,39 @@ TEST(GroupKeyTableTest, HashCollisionsResolvedByExactComparison) {
   EXPECT_EQ(table.FindOrInsert(h, 1, eq_against(1)), 1);  // collides, differs
   EXPECT_EQ(table.FindOrInsert(h, 2, eq_against(0)), 0);  // matches group 0
   EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(GroupKeyTableTest, ExpectedGroupsHintEliminatesRehashes) {
+  GroupKeyTable hinted(/*expected_groups=*/5000);
+  GroupKeyTable unhinted(/*expected_groups=*/0);
+  for (int64_t i = 0; i < 5000; ++i) {
+    Hash128 h;
+    h.Update(static_cast<uint64_t>(i));
+    hinted.FindOrInsert(h, i, [](int64_t) { return true; });
+    unhinted.FindOrInsert(h, i, [](int64_t) { return true; });
+  }
+  EXPECT_EQ(hinted.rehashes(), 0);
+  EXPECT_GT(unhinted.rehashes(), 0);
+  EXPECT_EQ(hinted.size(), unhinted.size());
+}
+
+TEST(GrouperTest, ExpectedGroupsSurfacesThroughTableRehashes) {
+  std::mt19937_64 rng(19);
+  std::vector<int64_t> keys(20000);
+  for (auto& k : keys) k = static_cast<int64_t>(rng() % 4000);
+
+  Grouper cold;
+  cold.AddI64Key(keys);
+  cold.Finish();
+  ASSERT_GT(cold.table_rehashes(), 0);  // default hint (64) must double
+
+  Grouper hinted;
+  hinted.set_expected_groups(cold.num_groups());
+  hinted.AddI64Key(keys);
+  hinted.Finish();
+  EXPECT_EQ(hinted.table_rehashes(), 0);
+  EXPECT_EQ(hinted.num_groups(), cold.num_groups());
+  EXPECT_EQ(hinted.group_of(), cold.group_of());
 }
 
 TEST(GrouperTest, ManyDistinctKeysMatchUnorderedMapReference) {

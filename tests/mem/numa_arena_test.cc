@@ -1,0 +1,155 @@
+#include "mem/numa_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/policy.h"
+#include "mem/sim_placement.h"
+#include "numasim/page_table.h"
+
+namespace elastic::mem {
+namespace {
+
+TEST(PolicyTest, NamesRoundTrip) {
+  for (const Policy policy :
+       {Policy::kLocalFirstTouch, Policy::kInterleave, Policy::kIslandBound}) {
+    EXPECT_EQ(PolicyFromName(PolicyName(policy)), policy);
+  }
+}
+
+TEST(NumaArenaTest, BumpAllocatesWithinOneChunk) {
+  NumaArenaOptions options;
+  options.chunk_bytes = 1 << 16;
+  NumaArena arena(options);
+  void* a = arena.Allocate(100, 8);
+  void* b = arena.Allocate(100, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  // Both from the same 64 KiB chunk: one reservation, two live allocations.
+  EXPECT_EQ(arena.reserved_bytes(), int64_t{1} << 16);
+  EXPECT_GE(arena.allocated_bytes(), 200);
+}
+
+TEST(NumaArenaTest, RespectsAlignment) {
+  NumaArena arena(NumaArenaOptions{});
+  arena.Allocate(1, 1);  // misalign the cursor
+  for (const size_t align : {size_t{8}, size_t{64}, size_t{4096}}) {
+    void* p = arena.Allocate(32, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u) << align;
+  }
+}
+
+TEST(NumaArenaTest, OversizedAllocationGetsOwnChunk) {
+  NumaArenaOptions options;
+  options.chunk_bytes = 4096;
+  NumaArena arena(options);
+  void* big = arena.Allocate(1 << 20, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.reserved_bytes(), int64_t{1} << 20);
+}
+
+TEST(NumaArenaTest, ResetReleasesEverything) {
+  NumaArenaOptions options;
+  options.chunk_bytes = 4096;
+  NumaArena arena(options);
+  arena.Allocate(10000, 8);
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0);
+  EXPECT_EQ(arena.reserved_bytes(), 0);
+  // Usable again after a reset.
+  EXPECT_NE(arena.Allocate(64, 8), nullptr);
+}
+
+TEST(NumaArenaTest, ReservedBytesPerNodeFollowsPolicy) {
+  NumaArenaOptions island;
+  island.policy = Policy::kIslandBound;
+  island.island_node = 1;
+  island.num_nodes = 2;
+  island.chunk_bytes = 4096;
+  NumaArena bound(island);
+  bound.Allocate(64, 8);
+  const std::vector<int64_t> per_node = bound.ReservedBytesPerNode();
+  ASSERT_EQ(per_node.size(), 2u);
+  EXPECT_EQ(per_node[0], 0);
+  EXPECT_EQ(per_node[1], 4096);
+
+  NumaArenaOptions spread;
+  spread.policy = Policy::kInterleave;
+  spread.num_nodes = 2;
+  spread.chunk_bytes = 8192;
+  NumaArena interleaved(spread);
+  interleaved.Allocate(64, 8);
+  const std::vector<int64_t> split = interleaved.ReservedBytesPerNode();
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_EQ(split[0] + split[1], 8192);
+  EXPECT_EQ(split[0], split[1]);
+
+  // local_first_touch makes no placement claim.
+  NumaArena local(NumaArenaOptions{});
+  local.Allocate(64, 8);
+  EXPECT_TRUE(local.ReservedBytesPerNode().empty());
+}
+
+TEST(ArenaAllocatorTest, NullArenaMatchesGlobalAllocator) {
+  // The null-arena allocator is the drop-in default: a vector using it must
+  // behave exactly like a plain std::vector, including frees.
+  std::vector<int64_t, ArenaAllocator<int64_t>> v{ArenaAllocator<int64_t>()};
+  for (int64_t i = 0; i < 10000; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 10000u);
+  EXPECT_EQ(v[9999], 9999);
+  EXPECT_EQ(ArenaAllocator<int64_t>(), ArenaAllocator<int64_t>(nullptr));
+}
+
+TEST(ArenaAllocatorTest, VectorDrawsFromArena) {
+  NumaArena arena(NumaArenaOptions{});
+  std::vector<int64_t, ArenaAllocator<int64_t>> v{
+      ArenaAllocator<int64_t>(&arena)};
+  v.assign(1000, 7);
+  EXPECT_GE(arena.allocated_bytes(), 8000);
+  EXPECT_EQ(v[999], 7);
+  // Rebinding preserves the arena (the map/vector internals rely on this).
+  ArenaAllocator<int32_t> rebound(v.get_allocator());
+  EXPECT_EQ(rebound.arena(), &arena);
+}
+
+TEST(SimPlacementTest, IslandBoundPinsEveryPage) {
+  numasim::PageTable pages(2);
+  const numasim::BufferId buffer = pages.CreateBuffer(64, "t");
+  ApplyPlacement(&pages, buffer, Policy::kIslandBound, /*island=*/1);
+  EXPECT_EQ(pages.ResidentPagesOfBuffer(buffer, 0), 0);
+  EXPECT_EQ(pages.ResidentPagesOfBuffer(buffer, 1), 64);
+}
+
+TEST(SimPlacementTest, InterleaveRoundRobinsPages) {
+  numasim::PageTable pages(2);
+  const numasim::BufferId buffer = pages.CreateBuffer(64, "t");
+  ApplyPlacement(&pages, buffer, Policy::kInterleave,
+                 /*island=*/numasim::kInvalidNode);
+  EXPECT_EQ(pages.ResidentPagesOfBuffer(buffer, 0), 32);
+  EXPECT_EQ(pages.ResidentPagesOfBuffer(buffer, 1), 32);
+}
+
+TEST(SimPlacementTest, LocalFirstTouchLeavesPagesUnhomed) {
+  numasim::PageTable pages(2);
+  const numasim::BufferId buffer = pages.CreateBuffer(64, "t");
+  ApplyPlacement(&pages, buffer, Policy::kLocalFirstTouch,
+                 /*island=*/numasim::kInvalidNode);
+  EXPECT_EQ(pages.ResidentPagesOfBuffer(buffer, 0), 0);
+  EXPECT_EQ(pages.ResidentPagesOfBuffer(buffer, 1), 0);
+}
+
+TEST(SimPlacementTest, InvalidIslandFallsBackToSpread) {
+  // An island outside the machine cannot be honoured; spreading beats
+  // silently first-touching everything onto whatever node asks first.
+  numasim::PageTable pages(2);
+  const numasim::BufferId buffer = pages.CreateBuffer(64, "t");
+  ApplyPlacement(&pages, buffer, Policy::kIslandBound, /*island=*/5);
+  EXPECT_EQ(pages.ResidentPagesOfBuffer(buffer, 0), 32);
+  EXPECT_EQ(pages.ResidentPagesOfBuffer(buffer, 1), 32);
+}
+
+}  // namespace
+}  // namespace elastic::mem

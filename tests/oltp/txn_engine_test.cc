@@ -215,5 +215,69 @@ TEST(TxnEngineTest, SurfacesCcCountersAndRecentAbortFraction) {
   EXPECT_LT(fraction, 1.0);
 }
 
+TEST(TxnEngineTest, IslandBoundPlacementPinsEngineSlabs) {
+  TxnEngineOptions options;
+  options.cc.protocol = cc::ProtocolKind::kTwoPhaseLock;
+  options.cc.num_records = 4096;
+  options.mem_policy = mem::Policy::kIslandBound;
+  options.mem_island = 2;
+  Stack stack = MakeStack(options);
+
+  OltpWorkload workload;
+  workload.kind = cc::WorkloadKind::kYcsb;
+  workload.ycsb.num_records = 4096;
+  workload.total_txns = 16;
+  workload.arrival_interval_ticks = 1;
+  OltpClient client(stack.machine.get(), stack.engine.get(), workload, 11);
+  client.Start();
+  int64_t ticks = 0;
+  while (!client.AllDone() && ticks < 5'000'000) {
+    stack.machine->Step();
+    ticks++;
+  }
+  ASSERT_TRUE(client.AllDone());
+
+  // Every engine-owned page (log slabs + CC table) is homed on the island,
+  // no matter which nodes the workers ran on.
+  const std::vector<int64_t> resident = stack.engine->ResidentPagesPerNode();
+  ASSERT_EQ(resident.size(), 4u);  // default machine: 4 nodes
+  EXPECT_GT(resident[2], 0);
+  EXPECT_EQ(resident[0], 0);
+  EXPECT_EQ(resident[1], 0);
+  EXPECT_EQ(resident[3], 0);
+  // Workers on the three other nodes paid remote accesses for them.
+  EXPECT_GT(stack.engine->RemotePageFraction(), 0.0);
+  EXPECT_LE(stack.engine->RemotePageFraction(), 1.0);
+}
+
+TEST(TxnEngineTest, DefaultPlacementLeavesFirstTouchHoming) {
+  // Without a memory policy the engine behaves exactly as before the mem::
+  // subsystem existed: pages home wherever workers first touch them, so no
+  // node ends up with every resident page on a multi-node machine.
+  TxnEngineOptions options;
+  options.cc.protocol = cc::ProtocolKind::kTwoPhaseLock;
+  options.cc.num_records = 4096;
+  Stack stack = MakeStack(options);
+  EXPECT_EQ(stack.engine->RemotePageFraction(), -1.0);  // no accesses yet
+
+  OltpWorkload workload;
+  workload.kind = cc::WorkloadKind::kYcsb;
+  workload.ycsb.num_records = 4096;
+  workload.total_txns = 16;
+  workload.arrival_interval_ticks = 1;
+  OltpClient client(stack.machine.get(), stack.engine.get(), workload, 11);
+  client.Start();
+  int64_t ticks = 0;
+  while (!client.AllDone() && ticks < 5'000'000) {
+    stack.machine->Step();
+    ticks++;
+  }
+  ASSERT_TRUE(client.AllDone());
+  const std::vector<int64_t> resident = stack.engine->ResidentPagesPerNode();
+  int64_t total = 0;
+  for (const int64_t pages : resident) total += pages;
+  EXPECT_GT(total, 0);
+}
+
 }  // namespace
 }  // namespace elastic::oltp

@@ -43,6 +43,51 @@ TEST(CpuMaskTest, NodeCoresOfPaperMachine) {
   EXPECT_EQ(mask.ToCores(), (std::vector<numasim::CoreId>{4, 5, 6, 7}));
 }
 
+TEST(CpuMaskTest, NodeCoresOfNonPowerOfTwoShape) {
+  // 3 sockets x 6 cores: node boundaries at 6 and 12, nothing aligned to a
+  // power of two.
+  numasim::MachineConfig config;
+  config.num_nodes = 3;
+  config.cores_per_node = 6;
+  const numasim::Topology topo{config};
+  EXPECT_EQ(CpuMask::NodeCores(topo, 0).ToCores(),
+            (std::vector<numasim::CoreId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(CpuMask::NodeCores(topo, 2).ToCores(),
+            (std::vector<numasim::CoreId>{12, 13, 14, 15, 16, 17}));
+  // The three node masks partition the machine exactly.
+  CpuMask all;
+  for (int n = 0; n < 3; ++n) all = all.Union(CpuMask::NodeCores(topo, n));
+  EXPECT_EQ(all, CpuMask::AllOf(topo));
+  EXPECT_EQ(all.Count(), 18);
+}
+
+TEST(CpuMaskTest, NodeCoresPastTheFirstWord) {
+  // 4 sockets x 32 cores = 128 cpus: nodes 2 and 3 live entirely beyond the
+  // historical 64-bit word.
+  numasim::MachineConfig config;
+  config.num_nodes = 4;
+  config.cores_per_node = 32;
+  const numasim::Topology topo{config};
+  EXPECT_EQ(CpuMask::AllOf(topo).Count(), 128);
+  const CpuMask node2 = CpuMask::NodeCores(topo, 2);
+  EXPECT_EQ(node2.Count(), 32);
+  EXPECT_EQ(node2.First(), 64);
+  EXPECT_TRUE(node2.Has(95));
+  EXPECT_FALSE(node2.Has(63));
+  EXPECT_FALSE(node2.Has(96));
+  const CpuMask node3 = CpuMask::NodeCores(topo, 3);
+  EXPECT_EQ(node3.ToCores().front(), 96);
+  EXPECT_EQ(node3.ToCores().back(), 127);
+  EXPECT_TRUE(node2.Intersect(node3).Empty());
+}
+
+TEST(CpuMaskTest, OfRoundTripsAcrossWordBoundary) {
+  const CpuMask mask = CpuMask::Of({63, 64, 127});
+  EXPECT_EQ(mask.Count(), 3);
+  EXPECT_EQ(mask.ToCores(), (std::vector<numasim::CoreId>{63, 64, 127}));
+  EXPECT_EQ(mask, CpuMask::FromCpuList(mask.ToCpuList()));
+}
+
 TEST(CpuMaskTest, IntersectAndUnion) {
   const CpuMask a = CpuMask::Of({0, 1, 2});
   const CpuMask b = CpuMask::Of({2, 3});

@@ -211,10 +211,12 @@ TEST(SimPlatformParityTest, SloAwareScenarioMatchesPreRefactor) {
   slo.mechanism.initial_cores = 2;
   slo.mechanism.max_cores = 6;
   slo.slo_p99_s = 0.05;
-  slo.tail_latency_probe = [](simcore::Tick now) {
-    if (now < 400) return 0.02;
-    if (now < 800) return 0.08;
-    return 0.03;
+  slo.telemetry_caps = core::TelemetrySnapshot::kTail;
+  slo.telemetry = [](simcore::Tick now) {
+    core::TelemetrySnapshot snap;
+    snap.p99_s = now < 400 ? 0.02 : (now < 800 ? 0.08 : 0.03);
+    snap.valid_mask = core::TelemetrySnapshot::kTail;
+    return snap;
   };
   core::ArbiterTenantConfig batch;
   batch.name = "batch";
